@@ -1,0 +1,64 @@
+"""Figure 1 and Figure 3 benchmarks.
+
+* Figure 1 — arithmetic-circuit reduction: compile the 4-qubit noisy QAOA
+  circuit with and without elision/ordering optimizations, recording the AC
+  sizes in ``extra_info``.
+* Figure 3 — peaked output distribution: time the Gibbs sampler drawing from
+  a QAOA circuit and record how much probability mass the top outcomes carry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure1_ac_reduction
+from repro.simulator.kc_simulator import KnowledgeCompilationSimulator
+from repro.statevector import StateVectorSimulator
+from repro.variational import QAOACircuit, random_regular_maxcut
+
+
+class TestFigure1:
+    def test_direct_compilation(self, benchmark):
+        circuit = figure1_ac_reduction.build_noisy_qaoa(num_qubits=4, noise_probability=0.05)
+        simulator = KnowledgeCompilationSimulator(order_method="lexicographic", elide_internal=False)
+        compiled = benchmark(lambda: simulator.compile_circuit(circuit))
+        benchmark.extra_info["variant"] = "direct (no elision, lexicographic order)"
+        benchmark.extra_info["ac_nodes"] = compiled.arithmetic_circuit.num_nodes
+        benchmark.extra_info["ac_edges"] = compiled.arithmetic_circuit.num_edges
+
+    def test_optimized_compilation(self, benchmark):
+        circuit = figure1_ac_reduction.build_noisy_qaoa(num_qubits=4, noise_probability=0.05)
+        simulator = KnowledgeCompilationSimulator(order_method="hypergraph", elide_internal=True)
+        compiled = benchmark(lambda: simulator.compile_circuit(circuit))
+        benchmark.extra_info["variant"] = "optimized (elision + hypergraph order)"
+        benchmark.extra_info["ac_nodes"] = compiled.arithmetic_circuit.num_nodes
+        benchmark.extra_info["ac_edges"] = compiled.arithmetic_circuit.num_edges
+
+    def test_optimizations_reduce_size(self):
+        result = figure1_ac_reduction.run(num_qubits=4, noise_probability=0.05)
+        optimized = min(row["ac_nodes"] for row in result.rows if row["elide_internal_states"])
+        direct = max(row["ac_nodes"] for row in result.rows if not row["elide_internal_states"])
+        assert optimized < direct
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def compiled_qaoa(self):
+        ansatz = QAOACircuit(random_regular_maxcut(8, seed=3), iterations=1)
+        resolver = ansatz.resolver([0.6, 0.4])
+        simulator = KnowledgeCompilationSimulator(seed=3)
+        compiled = simulator.compile_circuit(ansatz.circuit)
+        return ansatz, resolver, simulator, compiled
+
+    def test_gibbs_sampling_peaked_distribution(self, benchmark, compiled_qaoa):
+        ansatz, resolver, simulator, compiled = compiled_qaoa
+        samples = benchmark(lambda: simulator.sample(compiled, 500, resolver=resolver, seed=3))
+        exact = np.abs(
+            StateVectorSimulator().simulate(ansatz.circuit, resolver).state_vector
+        ) ** 2
+        top_16_mass = float(np.sort(exact)[::-1][:16].sum())
+        benchmark.extra_info["qubits"] = 8
+        benchmark.extra_info["exact_top16_mass"] = round(top_16_mass, 4)
+        empirical = samples.empirical_distribution()
+        benchmark.extra_info["sampled_top16_mass"] = round(float(np.sort(empirical)[::-1][:16].sum()), 4)
+        # The distribution is sharply peaked: a handful of outcomes carry most of the mass.
+        assert top_16_mass > 16 / 256

@@ -1,0 +1,70 @@
+"""Figure 6 / Table 4: knowledge-compilation cost vs. circuit structure.
+
+Benchmarks the compile step (CNF -> arithmetic circuit) for the three
+workload families the paper contrasts: random circuit sampling
+(unstructured), Grover's search and Shor's order finding (structured).
+``extra_info`` records CNF-variable and AC-node counts — the two axes of
+Figure 6 — plus the AC file size reported in Table 4.
+"""
+
+import pytest
+
+from repro.algorithms import grover_circuit, order_finding_circuit, random_circuit
+from repro.simulator.kc_simulator import KnowledgeCompilationSimulator
+
+
+def _record(benchmark, compiled):
+    metrics = compiled.compilation_metrics()
+    benchmark.extra_info.update(
+        {
+            "qubits": metrics["qubits"],
+            "gates": metrics["gates"],
+            "cnf_variables": metrics["cnf_variables"],
+            "cnf_clauses": metrics["cnf_clauses"],
+            "ac_nodes": metrics["ac_nodes"],
+            "ac_edges": metrics["ac_edges"],
+            "ac_size_bytes": metrics["ac_size_bytes"],
+        }
+    )
+
+
+@pytest.mark.parametrize("num_qubits,depth", [(4, 2), (5, 2), (6, 3)])
+def test_random_circuit_sampling_compilation(benchmark, num_qubits, depth):
+    instance = random_circuit(num_qubits, depth, seed=17 + num_qubits)
+    simulator = KnowledgeCompilationSimulator(seed=1)
+    compiled = benchmark(lambda: simulator.compile_circuit(instance.circuit))
+    benchmark.extra_info["workload"] = "rcs"
+    _record(benchmark, compiled)
+
+
+@pytest.mark.parametrize("num_qubits", [2, 3])
+def test_grover_compilation(benchmark, num_qubits):
+    instance = grover_circuit([1] * num_qubits)
+    simulator = KnowledgeCompilationSimulator(seed=1)
+    compiled = benchmark(lambda: simulator.compile_circuit(instance.circuit))
+    benchmark.extra_info["workload"] = "grover"
+    _record(benchmark, compiled)
+
+
+@pytest.mark.parametrize("a,modulus", [(2, 3), (2, 5)])
+def test_shor_order_finding_compilation(benchmark, a, modulus):
+    instance = order_finding_circuit(a, modulus)
+    simulator = KnowledgeCompilationSimulator(seed=1)
+    compiled = benchmark(lambda: simulator.compile_circuit(instance.circuit))
+    benchmark.extra_info["workload"] = "shor"
+    _record(benchmark, compiled)
+
+
+def test_structured_vs_unstructured_scaling():
+    """The Figure 6 qualitative claim: RCS circuits compile to far larger ACs
+    per CNF variable than structured QAOA-style circuits of comparable size."""
+    from repro.variational import QAOACircuit, random_regular_maxcut
+
+    simulator = KnowledgeCompilationSimulator(seed=1)
+    rcs = simulator.compile_circuit(random_circuit(6, 3, seed=23).circuit)
+    qaoa = simulator.compile_circuit(
+        QAOACircuit(random_regular_maxcut(6, seed=23), iterations=1).circuit
+    )
+    rcs_density = rcs.arithmetic_circuit.num_nodes / rcs.encoding.cnf.num_vars
+    qaoa_density = qaoa.arithmetic_circuit.num_nodes / qaoa.encoding.cnf.num_vars
+    assert rcs_density > qaoa_density

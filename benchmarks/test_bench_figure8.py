@@ -1,0 +1,122 @@
+"""Figure 8: time to sample from ideal variational circuits, per backend.
+
+Each benchmark draws a fixed number of samples from a QAOA Max-Cut or VQE
+Ising circuit using one of the three backends the paper compares: the
+state-vector simulator (qsim stand-in), the tensor-network simulator (qTorch
+stand-in) and the knowledge-compilation simulator.  Knowledge-compilation
+circuits are compiled once outside the timed region, matching the paper's
+variational-loop amortisation.
+
+Instance sizes are laptop-scale reductions of the paper's sweeps (the
+artifact's own evaluation does the same); the *relative ordering* of the
+backends at each size is what reproduces the figure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simulator.kc_simulator import KnowledgeCompilationSimulator
+from repro.statevector import StateVectorSimulator
+from repro.tensornetwork import TensorNetworkSimulator
+from repro.variational import QAOACircuit, VQECircuit, random_regular_maxcut, square_grid_ising
+
+NUM_SAMPLES = 200
+TN_SAMPLES = 20  # per-sample contraction cost makes full runs impractical
+
+
+def _qaoa(num_qubits, iterations=1, seed=9):
+    ansatz = QAOACircuit(random_regular_maxcut(num_qubits, seed=seed), iterations=iterations)
+    resolver = ansatz.resolver([0.6] * iterations + [0.4] * iterations)
+    return ansatz, resolver
+
+
+def _vqe(num_qubits, iterations=1, seed=9):
+    ansatz = VQECircuit(square_grid_ising(num_qubits, seed=seed), iterations=iterations)
+    rng = np.random.default_rng(seed)
+    resolver = ansatz.resolver(rng.uniform(0.2, 0.9, size=ansatz.num_parameters))
+    return ansatz, resolver
+
+
+@pytest.mark.parametrize("num_qubits", [4, 8, 12])
+def test_qaoa_p1_state_vector_sampling(benchmark, num_qubits):
+    ansatz, resolver = _qaoa(num_qubits)
+    circuit = ansatz.circuit.resolve_parameters(resolver)
+    simulator = StateVectorSimulator(seed=1)
+    benchmark.extra_info["qubits"] = num_qubits
+    benchmark.extra_info["backend"] = "state_vector"
+    benchmark(lambda: simulator.sample(circuit, NUM_SAMPLES, seed=1))
+
+
+@pytest.mark.parametrize("num_qubits", [4, 8])
+def test_qaoa_p1_tensor_network_sampling(benchmark, num_qubits):
+    ansatz, resolver = _qaoa(num_qubits)
+    circuit = ansatz.circuit.resolve_parameters(resolver)
+    simulator = TensorNetworkSimulator(seed=1)
+    benchmark.extra_info["qubits"] = num_qubits
+    benchmark.extra_info["backend"] = "tensor_network"
+    benchmark.extra_info["samples_drawn"] = TN_SAMPLES
+    benchmark(lambda: simulator.sample(circuit, TN_SAMPLES, seed=1, burn_in=2))
+
+
+@pytest.mark.parametrize("num_qubits", [4, 8, 12])
+def test_qaoa_p1_knowledge_compilation_sampling(benchmark, num_qubits):
+    ansatz, resolver = _qaoa(num_qubits)
+    simulator = KnowledgeCompilationSimulator(seed=1)
+    compiled = simulator.compile_circuit(ansatz.circuit)
+    benchmark.extra_info["qubits"] = num_qubits
+    benchmark.extra_info["backend"] = "knowledge_compilation"
+    benchmark.extra_info["ac_nodes"] = compiled.arithmetic_circuit.num_nodes
+    benchmark(lambda: simulator.sample(compiled, NUM_SAMPLES, resolver=resolver, seed=1))
+
+
+@pytest.mark.parametrize("num_qubits", [4, 6])
+def test_qaoa_p2_knowledge_compilation_sampling(benchmark, num_qubits):
+    ansatz, resolver = _qaoa(num_qubits, iterations=2)
+    simulator = KnowledgeCompilationSimulator(seed=1)
+    compiled = simulator.compile_circuit(ansatz.circuit)
+    benchmark.extra_info["qubits"] = num_qubits
+    benchmark.extra_info["iterations"] = 2
+    benchmark.extra_info["ac_nodes"] = compiled.arithmetic_circuit.num_nodes
+    benchmark(lambda: simulator.sample(compiled, NUM_SAMPLES, resolver=resolver, seed=1))
+
+
+@pytest.mark.parametrize("num_qubits", [4, 6])
+def test_qaoa_p2_state_vector_sampling(benchmark, num_qubits):
+    ansatz, resolver = _qaoa(num_qubits, iterations=2)
+    circuit = ansatz.circuit.resolve_parameters(resolver)
+    simulator = StateVectorSimulator(seed=1)
+    benchmark.extra_info["qubits"] = num_qubits
+    benchmark.extra_info["iterations"] = 2
+    benchmark(lambda: simulator.sample(circuit, NUM_SAMPLES, seed=1))
+
+
+@pytest.mark.parametrize("num_qubits", [4, 6, 9])
+def test_vqe_p1_state_vector_sampling(benchmark, num_qubits):
+    ansatz, resolver = _vqe(num_qubits)
+    circuit = ansatz.circuit.resolve_parameters(resolver)
+    simulator = StateVectorSimulator(seed=1)
+    benchmark.extra_info["qubits"] = num_qubits
+    benchmark.extra_info["backend"] = "state_vector"
+    benchmark(lambda: simulator.sample(circuit, NUM_SAMPLES, seed=1))
+
+
+@pytest.mark.parametrize("num_qubits", [4, 6, 9])
+def test_vqe_p1_knowledge_compilation_sampling(benchmark, num_qubits):
+    ansatz, resolver = _vqe(num_qubits)
+    simulator = KnowledgeCompilationSimulator(seed=1)
+    compiled = simulator.compile_circuit(ansatz.circuit)
+    benchmark.extra_info["qubits"] = num_qubits
+    benchmark.extra_info["backend"] = "knowledge_compilation"
+    benchmark.extra_info["ac_nodes"] = compiled.arithmetic_circuit.num_nodes
+    benchmark(lambda: simulator.sample(compiled, NUM_SAMPLES, resolver=resolver, seed=1))
+
+
+@pytest.mark.parametrize("num_qubits", [4, 6])
+def test_vqe_p1_tensor_network_sampling(benchmark, num_qubits):
+    ansatz, resolver = _vqe(num_qubits)
+    circuit = ansatz.circuit.resolve_parameters(resolver)
+    simulator = TensorNetworkSimulator(seed=1)
+    benchmark.extra_info["qubits"] = num_qubits
+    benchmark.extra_info["backend"] = "tensor_network"
+    benchmark.extra_info["samples_drawn"] = TN_SAMPLES
+    benchmark(lambda: simulator.sample(circuit, TN_SAMPLES, seed=1, burn_in=2))

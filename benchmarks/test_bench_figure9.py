@@ -1,0 +1,84 @@
+"""Figure 9: time to sample from noisy variational circuits.
+
+Compares the density-matrix baseline against the knowledge-compilation
+simulator on QAOA Max-Cut and VQE Ising circuits with 0.5% symmetric
+depolarizing noise after every gate (the paper's noise model), at
+laptop-scale qubit counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import depolarize
+from repro.densitymatrix import DensityMatrixSimulator
+from repro.simulator.kc_simulator import KnowledgeCompilationSimulator
+from repro.variational import QAOACircuit, VQECircuit, random_regular_maxcut, square_grid_ising
+
+NUM_SAMPLES = 100
+NOISE_PROBABILITY = 0.005
+
+
+def _noisy_qaoa(num_qubits, iterations=1, seed=13):
+    ansatz = QAOACircuit(random_regular_maxcut(num_qubits, seed=seed), iterations=iterations)
+    resolver = ansatz.resolver([0.6] * iterations + [0.4] * iterations)
+    noisy = ansatz.circuit.with_noise(lambda: depolarize(NOISE_PROBABILITY))
+    return noisy, resolver
+
+
+def _noisy_vqe(num_qubits, iterations=1, seed=13):
+    ansatz = VQECircuit(square_grid_ising(num_qubits, seed=seed), iterations=iterations)
+    rng = np.random.default_rng(seed)
+    resolver = ansatz.resolver(rng.uniform(0.2, 0.9, size=ansatz.num_parameters))
+    noisy = ansatz.circuit.with_noise(lambda: depolarize(NOISE_PROBABILITY))
+    return noisy, resolver
+
+
+@pytest.mark.parametrize("num_qubits", [3, 4, 5])
+def test_noisy_qaoa_density_matrix_sampling(benchmark, num_qubits):
+    circuit, resolver = _noisy_qaoa(num_qubits)
+    resolved = circuit.resolve_parameters(resolver)
+    simulator = DensityMatrixSimulator(seed=1)
+    benchmark.extra_info["qubits"] = num_qubits
+    benchmark.extra_info["backend"] = "density_matrix"
+    benchmark.extra_info["gates"] = resolved.gate_count(include_noise=True)
+    benchmark(lambda: simulator.sample(resolved, NUM_SAMPLES, seed=1))
+
+
+@pytest.mark.parametrize("num_qubits", [3, 4, 5])
+def test_noisy_qaoa_knowledge_compilation_sampling(benchmark, num_qubits):
+    circuit, resolver = _noisy_qaoa(num_qubits)
+    simulator = KnowledgeCompilationSimulator(seed=1)
+    compiled = simulator.compile_circuit(circuit)
+    benchmark.extra_info["qubits"] = num_qubits
+    benchmark.extra_info["backend"] = "knowledge_compilation"
+    benchmark.extra_info["ac_nodes"] = compiled.arithmetic_circuit.num_nodes
+    benchmark(lambda: simulator.sample(compiled, NUM_SAMPLES, resolver=resolver, seed=1))
+
+
+@pytest.mark.parametrize("num_qubits", [4])
+def test_noisy_vqe_density_matrix_sampling(benchmark, num_qubits):
+    circuit, resolver = _noisy_vqe(num_qubits)
+    resolved = circuit.resolve_parameters(resolver)
+    simulator = DensityMatrixSimulator(seed=1)
+    benchmark.extra_info["qubits"] = num_qubits
+    benchmark.extra_info["backend"] = "density_matrix"
+    benchmark(lambda: simulator.sample(resolved, NUM_SAMPLES, seed=1))
+
+
+@pytest.mark.parametrize("num_qubits", [4])
+def test_noisy_vqe_knowledge_compilation_sampling(benchmark, num_qubits):
+    circuit, resolver = _noisy_vqe(num_qubits)
+    simulator = KnowledgeCompilationSimulator(seed=1)
+    compiled = simulator.compile_circuit(circuit)
+    benchmark.extra_info["qubits"] = num_qubits
+    benchmark.extra_info["backend"] = "knowledge_compilation"
+    benchmark.extra_info["ac_nodes"] = compiled.arithmetic_circuit.num_nodes
+    benchmark(lambda: simulator.sample(compiled, NUM_SAMPLES, resolver=resolver, seed=1))
+
+
+def test_noisy_qaoa_compile_cost(benchmark):
+    """The one-off compilation cost that the sampling benchmarks amortise."""
+    circuit, _ = _noisy_qaoa(4)
+    simulator = KnowledgeCompilationSimulator(seed=1)
+    result = benchmark(lambda: simulator.compile_circuit(circuit))
+    benchmark.extra_info["ac_nodes"] = result.arithmetic_circuit.num_nodes

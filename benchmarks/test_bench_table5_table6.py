@@ -1,0 +1,84 @@
+"""Table 5 and Table 6 benchmarks.
+
+* Table 5 — the noisy Bell-state worked example: benchmark the upward-pass
+  amplitude queries and check the per-branch amplitudes against the paper's
+  values.
+* Table 6 — intermediate compilation metrics: benchmark compilation of the
+  headline QAOA/VQE instances and record qubit/gate/CNF/AC statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import depolarize
+from repro.experiments import bell_example
+from repro.simulator.kc_simulator import KnowledgeCompilationSimulator
+from repro.variational import QAOACircuit, VQECircuit, random_regular_maxcut, square_grid_ising
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def compiled_bell(self):
+        simulator = KnowledgeCompilationSimulator(seed=1)
+        return simulator.compile_circuit(bell_example.noisy_bell_circuit(0.36))
+
+    def test_upward_pass_amplitude_queries(self, benchmark, compiled_bell):
+        def all_branch_amplitudes():
+            values = []
+            for branch in (0, 1):
+                for q0 in (0, 1):
+                    for q1 in (0, 1):
+                        values.append(compiled_bell.amplitude([q0, q1], noise_branches=[branch]))
+            return values
+
+        amplitudes = benchmark(all_branch_amplitudes)
+        magnitudes = sorted(round(abs(a), 4) for a in amplitudes if abs(a) > 1e-12)
+        # Table 5: non-zero magnitudes 1/sqrt(2), 0.8/sqrt(2) and 0.6/sqrt(2).
+        assert magnitudes == [
+            round(0.6 / np.sqrt(2), 4),
+            round(0.8 / np.sqrt(2), 4),
+            round(1 / np.sqrt(2), 4),
+        ]
+        benchmark.extra_info["branch_amplitude_magnitudes"] = magnitudes
+
+    def test_density_matrix_reconstruction(self, benchmark, compiled_bell):
+        rho = benchmark(compiled_bell.density_matrix)
+        assert np.allclose(rho, bell_example.expected_density_matrix(0.36), atol=1e-9)
+
+
+class TestTable6:
+    CASES = [
+        ("ideal_qaoa_p1", lambda: QAOACircuit(random_regular_maxcut(10, seed=21), 1).circuit),
+        ("ideal_vqe_p1", lambda: VQECircuit(square_grid_ising(9, seed=21), 1).circuit),
+        (
+            "noisy_qaoa_p1",
+            lambda: QAOACircuit(random_regular_maxcut(5, seed=21), 1).circuit.with_noise(
+                lambda: depolarize(0.005)
+            ),
+        ),
+        (
+            "noisy_vqe_p1",
+            lambda: VQECircuit(square_grid_ising(4, seed=21), 1).circuit.with_noise(
+                lambda: depolarize(0.005)
+            ),
+        ),
+    ]
+
+    @pytest.mark.parametrize("label,builder", CASES, ids=[c[0] for c in CASES])
+    def test_compilation_metrics(self, benchmark, label, builder):
+        circuit = builder()
+        simulator = KnowledgeCompilationSimulator(seed=1)
+        compiled = benchmark(lambda: simulator.compile_circuit(circuit))
+        metrics = compiled.compilation_metrics()
+        benchmark.extra_info.update(
+            {
+                "instance": label,
+                "qubits": metrics["qubits"],
+                "gates_bn_nodes": metrics["bn_nodes"],
+                "cnf_clauses": metrics["cnf_clauses"],
+                "ac_nodes": metrics["ac_nodes"],
+                "ac_edges": metrics["ac_edges"],
+                "ac_size_bytes": metrics["ac_size_bytes"],
+            }
+        )
+        assert metrics["ac_nodes"] > 0

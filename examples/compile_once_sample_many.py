@@ -1,0 +1,73 @@
+"""Demonstrate the paper's headline feature: compile once, re-simulate cheaply.
+
+A parameterized QAOA circuit is compiled to an arithmetic circuit a single
+time; new (gamma, beta) bindings then only update leaf weights.  The script
+times the one-off compilation against repeated sampling runs and contrasts
+the per-iteration cost with re-running the state-vector simulator from
+scratch.
+
+Run with::
+
+    python examples/compile_once_sample_many.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import KnowledgeCompilationSimulator, StateVectorSimulator
+from repro.variational import QAOACircuit, random_regular_maxcut
+
+
+def main() -> None:
+    problem = random_regular_maxcut(12, degree=3, seed=11)
+    ansatz = QAOACircuit(problem, iterations=1)
+    print(f"QAOA circuit: {problem.num_vertices} qubits, {ansatz.circuit.gate_count()} gates")
+
+    kc = KnowledgeCompilationSimulator(seed=1)
+    start = time.perf_counter()
+    compiled = kc.compile_circuit(ansatz.circuit)
+    compile_seconds = time.perf_counter() - start
+    metrics = compiled.compilation_metrics()
+    print(f"One-off compilation: {compile_seconds:.2f} s "
+          f"({metrics['cnf_clauses']} CNF clauses -> {metrics['ac_nodes']} AC nodes)")
+    print()
+
+    rng = np.random.default_rng(2)
+    num_iterations = 8
+    samples_per_iteration = 500
+
+    print(f"{num_iterations} variational iterations, {samples_per_iteration} samples each:")
+    kc_total = 0.0
+    sv_total = 0.0
+    sv = StateVectorSimulator(seed=1)
+    for iteration in range(num_iterations):
+        gamma, beta = rng.uniform(0.1, 1.2, size=2)
+        resolver = ansatz.resolver([gamma, beta])
+
+        start = time.perf_counter()
+        kc_samples = kc.sample(compiled, samples_per_iteration, resolver=resolver, seed=iteration)
+        kc_seconds = time.perf_counter() - start
+        kc_total += kc_seconds
+
+        start = time.perf_counter()
+        sv_samples = sv.sample(ansatz.circuit.resolve_parameters(resolver), samples_per_iteration,
+                               seed=iteration)
+        sv_seconds = time.perf_counter() - start
+        sv_total += sv_seconds
+
+        kc_mean = ansatz.objective_from_samples(kc_samples)
+        sv_mean = ansatz.objective_from_samples(sv_samples)
+        print(f"  iter {iteration}: gamma={gamma:.2f} beta={beta:.2f}  "
+              f"KC {kc_seconds:.3f}s (obj {kc_mean:+.2f})   "
+              f"SV {sv_seconds:.3f}s (obj {sv_mean:+.2f})")
+
+    print()
+    print(f"Knowledge compilation: {compile_seconds:.2f} s compile + {kc_total:.2f} s sampling")
+    print(f"State vector         : {sv_total:.2f} s total (no reusable compilation)")
+    print("The compile cost is amortised across every additional iteration; per-iteration")
+    print("sampling touches only the compiled arithmetic circuit.")
+
+
+if __name__ == "__main__":
+    main()

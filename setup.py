@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment has no ``wheel`` package, so PEP 517 editable
+installs fail; ``pip install -e . --no-use-pep517 --no-build-isolation``
+(or plain ``pip install -e .`` on a machine with wheel available) uses this
+shim together with the metadata in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,96 @@
+"""repro — knowledge-compilation based simulation of noisy variational quantum algorithms.
+
+A from-scratch reproduction of Huang, Holtzen, Millstein, Van den Broeck and
+Martonosi, *"Logical Abstractions for Noisy Variational Quantum Algorithm
+Simulation"* (ASPLOS 2021).
+
+Top-level convenience imports expose the most common entry points::
+
+    from repro import (
+        Circuit, LineQubit, H, CNOT,
+        KnowledgeCompilationSimulator, StateVectorSimulator,
+        DensityMatrixSimulator, TensorNetworkSimulator,
+    )
+
+Subpackages
+-----------
+``repro.circuits``       circuit IR: qubits, gates, noise channels, parameters
+``repro.statevector``    dense state-vector baseline (qsim stand-in)
+``repro.densitymatrix``  dense density-matrix baseline (Cirq noisy-simulator stand-in)
+``repro.tensornetwork``  tensor-network contraction baseline (qTorch stand-in)
+``repro.bayesnet``       complex-valued Bayesian networks + variable elimination
+``repro.cnf``            weighted CNF encoding of Bayesian networks
+``repro.knowledge``      d-DNNF compiler and arithmetic circuits
+``repro.sampling``       Gibbs sampling, ideal sampling, divergence metrics
+``repro.simulator``      the knowledge-compilation simulator and result types
+``repro.variational``    QAOA Max-Cut, VQE Ising, Nelder-Mead optimizer
+``repro.algorithms``     validation suite (Bell, Grover, Shor, QFT, ...)
+``repro.experiments``    per-figure/table reproduction harness
+"""
+
+from .circuits import (
+    CNOT,
+    CZ,
+    H,
+    SWAP,
+    TOFFOLI,
+    X,
+    Y,
+    Z,
+    Circuit,
+    DepolarizingChannel,
+    GridQubit,
+    LineQubit,
+    MeasurementGate,
+    NamedQubit,
+    ParamResolver,
+    Rx,
+    Ry,
+    Rz,
+    Symbol,
+    ZZ,
+    depolarize,
+    measure,
+)
+from .densitymatrix import DensityMatrixSimulator
+from .simulator import DensityMatrixResult, SampleResult, Simulator, StateVectorResult
+from .simulator.kc_simulator import CompiledCircuit, KnowledgeCompilationSimulator
+from .statevector import StateVectorSimulator
+from .tensornetwork import TensorNetworkSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Circuit",
+    "LineQubit",
+    "GridQubit",
+    "NamedQubit",
+    "Symbol",
+    "ParamResolver",
+    "H",
+    "X",
+    "Y",
+    "Z",
+    "CNOT",
+    "CZ",
+    "SWAP",
+    "TOFFOLI",
+    "Rx",
+    "Ry",
+    "Rz",
+    "ZZ",
+    "measure",
+    "MeasurementGate",
+    "DepolarizingChannel",
+    "depolarize",
+    "Simulator",
+    "SampleResult",
+    "StateVectorResult",
+    "DensityMatrixResult",
+    "StateVectorSimulator",
+    "DensityMatrixSimulator",
+    "TensorNetworkSimulator",
+    "KnowledgeCompilationSimulator",
+    "CompiledCircuit",
+]

@@ -1,0 +1,60 @@
+"""Benchmark suite of quantum algorithms used to validate the simulators.
+
+These mirror the algorithm suite the paper validates its Cirq backend
+against: Bell states, CHSH, teleportation, Deutsch-Jozsa, Bernstein-Vazirani,
+Simon, hidden shift, QFT, Grover, Shor (order finding), plus random circuit
+sampling as the unstructured workload of Figure 6.
+"""
+
+from .basic import (
+    bell_state_circuit,
+    chsh_circuit,
+    chsh_value,
+    ghz_circuit,
+    teleportation_circuit,
+)
+from .bernstein_vazirani import bernstein_vazirani_circuit
+from .common import AlgorithmInstance, deterministic_distribution
+from .deutsch_jozsa import deutsch_circuit, deutsch_jozsa_circuit
+from .grover import grover_circuit
+from .hidden_shift import hidden_shift_circuit
+from .qft import expected_qft_amplitudes, inverse_qft_circuit, qft_circuit, qft_operations
+from .rcs import random_circuit
+from .shor import (
+    classical_postprocess,
+    expected_counting_distribution,
+    modular_multiplication_permutation,
+    multiplicative_order,
+    order_finding_circuit,
+    shor_factor,
+)
+from .simon import recover_secret, secret_consistent, simon_circuit
+
+__all__ = [
+    "AlgorithmInstance",
+    "deterministic_distribution",
+    "bell_state_circuit",
+    "ghz_circuit",
+    "teleportation_circuit",
+    "chsh_circuit",
+    "chsh_value",
+    "deutsch_circuit",
+    "deutsch_jozsa_circuit",
+    "bernstein_vazirani_circuit",
+    "hidden_shift_circuit",
+    "simon_circuit",
+    "secret_consistent",
+    "recover_secret",
+    "qft_circuit",
+    "qft_operations",
+    "inverse_qft_circuit",
+    "expected_qft_amplitudes",
+    "grover_circuit",
+    "order_finding_circuit",
+    "multiplicative_order",
+    "modular_multiplication_permutation",
+    "expected_counting_distribution",
+    "classical_postprocess",
+    "shor_factor",
+    "random_circuit",
+]

@@ -1,0 +1,142 @@
+"""Small structured benchmark circuits: Bell states, GHZ, teleportation, CHSH.
+
+These mirror the Cirq example suite the paper's artifact validates against
+(Appendix A.6.1): Bell state creation, the Bell/CHSH inequality experiment
+and quantum teleportation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import CNOT, CZ, H, Ry, Rx, X, Z
+from ..circuits.noise import NoiseChannel
+from ..circuits.qubits import LineQubit, Qubit
+from .common import AlgorithmInstance
+
+
+def bell_state_circuit(noise_channel: Optional[NoiseChannel] = None) -> AlgorithmInstance:
+    """The two-qubit Bell state |00> + |11> (optionally with a noise channel after H)."""
+    q0, q1 = LineQubit.range(2)
+    circuit = Circuit([H(q0)])
+    if noise_channel is not None:
+        circuit.append(noise_channel.on(q0))
+    circuit.append(CNOT(q0, q1))
+    expected = None
+    if noise_channel is None:
+        expected = np.array([0.5, 0.0, 0.0, 0.5])
+    return AlgorithmInstance(
+        "bell_state",
+        circuit,
+        [q0, q1],
+        expected_distribution=expected,
+        description="Bell state creation (the paper's running example circuit)",
+    )
+
+
+def ghz_circuit(num_qubits: int = 3) -> AlgorithmInstance:
+    """An n-qubit GHZ state |0...0> + |1...1>."""
+    if num_qubits < 2:
+        raise ValueError("GHZ needs at least two qubits")
+    qubits = LineQubit.range(num_qubits)
+    circuit = Circuit([H(qubits[0])])
+    for a, b in zip(qubits, qubits[1:]):
+        circuit.append(CNOT(a, b))
+    expected = np.zeros(2 ** num_qubits)
+    expected[0] = 0.5
+    expected[-1] = 0.5
+    return AlgorithmInstance(
+        f"ghz_{num_qubits}",
+        circuit,
+        qubits,
+        expected_distribution=expected,
+        description=f"{num_qubits}-qubit GHZ state",
+    )
+
+
+def teleportation_circuit(message_angle: float = 0.456) -> AlgorithmInstance:
+    """Quantum teleportation with deferred (unitary, CZ/CNOT-controlled) corrections.
+
+    The message qubit is prepared with Ry(message_angle); after teleportation
+    the target qubit carries the same state, so measuring it yields 1 with
+    probability sin^2(angle / 2) regardless of the other qubits' outcomes.
+    """
+    message, alice, bob = LineQubit.range(3)
+    circuit = Circuit()
+    circuit.append(Ry(message_angle)(message))
+    # Entangle Alice and Bob.
+    circuit.append([H(alice), CNOT(alice, bob)])
+    # Bell measurement basis change on (message, alice), corrections deferred.
+    circuit.append([CNOT(message, alice), H(message)])
+    circuit.append([CNOT(alice, bob), CZ(message, bob)])
+
+    probability_one = math.sin(message_angle / 2.0) ** 2
+    # Message and Alice end uniformly random and independent of Bob's state.
+    expected = np.zeros(8)
+    for message_bit in range(2):
+        for alice_bit in range(2):
+            expected[(message_bit << 2) | (alice_bit << 1) | 0] = 0.25 * (1 - probability_one)
+            expected[(message_bit << 2) | (alice_bit << 1) | 1] = 0.25 * probability_one
+    return AlgorithmInstance(
+        "teleportation",
+        circuit,
+        [message, alice, bob],
+        expected_distribution=expected,
+        description="Quantum teleportation with deferred corrections",
+        metadata={"message_angle": message_angle, "p_one": probability_one},
+    )
+
+
+def chsh_circuit(alice_setting: int, bob_setting: int) -> AlgorithmInstance:
+    """One of the four CHSH measurement settings on a shared Bell pair.
+
+    Alice measures at angle 0 or pi/2; Bob at pi/4 or -pi/4 (implemented as
+    Ry basis rotations before computational-basis measurement).  The expected
+    correlation E = <a.b> is +/- 1/sqrt(2), and the CHSH combination over the
+    four settings reaches 2*sqrt(2) > 2.
+    """
+    if alice_setting not in (0, 1) or bob_setting not in (0, 1):
+        raise ValueError("settings must be 0 or 1")
+    alice, bob = LineQubit.range(2)
+    circuit = Circuit([H(alice), CNOT(alice, bob)])
+    alice_angle = 0.0 if alice_setting == 0 else math.pi / 2.0
+    bob_angle = math.pi / 4.0 if bob_setting == 0 else -math.pi / 4.0
+    # Measuring observable cos(t) Z + sin(t) X equals rotating by Ry(-t) then measuring Z.
+    circuit.append(Ry(-alice_angle)(alice))
+    circuit.append(Ry(-bob_angle)(bob))
+
+    correlation = math.cos(alice_angle - bob_angle)
+    same = (1.0 + correlation) / 2.0
+    diff = (1.0 - correlation) / 2.0
+    expected = np.array([same / 2.0, diff / 2.0, diff / 2.0, same / 2.0])
+    return AlgorithmInstance(
+        f"chsh_{alice_setting}{bob_setting}",
+        circuit,
+        [alice, bob],
+        expected_distribution=expected,
+        description="CHSH inequality measurement setting",
+        metadata={"expected_correlation": correlation},
+    )
+
+
+def chsh_value(probabilities_by_setting) -> float:
+    """Combine the four settings' outcome distributions into the CHSH S value.
+
+    ``probabilities_by_setting[(a, b)]`` is the 4-outcome distribution for
+    Alice setting ``a`` and Bob setting ``b``.
+    """
+    correlations = {}
+    for (a, b), distribution in probabilities_by_setting.items():
+        same = float(distribution[0] + distribution[3])
+        diff = float(distribution[1] + distribution[2])
+        correlations[(a, b)] = same - diff
+    return (
+        correlations[(0, 0)]
+        + correlations[(0, 1)]
+        + correlations[(1, 0)]
+        - correlations[(1, 1)]
+    )

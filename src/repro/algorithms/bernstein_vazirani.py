@@ -1,0 +1,52 @@
+"""Bernstein–Vazirani algorithm: recover a hidden bitmask with one oracle query."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import CNOT, H, X
+from ..circuits.qubits import LineQubit
+from .common import AlgorithmInstance
+
+
+def bernstein_vazirani_circuit(secret: Sequence[int]) -> AlgorithmInstance:
+    """Build a Bernstein–Vazirani instance for the given secret bitstring.
+
+    The oracle computes f(x) = secret . x (mod 2); the algorithm recovers
+    ``secret`` deterministically in the input register.
+    """
+    secret = [int(b) & 1 for b in secret]
+    num_input_qubits = len(secret)
+    if num_input_qubits < 1:
+        raise ValueError("secret must have at least one bit")
+    inputs = LineQubit.range(num_input_qubits)
+    ancilla = LineQubit(num_input_qubits)
+
+    circuit = Circuit()
+    circuit.append(X(ancilla))
+    circuit.append(H(ancilla))
+    circuit.append(H(q) for q in inputs)
+    for qubit, bit in zip(inputs, secret):
+        if bit:
+            circuit.append(CNOT(qubit, ancilla))
+    circuit.append(H(q) for q in inputs)
+
+    expected = np.zeros(2 ** (num_input_qubits + 1))
+    base_index = 0
+    for bit in secret:
+        base_index = (base_index << 1) | bit
+    expected[base_index * 2 + 0] = 0.5
+    expected[base_index * 2 + 1] = 0.5
+
+    return AlgorithmInstance(
+        f"bernstein_vazirani_{''.join(str(b) for b in secret)}",
+        circuit,
+        list(inputs) + [ancilla],
+        expected_distribution=expected,
+        expected_bitstring=tuple(secret),
+        description="Bernstein-Vazirani hidden bitmask recovery",
+        metadata={"secret": secret},
+    )

@@ -1,0 +1,74 @@
+"""Shared helpers for the quantum-algorithm benchmark suite.
+
+Each algorithm module exposes a builder returning an :class:`AlgorithmInstance`
+holding the circuit, the qubits carrying the answer, and a predicate/value
+describing the expected outcome, so that a single validation harness can run
+the whole suite against any simulator backend (Section 3.3.1 / Appendix A.6
+of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import CNOT, CZ, H, X
+from ..circuits.qubits import LineQubit, Qubit
+
+
+class AlgorithmInstance:
+    """A named benchmark circuit plus its expected behaviour."""
+
+    def __init__(
+        self,
+        name: str,
+        circuit: Circuit,
+        qubits: Sequence[Qubit],
+        expected_distribution: Optional[np.ndarray] = None,
+        expected_bitstring: Optional[Tuple[int, ...]] = None,
+        description: str = "",
+        metadata: Optional[Dict] = None,
+    ):
+        self.name = name
+        self.circuit = circuit
+        self.qubits = list(qubits)
+        self.expected_distribution = expected_distribution
+        self.expected_bitstring = expected_bitstring
+        self.description = description
+        self.metadata = metadata or {}
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+    def __repr__(self) -> str:
+        return f"AlgorithmInstance({self.name!r}, qubits={self.num_qubits})"
+
+
+def bits_to_index(bits: Sequence[int]) -> int:
+    index = 0
+    for bit in bits:
+        index = (index << 1) | (int(bit) & 1)
+    return index
+
+
+def deterministic_distribution(bits: Sequence[int]) -> np.ndarray:
+    """A distribution with all mass on one bitstring."""
+    distribution = np.zeros(2 ** len(bits))
+    distribution[bits_to_index(bits)] = 1.0
+    return distribution
+
+
+def apply_oracle_from_bitmask(
+    circuit: Circuit, controls: Sequence[Qubit], target: Qubit, mask: Sequence[int]
+) -> None:
+    """Append CNOTs implementing f(x) = mask . x (mod 2) into ``target``.
+
+    The standard phase/bit oracle used by Bernstein–Vazirani and hidden-shift
+    style benchmarks.
+    """
+    for qubit, bit in zip(controls, mask):
+        if bit:
+            circuit.append(CNOT(qubit, target))

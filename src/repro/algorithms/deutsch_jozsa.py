@@ -1,0 +1,95 @@
+"""Deutsch and Deutsch–Jozsa algorithms.
+
+Decide whether a Boolean oracle f : {0,1}^n -> {0,1} is constant or balanced
+with a single query.  Measuring the input register returns all zeros exactly
+when f is constant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import CNOT, H, X
+from ..circuits.qubits import LineQubit, Qubit
+from .common import AlgorithmInstance, deterministic_distribution
+
+
+def _phase_oracle_constant(circuit: Circuit, inputs: Sequence[Qubit], ancilla: Qubit, value: int) -> None:
+    if value:
+        circuit.append(X(ancilla))
+
+
+def _phase_oracle_balanced(circuit: Circuit, inputs: Sequence[Qubit], ancilla: Qubit, mask: Sequence[int]) -> None:
+    for qubit, bit in zip(inputs, mask):
+        if bit:
+            circuit.append(CNOT(qubit, ancilla))
+
+
+def deutsch_jozsa_circuit(
+    num_input_qubits: int,
+    oracle: str = "balanced",
+    mask: Optional[Sequence[int]] = None,
+    constant_value: int = 0,
+) -> AlgorithmInstance:
+    """Build a Deutsch–Jozsa instance.
+
+    ``oracle`` is "constant" or "balanced".  Balanced oracles compute
+    ``f(x) = mask . x mod 2`` (mask defaults to all ones); constant oracles
+    return ``constant_value`` for every input.
+    """
+    if num_input_qubits < 1:
+        raise ValueError("need at least one input qubit")
+    if oracle not in ("constant", "balanced"):
+        raise ValueError("oracle must be 'constant' or 'balanced'")
+    if mask is None:
+        mask = [1] * num_input_qubits
+    if len(mask) != num_input_qubits:
+        raise ValueError("mask length must equal the number of input qubits")
+    if oracle == "balanced" and not any(mask):
+        raise ValueError("a balanced oracle needs a non-zero mask")
+
+    inputs = LineQubit.range(num_input_qubits)
+    ancilla = LineQubit(num_input_qubits)
+    circuit = Circuit()
+    # Ancilla in |->.
+    circuit.append(X(ancilla))
+    circuit.append(H(ancilla))
+    circuit.append(H(q) for q in inputs)
+    if oracle == "constant":
+        _phase_oracle_constant(circuit, inputs, ancilla, constant_value)
+    else:
+        _phase_oracle_balanced(circuit, inputs, ancilla, mask)
+    circuit.append(H(q) for q in inputs)
+
+    # Measuring the input register: all zeros iff the oracle is constant;
+    # for a linear balanced oracle the result is exactly `mask`.
+    if oracle == "constant":
+        input_bits = tuple([0] * num_input_qubits)
+    else:
+        input_bits = tuple(int(b) for b in mask)
+
+    # The ancilla stays in |->: uniformly 0/1 upon measurement.
+    expected = np.zeros(2 ** (num_input_qubits + 1))
+    base_index = 0
+    for bit in input_bits:
+        base_index = (base_index << 1) | bit
+    expected[base_index * 2 + 0] = 0.5
+    expected[base_index * 2 + 1] = 0.5
+
+    return AlgorithmInstance(
+        f"deutsch_jozsa_{oracle}_{num_input_qubits}",
+        circuit,
+        list(inputs) + [ancilla],
+        expected_distribution=expected,
+        expected_bitstring=input_bits,
+        description="Deutsch-Jozsa constant-vs-balanced decision",
+        metadata={"oracle": oracle, "mask": list(mask)},
+    )
+
+
+def deutsch_circuit(balanced: bool = True) -> AlgorithmInstance:
+    """The single-qubit Deutsch problem (n = 1 special case)."""
+    return deutsch_jozsa_circuit(1, oracle="balanced" if balanced else "constant")

@@ -1,0 +1,100 @@
+"""Grover's search algorithm over a marked computational basis state."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import CZ, CCZ, H, X, Z
+from ..circuits.gates import ControlledGate
+from ..circuits.qubits import LineQubit, Qubit
+from .common import AlgorithmInstance
+
+
+def _multi_controlled_z(qubits: Sequence[Qubit]) -> List:
+    """A Z controlled on all of ``qubits`` (phase -1 on |1...1>).
+
+    Built from the native CZ / CCZ gates for up to three qubits and from a
+    recursively controlled gate beyond that.
+    """
+    qubits = list(qubits)
+    if len(qubits) == 1:
+        return [Z(qubits[0])]
+    if len(qubits) == 2:
+        return [CZ(qubits[0], qubits[1])]
+    if len(qubits) == 3:
+        return [CCZ(qubits[0], qubits[1], qubits[2])]
+    gate = CCZ
+    for _ in range(len(qubits) - 3):
+        gate = ControlledGate(gate)
+    return [gate(*qubits)]
+
+
+def _oracle(qubits: Sequence[Qubit], marked: Sequence[int]) -> List:
+    """Phase oracle flipping the sign of the marked basis state."""
+    operations = []
+    for qubit, bit in zip(qubits, marked):
+        if not bit:
+            operations.append(X(qubit))
+    operations.extend(_multi_controlled_z(qubits))
+    for qubit, bit in zip(qubits, marked):
+        if not bit:
+            operations.append(X(qubit))
+    return operations
+
+
+def _diffusion(qubits: Sequence[Qubit]) -> List:
+    """The Grover diffusion (inversion about the mean) operator."""
+    operations = []
+    operations.extend(H(q) for q in qubits)
+    operations.extend(X(q) for q in qubits)
+    operations.extend(_multi_controlled_z(qubits))
+    operations.extend(X(q) for q in qubits)
+    operations.extend(H(q) for q in qubits)
+    return operations
+
+
+def grover_circuit(
+    marked: Sequence[int], num_iterations: Optional[int] = None
+) -> AlgorithmInstance:
+    """Grover search for a single marked bitstring.
+
+    ``num_iterations`` defaults to the optimal ``round(pi/4 * sqrt(N))``.
+    The expected distribution is computed analytically from the rotation
+    picture of Grover's algorithm.
+    """
+    marked = [int(b) & 1 for b in marked]
+    num_qubits = len(marked)
+    if num_qubits < 1:
+        raise ValueError("need at least one qubit")
+    dimension = 2 ** num_qubits
+    if num_iterations is None:
+        num_iterations = max(1, int(round(math.pi / 4.0 * math.sqrt(dimension) - 0.5)))
+
+    qubits = LineQubit.range(num_qubits)
+    circuit = Circuit()
+    circuit.append(H(q) for q in qubits)
+    for _ in range(num_iterations):
+        circuit.append(_oracle(qubits, marked))
+        circuit.append(_diffusion(qubits))
+
+    theta = math.asin(1.0 / math.sqrt(dimension))
+    success = math.sin((2 * num_iterations + 1) * theta) ** 2
+    expected = np.full(dimension, (1.0 - success) / (dimension - 1) if dimension > 1 else 0.0)
+    marked_index = 0
+    for bit in marked:
+        marked_index = (marked_index << 1) | bit
+    expected[marked_index] = success
+
+    return AlgorithmInstance(
+        f"grover_{''.join(str(b) for b in marked)}_{num_iterations}",
+        circuit,
+        qubits,
+        expected_distribution=expected,
+        expected_bitstring=tuple(marked),
+        description="Grover search for a marked basis state",
+        metadata={"iterations": num_iterations, "success_probability": success},
+    )

@@ -1,0 +1,62 @@
+"""Hidden-shift algorithm for bent (Maiorana–McFarland) functions.
+
+The benchmark follows the standard Cirq example: for the bent function
+f(x, y) = x . y on 2m bits, the algorithm recovers a hidden shift ``s`` of
+the function with a single query, measuring ``s`` deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import CZ, H, X, Z
+from ..circuits.qubits import LineQubit
+from .common import AlgorithmInstance, deterministic_distribution
+
+
+def hidden_shift_circuit(shift: Sequence[int]) -> AlgorithmInstance:
+    """Build a hidden-shift instance; ``shift`` must have even length 2m.
+
+    The oracle pairs qubit i with qubit i + m through CZ gates (the bent
+    function x . y); X gates implement the shift.  The output register holds
+    the shift exactly.
+    """
+    shift = [int(b) & 1 for b in shift]
+    if len(shift) % 2 != 0 or not shift:
+        raise ValueError("hidden shift requires an even, positive number of bits")
+    num_qubits = len(shift)
+    half = num_qubits // 2
+    qubits = LineQubit.range(num_qubits)
+    circuit = Circuit()
+
+    circuit.append(H(q) for q in qubits)
+    # Oracle for the shifted function g(x) = f(x + s).
+    for index, bit in enumerate(shift):
+        if bit:
+            circuit.append(X(qubits[index]))
+    for index in range(half):
+        circuit.append(CZ(qubits[index], qubits[index + half]))
+    for index, bit in enumerate(shift):
+        if bit:
+            circuit.append(X(qubits[index]))
+    circuit.append(H(q) for q in qubits)
+    # Oracle for the dual bent function (same CZ pattern for x . y).
+    for index in range(half):
+        circuit.append(CZ(qubits[index], qubits[index + half]))
+    circuit.append(H(q) for q in qubits)
+
+    # The algorithm recovers the shift deterministically: the dual of the bent
+    # function f(x, y) = x . y is f itself, so the output register reads `shift`.
+    expected = deterministic_distribution(shift)
+    return AlgorithmInstance(
+        f"hidden_shift_{''.join(str(b) for b in shift)}",
+        circuit,
+        qubits,
+        expected_distribution=expected,
+        expected_bitstring=tuple(shift),
+        description="Hidden shift of a Maiorana-McFarland bent function",
+        metadata={"shift": shift},
+    )

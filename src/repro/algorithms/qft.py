@@ -1,0 +1,102 @@
+"""Quantum Fourier transform circuits and the period-finding primitive."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import CPhase, H, SWAP, X
+from ..circuits.qubits import LineQubit, Qubit
+from .common import AlgorithmInstance
+
+
+def qft_operations(qubits: Sequence[Qubit], inverse: bool = False, swaps: bool = True) -> List:
+    """The standard QFT gate sequence on ``qubits`` (MSB first)."""
+    qubits = list(qubits)
+    n = len(qubits)
+    operations = []
+    for i in range(n):
+        operations.append(H(qubits[i]))
+        for j in range(i + 1, n):
+            angle = math.pi / (2 ** (j - i))
+            operations.append(CPhase(angle)(qubits[j], qubits[i]))
+    if swaps:
+        for i in range(n // 2):
+            operations.append(SWAP(qubits[i], qubits[n - 1 - i]))
+    if inverse:
+        inverted = []
+        for op in reversed(operations):
+            gate = op.gate
+            if isinstance(gate, CPhase):
+                inverted.append(CPhase(-gate.angle)(*op.qubits))
+            else:
+                inverted.append(op)
+        return inverted
+    return operations
+
+
+def qft_circuit(num_qubits: int, input_value: int = 0) -> AlgorithmInstance:
+    """QFT applied to a computational basis state.
+
+    The output distribution of measuring QFT|x> is uniform for any basis
+    input, which the validation harness checks; the amplitudes themselves are
+    checked against the analytic form in the unit tests.
+    """
+    qubits = LineQubit.range(num_qubits)
+    circuit = Circuit()
+    for position, qubit in enumerate(qubits):
+        if (input_value >> (num_qubits - 1 - position)) & 1:
+            circuit.append(X(qubit))
+    circuit.append(qft_operations(qubits))
+    expected = np.full(2 ** num_qubits, 1.0 / 2 ** num_qubits)
+    return AlgorithmInstance(
+        f"qft_{num_qubits}_{input_value}",
+        circuit,
+        qubits,
+        expected_distribution=expected,
+        description="Quantum Fourier transform of a basis state",
+        metadata={"input_value": input_value},
+    )
+
+
+def expected_qft_amplitudes(num_qubits: int, input_value: int) -> np.ndarray:
+    """Analytic QFT amplitudes: (1/sqrt(N)) exp(2 pi i x k / N)."""
+    dim = 2 ** num_qubits
+    k = np.arange(dim)
+    return np.exp(2j * math.pi * input_value * k / dim) / math.sqrt(dim)
+
+
+def inverse_qft_circuit(num_qubits: int, frequency: int) -> AlgorithmInstance:
+    """Prepare the Fourier basis state for ``frequency`` and invert it.
+
+    The inverse QFT maps it back to the computational basis state
+    ``frequency``, so the measurement outcome is deterministic — a strong
+    end-to-end validation circuit for phase arithmetic.
+    """
+    qubits = LineQubit.range(num_qubits)
+    dim = 2 ** num_qubits
+    if not 0 <= frequency < dim:
+        raise ValueError("frequency out of range")
+    circuit = Circuit()
+    # Prepare the Fourier state of `frequency` explicitly: H on each qubit
+    # followed by the appropriate Z-rotations, i.e. the QFT of |frequency>.
+    for position, qubit in enumerate(qubits):
+        if (frequency >> (num_qubits - 1 - position)) & 1:
+            circuit.append(X(qubit))
+    circuit.append(qft_operations(qubits))
+    circuit.append(qft_operations(qubits, inverse=True))
+    expected = np.zeros(dim)
+    expected[frequency] = 1.0
+    bits = tuple((frequency >> (num_qubits - 1 - i)) & 1 for i in range(num_qubits))
+    return AlgorithmInstance(
+        f"iqft_roundtrip_{num_qubits}_{frequency}",
+        circuit,
+        qubits,
+        expected_distribution=expected,
+        expected_bitstring=bits,
+        description="QFT followed by inverse QFT (round trip to a basis state)",
+        metadata={"frequency": frequency},
+    )

@@ -1,0 +1,61 @@
+"""Random circuit sampling (RCS) workloads.
+
+The paper uses RCS instances (in the style of the Google quantum-supremacy
+benchmark circuits) as the *unstructured* workload in Figure 6: random
+single-qubit gates interleaved with entangling gates on a fixed template
+rapidly entangle every qubit, leaving little independence structure for
+knowledge compilation to exploit — AC size grows exponentially, unlike the
+structured Grover/Shor workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import CZ, H, Rx, Ry, Rz, T, X, Y
+from ..circuits.qubits import LineQubit, Qubit
+from .common import AlgorithmInstance
+
+
+def random_circuit(
+    num_qubits: int,
+    depth: int,
+    seed: Optional[int] = None,
+    entangler: str = "cz",
+) -> AlgorithmInstance:
+    """A random circuit on a 1D chain: random single-qubit gates + brick-work CZs.
+
+    ``depth`` counts layers; each layer applies one random single-qubit gate
+    per qubit followed by entangling gates on alternating neighbouring pairs.
+    """
+    if num_qubits < 2:
+        raise ValueError("random circuits need at least two qubits")
+    if entangler not in ("cz",):
+        raise ValueError("only the CZ entangler is supported")
+    rng = np.random.default_rng(seed)
+    qubits = LineQubit.range(num_qubits)
+    circuit = Circuit()
+    circuit.append(H(q) for q in qubits)
+    single_qubit_choices = ("t", "x_half", "y_half")
+    for layer in range(depth):
+        for qubit in qubits:
+            choice = single_qubit_choices[int(rng.integers(0, len(single_qubit_choices)))]
+            if choice == "t":
+                circuit.append(T(qubit))
+            elif choice == "x_half":
+                circuit.append(Rx(np.pi / 2)(qubit))
+            else:
+                circuit.append(Ry(np.pi / 2)(qubit))
+        offset = layer % 2
+        for index in range(offset, num_qubits - 1, 2):
+            circuit.append(CZ(qubits[index], qubits[index + 1]))
+    return AlgorithmInstance(
+        f"rcs_{num_qubits}x{depth}_seed{seed}",
+        circuit,
+        qubits,
+        description="Random circuit sampling instance (supremacy-style workload)",
+        metadata={"depth": depth, "seed": seed},
+    )

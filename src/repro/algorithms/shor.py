@@ -1,0 +1,161 @@
+"""Shor's factoring algorithm (quantum order finding).
+
+The quantum kernel is period finding for f(k) = a^k mod N: a counting
+register in uniform superposition controls modular-multiplication
+permutations of a work register, followed by an inverse QFT on the counting
+register.  Modular multiplication is expressed with
+:class:`~repro.circuits.gates.PermutationGate`, the same
+reversible-arithmetic shortcut used by compact Shor implementations
+(Beauregard-style), which keeps qubit counts small while exercising the full
+control/period-finding structure.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import ControlledGate, H, PermutationGate, X
+from ..circuits.qubits import LineQubit, Qubit
+from .common import AlgorithmInstance
+from .qft import qft_operations
+
+
+def modular_multiplication_permutation(multiplier: int, modulus: int, num_work_qubits: int) -> List[int]:
+    """Permutation of work-register basis states for x -> multiplier * x mod modulus.
+
+    States >= modulus map to themselves (they are never populated).
+    """
+    dimension = 2 ** num_work_qubits
+    if modulus > dimension:
+        raise ValueError("work register too small for the modulus")
+    if math.gcd(multiplier, modulus) != 1:
+        raise ValueError("multiplier must be coprime with the modulus")
+    permutation = list(range(dimension))
+    for x in range(modulus):
+        permutation[x] = (multiplier * x) % modulus
+    return permutation
+
+
+def multiplicative_order(a: int, modulus: int) -> int:
+    """The multiplicative order of ``a`` modulo ``modulus``."""
+    if math.gcd(a, modulus) != 1:
+        raise ValueError("a must be coprime with the modulus")
+    value = a % modulus
+    order = 1
+    while value != 1:
+        value = (value * a) % modulus
+        order += 1
+    return order
+
+
+def order_finding_circuit(a: int, modulus: int, num_counting_qubits: Optional[int] = None) -> AlgorithmInstance:
+    """The quantum order-finding kernel of Shor's algorithm.
+
+    Measuring the counting register concentrates probability on multiples of
+    2^t / r where r is the multiplicative order of ``a`` mod ``modulus``.
+    """
+    if modulus < 3:
+        raise ValueError("modulus must be at least 3")
+    num_work_qubits = max(1, (modulus - 1).bit_length())
+    if num_counting_qubits is None:
+        num_counting_qubits = 2 * num_work_qubits - 1
+    counting = LineQubit.range(num_counting_qubits)
+    work = LineQubit.range(num_counting_qubits, num_counting_qubits + num_work_qubits)
+
+    circuit = Circuit()
+    circuit.append(H(q) for q in counting)
+    # Work register starts in |1>.
+    circuit.append(X(work[-1]))
+    for position, control in enumerate(reversed(counting)):
+        power = 2 ** position
+        multiplier = pow(a, power, modulus)
+        permutation = modular_multiplication_permutation(multiplier, modulus, num_work_qubits)
+        gate = ControlledGate(
+            PermutationGate(f"x{multiplier}mod{modulus}", num_work_qubits, permutation)
+        )
+        circuit.append(gate(control, *work))
+    circuit.append(qft_operations(counting, inverse=True))
+
+    order = multiplicative_order(a, modulus)
+    expected = expected_counting_distribution(order, num_counting_qubits)
+    return AlgorithmInstance(
+        f"order_finding_a{a}_N{modulus}",
+        circuit,
+        list(counting) + list(work),
+        description="Quantum order finding (Shor's algorithm kernel)",
+        metadata={
+            "a": a,
+            "modulus": modulus,
+            "order": order,
+            "num_counting_qubits": num_counting_qubits,
+            "num_work_qubits": num_work_qubits,
+            "counting_distribution": expected,
+        },
+    )
+
+
+def expected_counting_distribution(order: int, num_counting_qubits: int) -> np.ndarray:
+    """Analytic distribution of the counting register for a given order."""
+    dimension = 2 ** num_counting_qubits
+    distribution = np.zeros(dimension)
+    for s in range(order):
+        amplitudes = np.exp(2j * math.pi * s / order * np.arange(dimension)) / dimension
+        # Sum over the uniformly-populated eigenstates: the counting register
+        # measurement probability for outcome y is |sum_k exp(2 pi i k (s/r - y/2^t))|^2 / (r 2^t)
+        y = np.arange(dimension)
+        phases = np.exp(2j * math.pi * (s / order - y / dimension) * np.arange(dimension)[:, None])
+        distribution += np.abs(phases.sum(axis=0)) ** 2 / (order * dimension ** 2)
+    return distribution
+
+
+def classical_postprocess(measured_value: int, num_counting_qubits: int, modulus: int, a: int) -> Optional[Tuple[int, int]]:
+    """Recover candidate factors from a counting-register measurement.
+
+    Uses the continued-fraction expansion of measured / 2^t to estimate the
+    order, then the standard gcd trick.  Returns a factor pair or None.
+    """
+    dimension = 2 ** num_counting_qubits
+    if measured_value == 0:
+        return None
+    fraction = Fraction(measured_value, dimension).limit_denominator(modulus)
+    order = fraction.denominator
+    if order % 2 != 0:
+        return None
+    if pow(a, order, modulus) != 1:
+        return None
+    half_power = pow(a, order // 2, modulus)
+    if half_power == modulus - 1:
+        return None
+    factor_a = math.gcd(half_power - 1, modulus)
+    factor_b = math.gcd(half_power + 1, modulus)
+    if factor_a in (1, modulus) and factor_b in (1, modulus):
+        return None
+    factor = factor_a if factor_a not in (1, modulus) else factor_b
+    return factor, modulus // factor
+
+
+def shor_factor(
+    modulus: int,
+    a: int,
+    simulator,
+    num_counting_qubits: Optional[int] = None,
+    repetitions: int = 32,
+    seed: Optional[int] = None,
+) -> Optional[Tuple[int, int]]:
+    """Run the full (quantum sample + classical post-process) factoring loop."""
+    instance = order_finding_circuit(a, modulus, num_counting_qubits)
+    samples = simulator.sample(instance.circuit, repetitions, seed=seed)
+    t = instance.metadata["num_counting_qubits"]
+    for bits in samples:
+        measured = 0
+        for bit in bits[:t]:
+            measured = (measured << 1) | bit
+        factors = classical_postprocess(measured, t, modulus, a)
+        if factors is not None:
+            return factors
+    return None

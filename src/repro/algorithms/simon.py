@@ -1,0 +1,97 @@
+"""Simon's algorithm: find the hidden XOR period of a two-to-one function."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import CNOT, H
+from ..circuits.qubits import LineQubit, Qubit
+from .common import AlgorithmInstance
+
+
+def _simon_oracle(
+    inputs: Sequence[Qubit], outputs: Sequence[Qubit], secret: Sequence[int]
+) -> List:
+    """Standard Simon oracle: copy x into the output register, then XOR in the
+    secret conditioned on the first set bit of x, making f(x) = f(x XOR s)."""
+    operations = []
+    for input_qubit, output_qubit in zip(inputs, outputs):
+        operations.append(CNOT(input_qubit, output_qubit))
+    pivot = next((i for i, bit in enumerate(secret) if bit), None)
+    if pivot is not None:
+        for position, bit in enumerate(secret):
+            if bit:
+                operations.append(CNOT(inputs[pivot], outputs[position]))
+    return operations
+
+
+def simon_circuit(secret: Sequence[int]) -> AlgorithmInstance:
+    """Build one query round of Simon's algorithm.
+
+    Measuring the input register yields a uniformly random string ``y`` with
+    ``y . secret = 0 (mod 2)``; the classical post-processing solves the
+    resulting linear system.  The expected distribution over the input
+    register is uniform over that orthogonal subspace.
+    """
+    secret = [int(b) & 1 for b in secret]
+    n = len(secret)
+    if n < 2:
+        raise ValueError("Simon's problem needs at least two bits")
+    inputs = LineQubit.range(n)
+    outputs = LineQubit.range(n, 2 * n)
+    circuit = Circuit()
+    circuit.append(H(q) for q in inputs)
+    circuit.append(_simon_oracle(inputs, outputs, secret))
+    circuit.append(H(q) for q in inputs)
+
+    # Expected marginal over the input register: uniform over {y : y.s = 0}.
+    orthogonal = [
+        y
+        for y in range(2 ** n)
+        if sum(((y >> (n - 1 - i)) & 1) * secret[i] for i in range(n)) % 2 == 0
+    ]
+    input_marginal = np.zeros(2 ** n)
+    for y in orthogonal:
+        input_marginal[y] = 1.0 / len(orthogonal)
+
+    return AlgorithmInstance(
+        f"simon_{''.join(str(b) for b in secret)}",
+        circuit,
+        list(inputs) + list(outputs),
+        description="One query round of Simon's period-finding algorithm",
+        metadata={"secret": secret, "input_marginal": input_marginal, "num_input_qubits": n},
+    )
+
+
+def secret_consistent(samples: Sequence[Sequence[int]], secret: Sequence[int], num_input_qubits: int) -> bool:
+    """Check that every sampled input-register string is orthogonal to the secret."""
+    for bits in samples:
+        y = bits[:num_input_qubits]
+        parity = sum(int(a) & int(b) for a, b in zip(y, secret)) % 2
+        if parity != 0:
+            return False
+    return True
+
+
+def recover_secret(samples: Sequence[Sequence[int]], num_input_qubits: int) -> Optional[Tuple[int, ...]]:
+    """Solve the GF(2) linear system from sampled input-register strings.
+
+    Returns the unique non-zero vector orthogonal to all samples, or ``None``
+    if the samples do not yet pin it down.
+    """
+    rows = []
+    for bits in samples:
+        row = tuple(int(b) for b in bits[:num_input_qubits])
+        if any(row):
+            rows.append(row)
+    candidates = []
+    for candidate in range(1, 2 ** num_input_qubits):
+        bits = [(candidate >> (num_input_qubits - 1 - i)) & 1 for i in range(num_input_qubits)]
+        if all(sum(r * b for r, b in zip(row, bits)) % 2 == 0 for row in rows):
+            candidates.append(tuple(bits))
+    if len(candidates) == 1:
+        return candidates[0]
+    return None

@@ -1,0 +1,49 @@
+"""Complex-valued Bayesian networks for noisy quantum circuits."""
+
+from .elimination_order import (
+    elimination_order,
+    hypergraph_partition_order,
+    induced_width,
+    lexicographic_order,
+    min_degree_order,
+    min_fill_order,
+)
+from .factor import Factor, multiply_all
+from .from_circuit import QuantumBayesNet, circuit_to_bayesnet
+from .network import (
+    ENTRY_ONE,
+    ENTRY_WEIGHT,
+    ENTRY_ZERO,
+    BayesianNetwork,
+    BayesNode,
+)
+from .variable_elimination import (
+    amplitude_of_assignment,
+    eliminate,
+    final_density_matrix,
+    final_state_vector,
+    measurement_probabilities,
+)
+
+__all__ = [
+    "Factor",
+    "multiply_all",
+    "BayesianNetwork",
+    "BayesNode",
+    "ENTRY_ZERO",
+    "ENTRY_ONE",
+    "ENTRY_WEIGHT",
+    "QuantumBayesNet",
+    "circuit_to_bayesnet",
+    "eliminate",
+    "amplitude_of_assignment",
+    "final_state_vector",
+    "final_density_matrix",
+    "measurement_probabilities",
+    "elimination_order",
+    "min_degree_order",
+    "min_fill_order",
+    "lexicographic_order",
+    "hypergraph_partition_order",
+    "induced_width",
+]

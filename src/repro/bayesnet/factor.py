@@ -1,0 +1,120 @@
+"""Complex-valued factors for exact inference on quantum Bayesian networks.
+
+A factor is a multi-dimensional array of complex amplitudes indexed by a
+tuple of named discrete variables.  Variable elimination multiplies factors
+and sums out variables — the quantum analogue of the classical algorithm,
+with amplitudes in place of probabilities (Table 7 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+
+class Factor:
+    """A complex-valued function over a set of discrete variables."""
+
+    def __init__(self, variables: Sequence[str], cardinalities: Sequence[int], values: np.ndarray):
+        self.variables: List[str] = list(variables)
+        self.cardinalities: List[int] = [int(c) for c in cardinalities]
+        values = np.asarray(values, dtype=complex)
+        expected_shape = tuple(self.cardinalities)
+        if values.shape != expected_shape:
+            raise ValueError(f"factor values shape {values.shape} != {expected_shape}")
+        if len(self.variables) != len(set(self.variables)):
+            raise ValueError("factor variables must be unique")
+        self.values = values
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def scalar(value: complex = 1.0) -> "Factor":
+        return Factor([], [], np.array(complex(value)))
+
+    def copy(self) -> "Factor":
+        return Factor(list(self.variables), list(self.cardinalities), self.values.copy())
+
+    def cardinality_of(self, variable: str) -> int:
+        return self.cardinalities[self.variables.index(variable)]
+
+    # ------------------------------------------------------------------
+    def multiply(self, other: "Factor") -> "Factor":
+        """Pointwise product over the union of the two variable sets."""
+        all_variables = list(self.variables)
+        all_cards = list(self.cardinalities)
+        for variable, card in zip(other.variables, other.cardinalities):
+            if variable not in all_variables:
+                all_variables.append(variable)
+                all_cards.append(card)
+            elif card != all_cards[all_variables.index(variable)]:
+                raise ValueError(f"cardinality mismatch for variable {variable}")
+
+        def broadcast(factor: "Factor") -> np.ndarray:
+            shape = [1] * len(all_variables)
+            source_axes = []
+            for variable in factor.variables:
+                position = all_variables.index(variable)
+                shape[position] = all_cards[position]
+                source_axes.append(position)
+            # Move factor axes into their positions in the joint shape.
+            expanded = factor.values
+            order = np.argsort(source_axes)
+            expanded = np.transpose(expanded, order)
+            target_positions = sorted(source_axes)
+            full = expanded.reshape(
+                [all_cards[p] if p in target_positions else 1 for p in range(len(all_variables))]
+            )
+            return full
+
+        return Factor(all_variables, all_cards, broadcast(self) * broadcast(other))
+
+    def sum_out(self, variable: str) -> "Factor":
+        """Sum the factor over all values of ``variable`` (Feynman path sum)."""
+        if variable not in self.variables:
+            return self.copy()
+        axis = self.variables.index(variable)
+        new_variables = [v for v in self.variables if v != variable]
+        new_cards = [c for i, c in enumerate(self.cardinalities) if i != axis]
+        return Factor(new_variables, new_cards, self.values.sum(axis=axis))
+
+    def max_out(self, variable: str) -> "Factor":
+        """Maximise (by magnitude) over ``variable`` — used by MPE-style queries."""
+        if variable not in self.variables:
+            return self.copy()
+        axis = self.variables.index(variable)
+        new_variables = [v for v in self.variables if v != variable]
+        new_cards = [c for i, c in enumerate(self.cardinalities) if i != axis]
+        magnitudes = np.abs(self.values)
+        take = magnitudes.argmax(axis=axis)
+        values = np.take_along_axis(self.values, np.expand_dims(take, axis), axis).squeeze(axis)
+        return Factor(new_variables, new_cards, values)
+
+    def reduce(self, evidence: Mapping[str, int]) -> "Factor":
+        """Fix the values of evidence variables, dropping them from the factor."""
+        factor = self
+        for variable, value in evidence.items():
+            if variable not in factor.variables:
+                continue
+            axis = factor.variables.index(variable)
+            new_variables = [v for v in factor.variables if v != variable]
+            new_cards = [c for i, c in enumerate(factor.cardinalities) if i != axis]
+            values = np.take(factor.values, int(value), axis=axis)
+            factor = Factor(new_variables, new_cards, values)
+        return factor
+
+    def value_at(self, assignment: Mapping[str, int]) -> complex:
+        """Look up the entry for a full assignment of the factor's variables."""
+        index = tuple(int(assignment[v]) for v in self.variables)
+        return complex(self.values[index])
+
+    def __repr__(self) -> str:
+        return f"Factor(variables={self.variables}, shape={tuple(self.cardinalities)})"
+
+
+def multiply_all(factors: Iterable[Factor]) -> Factor:
+    """Multiply a sequence of factors together (scalar 1 if empty)."""
+    result = Factor.scalar(1.0)
+    for factor in factors:
+        result = result.multiply(factor)
+    return result

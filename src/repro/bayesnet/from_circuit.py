@@ -1,0 +1,350 @@
+"""Compile noisy quantum circuits into complex-valued Bayesian networks.
+
+This is the toolchain's first program transformation (Section 3.1 of the
+paper).  Qubit states become binary network nodes named ``q{i}m{k}`` (qubit
+``i`` after its ``k``-th operation, matching the paper's Figure 2 naming);
+noise channels introduce multi-valued ``...rv`` nodes that select a Kraus
+branch.
+
+Encoding rules
+--------------
+* **Initial states** — parentless nodes with deterministic tables.
+* **Monomial gates** (generalized permutation unitaries: X, CNOT, CZ, Rz,
+  ZZ-rotations, Toffoli, ...) — new nodes are created only for qubits whose
+  basis value can change; each new node's value is a deterministic function
+  of the gate's input nodes, and the input-dependent phase is attached to
+  the last created node (or to a dedicated copy node when the gate is
+  diagonal and no value changes).
+* **Non-monomial gates** (H, Rx, Ry, XX, ...) — one new node per gate qubit;
+  all but the last carry the all-ones table, and the last node's table,
+  conditioned on the gate inputs and the sibling outputs, holds the full
+  unitary entry.  Because amplitude tables need not be normalised this is
+  exact for arbitrary unitaries.
+* **Noise channels** — a parentless branch-selector node of cardinality
+  equal to the number of Kraus operators, plus a new qubit node whose table
+  conditioned on (input, branch) holds the Kraus operator entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import Operation, is_monomial_matrix, monomial_action
+from ..circuits.noise import NoiseOperation
+from ..circuits.parameters import ParamResolver
+from ..circuits.qubits import Qubit
+from ..linalg.tensor_ops import index_to_bits
+from .network import BayesianNetwork, BayesNode
+
+
+class QuantumBayesNet(BayesianNetwork):
+    """A Bayesian network annotated with circuit provenance."""
+
+    def __init__(self, qubit_order: Sequence[Qubit]):
+        super().__init__()
+        self.qubit_order: List[Qubit] = list(qubit_order)
+        self.initial_node_of: Dict[Qubit, str] = {}
+        self.final_node_of: Dict[Qubit, str] = {}
+        self.noise_node_names: List[str] = []
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubit_order)
+
+    @property
+    def final_node_names(self) -> List[str]:
+        """Final qubit-state nodes, in qubit order (most significant first)."""
+        return [self.final_node_of[q] for q in self.qubit_order]
+
+    @property
+    def qubit_state_node_names(self) -> List[str]:
+        return [n.name for n in self.nodes if n.kind in ("initial", "qubit")]
+
+    @property
+    def internal_node_names(self) -> List[str]:
+        """Qubit-state nodes that are neither initial nor final.
+
+        These are the nodes the arithmetic-circuit compiler elides (sums
+        over) because only final-state amplitudes are queried.
+        """
+        finals = set(self.final_node_names)
+        return [
+            n.name
+            for n in self.nodes
+            if n.kind == "qubit" and n.name not in finals
+        ]
+
+    @property
+    def retained_node_names(self) -> List[str]:
+        """Nodes that remain queryable after elision: final states + noise events."""
+        return self.final_node_names + self.noise_node_names
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumBayesNet(qubits={self.num_qubits}, nodes={self.num_nodes}, "
+            f"noise_nodes={len(self.noise_node_names)})"
+        )
+
+
+def _deterministic_initial_table(bit: int) -> np.ndarray:
+    table = np.zeros(2, dtype=complex)
+    table[bit] = 1.0
+    return table
+
+
+def _make_builder(function):
+    """Tiny helper so closures capture loop variables by value."""
+    return function
+
+
+def circuit_to_bayesnet(
+    circuit: Circuit,
+    qubit_order: Optional[Sequence[Qubit]] = None,
+    initial_bits: Optional[Sequence[int]] = None,
+) -> QuantumBayesNet:
+    """Convert a (possibly noisy, possibly parameterized) circuit to a Bayesian network."""
+    qubits = list(qubit_order) if qubit_order is not None else circuit.all_qubits()
+    network = QuantumBayesNet(qubits)
+    position_of: Dict[Qubit, int] = {q: i for i, q in enumerate(qubits)}
+    if initial_bits is None:
+        initial_bits = [0] * len(qubits)
+    if len(initial_bits) != len(qubits):
+        raise ValueError("initial_bits length must match qubit count")
+
+    # Current BN node for each qubit, and a per-qubit operation counter used
+    # for q{i}m{k} style node names.
+    current_node: Dict[Qubit, str] = {}
+    op_counter: Dict[Qubit, int] = {}
+
+    for qubit, bit in zip(qubits, initial_bits):
+        name = f"q{position_of[qubit]}m0"
+        node = BayesNode(
+            name,
+            cardinality=2,
+            parents=[],
+            table_builder=_make_builder(lambda resolver, b=int(bit): _deterministic_initial_table(b)),
+            kind="initial",
+            label=f"{qubit} initial",
+        )
+        network.add_node(node)
+        network.initial_node_of[qubit] = name
+        current_node[qubit] = name
+        op_counter[qubit] = 0
+
+    for op in circuit.all_operations():
+        if op.is_measurement:
+            continue
+        if isinstance(op, NoiseOperation):
+            _add_noise_operation(network, op, current_node, op_counter, position_of)
+        else:
+            _add_gate_operation(network, op, current_node, op_counter, position_of)
+
+    for qubit in qubits:
+        network.final_node_of[qubit] = current_node[qubit]
+    return network
+
+
+# ----------------------------------------------------------------------
+# Gate encoding
+# ----------------------------------------------------------------------
+def _next_name(qubit: Qubit, op_counter: Dict[Qubit, int], position_of: Dict[Qubit, int]) -> str:
+    op_counter[qubit] += 1
+    return f"q{position_of[qubit]}m{op_counter[qubit]}"
+
+
+def _gate_is_monomial(op: Operation) -> bool:
+    if op.gate.is_parameterized:
+        return op.gate.is_monomial()
+    return is_monomial_matrix(op.unitary())
+
+
+def _add_gate_operation(
+    network: QuantumBayesNet,
+    op: Operation,
+    current_node: Dict[Qubit, str],
+    op_counter: Dict[Qubit, int],
+    position_of: Dict[Qubit, int],
+) -> None:
+    if _gate_is_monomial(op):
+        _add_monomial_gate(network, op, current_node, op_counter, position_of)
+    else:
+        _add_general_gate(network, op, current_node, op_counter, position_of)
+
+
+def _add_monomial_gate(
+    network: QuantumBayesNet,
+    op: Operation,
+    current_node: Dict[Qubit, str],
+    op_counter: Dict[Qubit, int],
+    position_of: Dict[Qubit, int],
+) -> None:
+    k = len(op.qubits)
+    input_nodes = [current_node[q] for q in op.qubits]
+    # Determine, from the permutation structure, which qubit positions can change.
+    # Use an unparameterized reference unitary: the zero pattern of a
+    # structurally monomial gate does not depend on its parameters.
+    reference = op.unitary(_reference_resolver(op))
+    perm, _ = monomial_action(reference)
+    changed_positions = [
+        j
+        for j in range(k)
+        if any(index_to_bits(perm[i], k)[j] != index_to_bits(i, k)[j] for i in range(2 ** k))
+    ]
+    if not changed_positions:
+        # Diagonal gate: introduce a copy node on the last qubit to carry the phase.
+        changed_positions = [k - 1]
+
+    new_nodes: Dict[int, str] = {}
+    for j in changed_positions:
+        qubit = op.qubits[j]
+        new_nodes[j] = _next_name(qubit, op_counter, position_of)
+
+    phase_position = changed_positions[-1]
+    for j in changed_positions:
+        qubit = op.qubits[j]
+        name = new_nodes[j]
+        carries_phase = j == phase_position
+
+        def build_table(resolver, op=op, j=j, k=k, carries_phase=carries_phase):
+            unitary = op.unitary(resolver)
+            perm_local, phases = monomial_action(unitary)
+            shape = (2,) * k + (2,)
+            table = np.zeros(shape, dtype=complex)
+            for input_index in range(2 ** k):
+                in_bits = index_to_bits(input_index, k)
+                out_bits = index_to_bits(perm_local[input_index], k)
+                amplitude = phases[input_index] if carries_phase else 1.0
+                table[in_bits + (out_bits[j],)] = amplitude
+            return table
+
+        node = BayesNode(
+            name,
+            cardinality=2,
+            parents=list(input_nodes),
+            table_builder=build_table,
+            kind="qubit",
+            parameters=op.parameters,
+            label=f"{op.gate.name} on {qubit}",
+        )
+        network.add_node(node)
+        current_node[qubit] = name
+
+
+def _add_general_gate(
+    network: QuantumBayesNet,
+    op: Operation,
+    current_node: Dict[Qubit, str],
+    op_counter: Dict[Qubit, int],
+    position_of: Dict[Qubit, int],
+) -> None:
+    k = len(op.qubits)
+    input_nodes = [current_node[q] for q in op.qubits]
+    new_names: List[str] = []
+    for qubit in op.qubits:
+        new_names.append(_next_name(qubit, op_counter, position_of))
+
+    # All output nodes except the last are free (all-ones) selector nodes.
+    for j in range(k - 1):
+        qubit = op.qubits[j]
+        node = BayesNode(
+            new_names[j],
+            cardinality=2,
+            parents=[],
+            table_builder=_make_builder(lambda resolver: np.ones(2, dtype=complex)),
+            kind="qubit",
+            label=f"{op.gate.name} output {j} on {qubit}",
+        )
+        network.add_node(node)
+        current_node[qubit] = new_names[j]
+
+    # The last output node carries the full unitary entry, conditioned on the
+    # gate's input nodes followed by the sibling output nodes.
+    def build_table(resolver, op=op, k=k):
+        unitary = op.unitary(resolver)
+        shape = (2,) * k + (2,) * (k - 1) + (2,)
+        table = np.zeros(shape, dtype=complex)
+        for input_index in range(2 ** k):
+            in_bits = index_to_bits(input_index, k)
+            for output_index in range(2 ** k):
+                out_bits = index_to_bits(output_index, k)
+                table[in_bits + out_bits[:-1] + (out_bits[-1],)] = unitary[output_index, input_index]
+        return table
+
+    last_qubit = op.qubits[k - 1]
+    node = BayesNode(
+        new_names[k - 1],
+        cardinality=2,
+        parents=list(input_nodes) + new_names[: k - 1],
+        table_builder=build_table,
+        kind="qubit",
+        parameters=op.parameters,
+        label=f"{op.gate.name} output {k - 1} on {last_qubit}",
+    )
+    network.add_node(node)
+    current_node[last_qubit] = new_names[k - 1]
+
+
+def _add_noise_operation(
+    network: QuantumBayesNet,
+    op: NoiseOperation,
+    current_node: Dict[Qubit, str],
+    op_counter: Dict[Qubit, int],
+    position_of: Dict[Qubit, int],
+) -> None:
+    if len(op.qubits) != 1:
+        raise NotImplementedError("only single-qubit noise channels are supported")
+    qubit = op.qubits[0]
+    input_node = current_node[qubit]
+    num_branches = len(op.kraus_operators(_reference_resolver(op)))
+
+    state_name = _next_name(qubit, op_counter, position_of)
+    rv_name = f"{state_name}rv"
+
+    rv_node = BayesNode(
+        rv_name,
+        cardinality=num_branches,
+        parents=[],
+        table_builder=_make_builder(
+            lambda resolver, m=num_branches: np.ones(m, dtype=complex)
+        ),
+        kind="noise",
+        label=f"{op.channel.name} branch on {qubit}",
+    )
+    network.add_node(rv_node)
+    network.noise_node_names.append(rv_name)
+
+    def build_table(resolver, op=op, m=num_branches):
+        operators = op.kraus_operators(resolver)
+        table = np.zeros((2, m, 2), dtype=complex)
+        for branch, kraus in enumerate(operators):
+            for in_bit in range(2):
+                for out_bit in range(2):
+                    table[in_bit, branch, out_bit] = kraus[out_bit, in_bit]
+        return table
+
+    state_node = BayesNode(
+        state_name,
+        cardinality=2,
+        parents=[input_node, rv_name],
+        table_builder=build_table,
+        kind="qubit",
+        parameters=op.parameters,
+        label=f"{op.channel.name} on {qubit}",
+    )
+    network.add_node(state_node)
+    current_node[qubit] = state_name
+
+
+def _reference_resolver(op: Operation) -> Optional[ParamResolver]:
+    """A resolver binding any free symbols of ``op`` to an arbitrary reference value.
+
+    Only used where the *structure* (zero pattern) of the operation matters,
+    which for structurally monomial gates is parameter independent.
+    """
+    symbols = op.parameters
+    if not symbols:
+        return None
+    return ParamResolver({s: 0.789 for s in symbols})

@@ -1,0 +1,278 @@
+"""The :class:`Circuit` container: an ordered sequence of moments of operations.
+
+A circuit holds unitary gate operations, noise operations and terminal
+measurements.  It knows how to:
+
+* schedule appended operations into moments (earliest-slot packing),
+* report structural statistics (qubit count, gate count, depth),
+* resolve symbolic parameters,
+* attach a noise model after every gate (the construction used by the
+  paper's noisy QAOA/VQE benchmarks), and
+* compute its overall unitary for small ideal circuits (used by tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .gates import Gate, MeasurementGate, Operation
+from .noise import NoiseChannel, NoiseOperation
+from .parameters import ParamResolver, Symbol
+from .qubits import Qubit, sorted_qubits
+
+
+class Moment:
+    """A set of operations acting on disjoint qubits, executed in parallel."""
+
+    def __init__(self, operations: Iterable[Operation] = ()):
+        self.operations: List[Operation] = []
+        self._qubits: Set[Qubit] = set()
+        for op in operations:
+            self.append(op)
+
+    def append(self, operation: Operation) -> None:
+        overlap = self._qubits.intersection(operation.qubits)
+        if overlap:
+            raise ValueError(f"Moment already contains operations on {overlap}")
+        self.operations.append(operation)
+        self._qubits.update(operation.qubits)
+
+    def can_accept(self, operation: Operation) -> bool:
+        return not self._qubits.intersection(operation.qubits)
+
+    @property
+    def qubits(self) -> Set[Qubit]:
+        return set(self._qubits)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __repr__(self) -> str:
+        return f"Moment({self.operations!r})"
+
+
+class Circuit:
+    """An ordered list of moments of operations on qubits."""
+
+    def __init__(self, operations: Iterable[Operation] = ()):
+        self.moments: List[Moment] = []
+        self.append(operations)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def append(self, operations: Iterable[Operation] | Operation, new_moment: bool = False) -> None:
+        """Append operations, packing each into the earliest available moment.
+
+        With ``new_moment=True``, the first appended operation starts a fresh
+        moment (useful for aligning algorithm iterations).
+        """
+        if isinstance(operations, Operation):
+            operations = [operations]
+        force_new = new_moment
+        for op in operations:
+            if not isinstance(op, Operation):
+                raise TypeError(f"Expected Operation, got {type(op).__name__}")
+            self._insert_earliest(op, force_new)
+            force_new = False
+
+    def _insert_earliest(self, operation: Operation, force_new: bool) -> None:
+        if force_new or not self.moments:
+            self.moments.append(Moment([operation]))
+            return
+        # Find the latest moment that touches any of the operation's qubits;
+        # the operation must go strictly after it.
+        insert_at = 0
+        for index in range(len(self.moments) - 1, -1, -1):
+            if self.moments[index].qubits.intersection(operation.qubits):
+                insert_at = index + 1
+                break
+        for index in range(insert_at, len(self.moments)):
+            if self.moments[index].can_accept(operation):
+                self.moments[index].append(operation)
+                return
+        self.moments.append(Moment([operation]))
+
+    def __add__(self, other: "Circuit") -> "Circuit":
+        combined = Circuit()
+        combined.append(self.all_operations())
+        combined.append(other.all_operations())
+        return combined
+
+    def copy(self) -> "Circuit":
+        duplicate = Circuit()
+        for moment in self.moments:
+            duplicate.moments.append(Moment(list(moment)))
+        return duplicate
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def all_operations(self) -> List[Operation]:
+        return [op for moment in self.moments for op in moment]
+
+    def unitary_operations(self) -> List[Operation]:
+        """All gate operations excluding noise and measurements."""
+        return [
+            op
+            for op in self.all_operations()
+            if not op.is_measurement and not isinstance(op, NoiseOperation)
+        ]
+
+    def noise_operations(self) -> List[NoiseOperation]:
+        return [op for op in self.all_operations() if isinstance(op, NoiseOperation)]
+
+    def measurement_operations(self) -> List[Operation]:
+        return [op for op in self.all_operations() if op.is_measurement]
+
+    def all_qubits(self) -> List[Qubit]:
+        return sorted_qubits(q for op in self.all_operations() for q in op.qubits)
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.all_qubits())
+
+    @property
+    def depth(self) -> int:
+        return len(self.moments)
+
+    def gate_count(self, include_noise: bool = False, include_measurements: bool = False) -> int:
+        count = len(self.unitary_operations())
+        if include_noise:
+            count += len(self.noise_operations())
+        if include_measurements:
+            count += len(self.measurement_operations())
+        return count
+
+    @property
+    def parameters(self) -> Set[Symbol]:
+        symbols: Set[Symbol] = set()
+        for op in self.all_operations():
+            symbols.update(op.parameters)
+        return symbols
+
+    @property
+    def is_parameterized(self) -> bool:
+        return bool(self.parameters)
+
+    @property
+    def has_noise(self) -> bool:
+        return bool(self.noise_operations())
+
+    def __iter__(self) -> Iterator[Moment]:
+        return iter(self.moments)
+
+    def __len__(self) -> int:
+        return len(self.moments)
+
+    def __repr__(self) -> str:
+        return f"Circuit(qubits={self.num_qubits}, moments={len(self.moments)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        return self.all_operations() == other.all_operations()
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def resolve_parameters(self, resolver: ParamResolver) -> "Circuit":
+        """Return a copy of the circuit with symbols replaced by numbers."""
+        resolved = Circuit()
+        for moment in self.moments:
+            new_moment = Moment(op.resolve(resolver) for op in moment)
+            resolved.moments.append(new_moment)
+        return resolved
+
+    def with_noise(self, channel_factory, skip_measurements: bool = True) -> "Circuit":
+        """Insert a fresh noise channel on each qubit after every gate.
+
+        ``channel_factory`` is a zero-argument callable returning a
+        single-qubit :class:`NoiseChannel`; a new channel instance is created
+        per insertion so channels stay independent.  This matches the paper's
+        noisy benchmarks ("symmetric depolarizing noise channel with 0.5%
+        probability of occurrence after each gate").
+        """
+        noisy = Circuit()
+        for op in self.all_operations():
+            if op.is_measurement and skip_measurements:
+                noisy.append(op)
+                continue
+            noisy.append(op)
+            if isinstance(op, NoiseOperation):
+                continue
+            for qubit in op.qubits:
+                channel = channel_factory()
+                if not isinstance(channel, NoiseChannel):
+                    raise TypeError("channel_factory must return a NoiseChannel")
+                noisy.append(channel.on(qubit))
+        return noisy
+
+    def without_measurements(self) -> "Circuit":
+        stripped = Circuit()
+        stripped.append(op for op in self.all_operations() if not op.is_measurement)
+        return stripped
+
+    # ------------------------------------------------------------------
+    # Dense semantics (for validation on small circuits)
+    # ------------------------------------------------------------------
+    def unitary(
+        self,
+        qubit_order: Optional[Sequence[Qubit]] = None,
+        resolver: Optional[ParamResolver] = None,
+    ) -> np.ndarray:
+        """Compute the overall unitary of an ideal (noise-free) circuit.
+
+        The first qubit in ``qubit_order`` is the most significant bit of the
+        basis-state index.  Raises if the circuit contains noise operations.
+        """
+        if self.has_noise:
+            raise ValueError("Circuit contains noise; it has no overall unitary")
+        from ..linalg.tensor_ops import expand_operator
+
+        qubits = list(qubit_order) if qubit_order is not None else self.all_qubits()
+        index_of: Dict[Qubit, int] = {q: i for i, q in enumerate(qubits)}
+        num = len(qubits)
+        total = np.eye(2 ** num, dtype=complex)
+        for op in self.all_operations():
+            if op.is_measurement:
+                continue
+            targets = [index_of[q] for q in op.qubits]
+            expanded = expand_operator(op.unitary(resolver), targets, num)
+            total = expanded @ total
+        return total
+
+    # ------------------------------------------------------------------
+    # Text diagram
+    # ------------------------------------------------------------------
+    def to_text_diagram(self) -> str:
+        """Render a simple per-qubit timeline diagram (for debugging/examples)."""
+        qubits = self.all_qubits()
+        rows: Dict[Qubit, List[str]] = {q: [] for q in qubits}
+        for moment in self.moments:
+            width = 1
+            labels: Dict[Qubit, str] = {}
+            for op in moment:
+                if isinstance(op, NoiseOperation):
+                    base = f"~{op.channel.name}"
+                elif op.is_measurement:
+                    base = "M"
+                else:
+                    base = op.gate.name
+                for position, qubit in enumerate(op.qubits):
+                    label = base if len(op.qubits) == 1 else f"{base}[{position}]"
+                    labels[qubit] = label
+                    width = max(width, len(label))
+            for qubit in qubits:
+                cell = labels.get(qubit, "-" * 1)
+                rows[qubit].append(cell.center(width, "-"))
+        lines = []
+        name_width = max((len(str(q)) for q in qubits), default=0)
+        for qubit in qubits:
+            lines.append(f"{str(qubit).rjust(name_width)}: " + "---".join(rows[qubit]))
+        return "\n".join(lines)

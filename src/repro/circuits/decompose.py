@@ -1,0 +1,136 @@
+"""Gate decomposition utilities.
+
+The Bayesian-network encoding handles arbitrary unitaries directly, but the
+paper notes that gates are commonly decomposed "until such translation is
+possible" — and decompositions are also useful for mapping circuits onto
+restricted gate sets and for growing circuit depth in controlled ways for
+scaling experiments.  This module provides the standard constructions:
+
+* SWAP as three CNOTs,
+* controlled-Z / controlled-phase from CNOTs and Rz rotations,
+* an arbitrary controlled single-qubit unitary via the ABC (Z-Y-Z)
+  decomposition,
+* Toffoli in the textbook H/T/CNOT form.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .gates import CNOT, H, Operation, Rz, Ry, T, TDG, Gate, PhaseShift
+from .qubits import Qubit
+
+_ATOL = 1e-9
+
+
+def zyz_angles(unitary: np.ndarray) -> Tuple[float, float, float, float]:
+    """Decompose a single-qubit unitary as ``e^{i alpha} Rz(beta) Ry(gamma) Rz(delta)``.
+
+    Returns ``(alpha, beta, gamma, delta)``.
+    """
+    unitary = np.asarray(unitary, dtype=complex)
+    if unitary.shape != (2, 2):
+        raise ValueError("zyz_angles expects a single-qubit unitary")
+    determinant = np.linalg.det(unitary)
+    alpha = cmath.phase(determinant) / 2.0
+    special = unitary * cmath.exp(-1j * alpha)
+
+    # With det(special) = 1:
+    #   special = [[ e^{-i(beta+delta)/2} cos(gamma/2), -e^{-i(beta-delta)/2} sin(gamma/2)],
+    #              [ e^{+i(beta-delta)/2} sin(gamma/2),  e^{+i(beta+delta)/2} cos(gamma/2)]]
+    gamma = 2.0 * math.atan2(abs(special[1, 0]), abs(special[0, 0]))
+    if abs(special[0, 0]) > _ATOL and abs(special[1, 0]) > _ATOL:
+        phase_sum = 2.0 * cmath.phase(special[1, 1])
+        phase_diff = 2.0 * cmath.phase(special[1, 0])
+        beta = (phase_sum + phase_diff) / 2.0
+        delta = (phase_sum - phase_diff) / 2.0
+    elif abs(special[0, 0]) <= _ATOL:
+        # Anti-diagonal (gamma = pi): only beta - delta is determined.
+        beta, delta = 2.0 * cmath.phase(special[1, 0]), 0.0
+    else:
+        # Diagonal (gamma = 0): only beta + delta is determined.
+        beta, delta = 2.0 * cmath.phase(special[1, 1]), 0.0
+    return alpha, beta, gamma, delta
+
+
+def reconstruct_from_zyz(alpha: float, beta: float, gamma: float, delta: float) -> np.ndarray:
+    """Rebuild the unitary from ZYZ angles (used to validate decompositions)."""
+    return (
+        cmath.exp(1j * alpha)
+        * Rz(beta).unitary()
+        @ Ry(gamma).unitary()
+        @ Rz(delta).unitary()
+    )
+
+
+def decompose_swap(a: Qubit, b: Qubit) -> List[Operation]:
+    """SWAP as three alternating CNOTs."""
+    return [CNOT(a, b), CNOT(b, a), CNOT(a, b)]
+
+
+def decompose_controlled_z(control: Qubit, target: Qubit) -> List[Operation]:
+    """CZ from a CNOT conjugated by Hadamards on the target."""
+    return [H(target), CNOT(control, target), H(target)]
+
+
+def decompose_controlled_phase(angle: float, control: Qubit, target: Qubit) -> List[Operation]:
+    """Controlled phase diag(1,1,1,e^{i angle}) from Rz rotations and CNOTs."""
+    half = angle / 2.0
+    return [
+        PhaseShift(half)(control),
+        PhaseShift(half)(target),
+        CNOT(control, target),
+        PhaseShift(-half)(target),
+        CNOT(control, target),
+    ]
+
+
+def decompose_controlled_unitary(
+    unitary: np.ndarray, control: Qubit, target: Qubit
+) -> List[Operation]:
+    """Controlled-U via the ABC construction (Nielsen & Chuang, Section 4.3).
+
+    U = e^{i alpha} A X B X C with A B C = I; the controlled version applies
+    A, CNOT, B, CNOT, C plus a phase rotation on the control.
+    """
+    alpha, beta, gamma, delta = zyz_angles(unitary)
+    operations: List[Operation] = []
+    # C = Rz((delta - beta) / 2)
+    operations.append(Rz((delta - beta) / 2.0)(target))
+    operations.append(CNOT(control, target))
+    # B = Ry(-gamma / 2) Rz(-(delta + beta) / 2)
+    operations.append(Rz(-(delta + beta) / 2.0)(target))
+    operations.append(Ry(-gamma / 2.0)(target))
+    operations.append(CNOT(control, target))
+    # A = Rz(beta) Ry(gamma / 2)
+    operations.append(Ry(gamma / 2.0)(target))
+    operations.append(Rz(beta)(target))
+    # Phase correction on the control.
+    if abs(alpha) > _ATOL:
+        operations.append(PhaseShift(alpha)(control))
+    return operations
+
+
+def decompose_toffoli(control_a: Qubit, control_b: Qubit, target: Qubit) -> List[Operation]:
+    """The textbook Toffoli decomposition into H, T, T-dagger and CNOT."""
+    return [
+        H(target),
+        CNOT(control_b, target),
+        TDG(target),
+        CNOT(control_a, target),
+        T(target),
+        CNOT(control_b, target),
+        TDG(target),
+        CNOT(control_a, target),
+        T(control_b),
+        T(target),
+        H(target),
+        CNOT(control_a, control_b),
+        T(control_a),
+        TDG(control_b),
+        CNOT(control_a, control_b),
+    ]

@@ -1,0 +1,395 @@
+"""Quantum noise channels and mixtures.
+
+The paper (Table 1) classifies canonical noise models along two axes:
+
+* the effect on the state — Pauli-X type (bit flip, amplitude damping),
+  Pauli-Z type (phase flip, phase damping), and combinations (depolarizing,
+  generalized amplitude damping);
+* whether the model is a *mixture* (probabilistic ensemble of unitaries,
+  simulatable with ensembles of state vectors) or a general *channel*
+  (requires density matrices / Kraus operators).
+
+Every channel here exposes its Kraus operators; mixtures additionally expose
+``(probability, unitary)`` pairs.  The Bayesian-network front end encodes a
+channel as a "spurious measurement" random variable selecting the Kraus
+branch, exactly as in Figure 2(b)/(c) of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .gates import Gate, Operation, X, Y, Z
+from .parameters import ParameterValue, ParamResolver, Symbol, parameter_symbols, resolve
+from .qubits import Qubit
+
+_ATOL = 1e-9
+
+
+class NoiseChannel:
+    """Base class for quantum noise channels.
+
+    A channel is described by Kraus operators ``E_k`` acting as
+    ``rho -> sum_k E_k rho E_k^dagger`` with ``sum_k E_k^dagger E_k = I``.
+    """
+
+    def __init__(self, name: str, num_qubits: int):
+        self._name = name
+        self._num_qubits = int(num_qubits)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    @property
+    def parameters(self) -> FrozenSet[Symbol]:
+        return frozenset()
+
+    @property
+    def is_parameterized(self) -> bool:
+        return bool(self.parameters)
+
+    def kraus_operators(self, resolver: Optional[ParamResolver] = None) -> List[np.ndarray]:
+        raise NotImplementedError
+
+    @property
+    def is_mixture(self) -> bool:
+        """True if the channel is a probabilistic mixture of unitaries."""
+        return False
+
+    def mixture(
+        self, resolver: Optional[ParamResolver] = None
+    ) -> List[Tuple[float, np.ndarray]]:
+        """Return ``(probability, unitary)`` pairs for mixture channels."""
+        raise TypeError(f"{self.name} is not a mixture channel")
+
+    def on(self, *qubits: Qubit) -> "NoiseOperation":
+        return NoiseOperation(self, qubits)
+
+    def __call__(self, *qubits: Qubit) -> "NoiseOperation":
+        return self.on(*qubits)
+
+    def __repr__(self) -> str:
+        return f"<NoiseChannel {self._name}>"
+
+    def __str__(self) -> str:
+        return self._name
+
+    def validate(self, resolver: Optional[ParamResolver] = None) -> None:
+        """Check the completeness relation sum_k E_k^dagger E_k = I."""
+        dim = 2 ** self.num_qubits
+        total = np.zeros((dim, dim), dtype=complex)
+        for op in self.kraus_operators(resolver):
+            total += op.conj().T @ op
+        if not np.allclose(total, np.eye(dim), atol=1e-7):
+            raise ValueError(f"Kraus operators of {self.name} do not satisfy completeness")
+
+
+class NoiseOperation(Operation):
+    """A noise channel attached to specific qubits."""
+
+    def __init__(self, channel: NoiseChannel, qubits: Iterable[Qubit]):
+        qubits = tuple(qubits)
+        if len(qubits) != channel.num_qubits:
+            raise ValueError(
+                f"Channel {channel.name} acts on {channel.num_qubits} qubits, got {len(qubits)}"
+            )
+        if len(set(qubits)) != len(qubits):
+            raise ValueError("NoiseOperation qubits must be distinct")
+        # Deliberately bypass Operation.__init__'s gate checks: a channel is
+        # not a Gate, but downstream code treats operations uniformly.
+        self.gate = None
+        self.channel = channel
+        self.qubits = qubits
+
+    @property
+    def is_measurement(self) -> bool:
+        return False
+
+    @property
+    def is_noise(self) -> bool:
+        return True
+
+    @property
+    def parameters(self) -> FrozenSet[Symbol]:
+        return self.channel.parameters
+
+    @property
+    def is_parameterized(self) -> bool:
+        return self.channel.is_parameterized
+
+    def unitary(self, resolver: Optional[ParamResolver] = None) -> np.ndarray:
+        raise TypeError("Noise operations have no unitary; use kraus_operators()")
+
+    def kraus_operators(self, resolver: Optional[ParamResolver] = None) -> List[np.ndarray]:
+        return self.channel.kraus_operators(resolver)
+
+    def resolve(self, resolver: ParamResolver) -> "NoiseOperation":
+        return NoiseOperation(self.channel, self.qubits)
+
+    def with_qubits(self, *qubits: Qubit) -> "NoiseOperation":
+        return NoiseOperation(self.channel, qubits)
+
+    def __repr__(self) -> str:
+        targets = ", ".join(str(q) for q in self.qubits)
+        return f"{self.channel}({targets})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NoiseOperation):
+            return NotImplemented
+        return self.channel is other.channel and self.qubits == other.qubits
+
+    def __hash__(self) -> int:
+        return hash((id(self.channel), self.qubits))
+
+
+class _SingleParamChannel(NoiseChannel):
+    """Base for channels parameterized by a single probability-like value."""
+
+    def __init__(self, name: str, value: ParameterValue):
+        super().__init__(name, 1)
+        self.value = value
+
+    @property
+    def parameters(self) -> FrozenSet[Symbol]:
+        return parameter_symbols(self.value)
+
+    def _resolved(self, resolver: Optional[ParamResolver]) -> float:
+        value = resolve(self.value, resolver)
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{self.name} parameter must be in [0, 1], got {value}")
+        return value
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.value})"
+
+
+class BitFlipChannel(_SingleParamChannel):
+    """Applies X with probability p (a Pauli-X type mixture)."""
+
+    def __init__(self, p: ParameterValue):
+        super().__init__("bit_flip", p)
+
+    @property
+    def is_mixture(self) -> bool:
+        return True
+
+    def mixture(self, resolver: Optional[ParamResolver] = None) -> List[Tuple[float, np.ndarray]]:
+        p = self._resolved(resolver)
+        return [(1.0 - p, np.eye(2, dtype=complex)), (p, X.unitary())]
+
+    def kraus_operators(self, resolver: Optional[ParamResolver] = None) -> List[np.ndarray]:
+        return [math.sqrt(prob) * unitary for prob, unitary in self.mixture(resolver)]
+
+
+class PhaseFlipChannel(_SingleParamChannel):
+    """Applies Z with probability p (a Pauli-Z type mixture)."""
+
+    def __init__(self, p: ParameterValue):
+        super().__init__("phase_flip", p)
+
+    @property
+    def is_mixture(self) -> bool:
+        return True
+
+    def mixture(self, resolver: Optional[ParamResolver] = None) -> List[Tuple[float, np.ndarray]]:
+        p = self._resolved(resolver)
+        return [(1.0 - p, np.eye(2, dtype=complex)), (p, Z.unitary())]
+
+    def kraus_operators(self, resolver: Optional[ParamResolver] = None) -> List[np.ndarray]:
+        return [math.sqrt(prob) * unitary for prob, unitary in self.mixture(resolver)]
+
+
+class DepolarizingChannel(_SingleParamChannel):
+    """Symmetric depolarizing noise: X, Y or Z each with probability p/3.
+
+    This is the noise model used after every gate in the paper's noisy QAOA
+    and VQE benchmarks (with p = 0.5%).
+    """
+
+    def __init__(self, p: ParameterValue):
+        super().__init__("depolarizing", p)
+
+    @property
+    def is_mixture(self) -> bool:
+        return True
+
+    def mixture(self, resolver: Optional[ParamResolver] = None) -> List[Tuple[float, np.ndarray]]:
+        p = self._resolved(resolver)
+        return [
+            (1.0 - p, np.eye(2, dtype=complex)),
+            (p / 3.0, X.unitary()),
+            (p / 3.0, Y.unitary()),
+            (p / 3.0, Z.unitary()),
+        ]
+
+    def kraus_operators(self, resolver: Optional[ParamResolver] = None) -> List[np.ndarray]:
+        return [math.sqrt(prob) * unitary for prob, unitary in self.mixture(resolver)]
+
+
+class AsymmetricDepolarizingChannel(NoiseChannel):
+    """Depolarizing noise with independent X, Y and Z probabilities."""
+
+    def __init__(self, p_x: ParameterValue, p_y: ParameterValue, p_z: ParameterValue):
+        super().__init__("asymmetric_depolarizing", 1)
+        self.p_x = p_x
+        self.p_y = p_y
+        self.p_z = p_z
+
+    @property
+    def parameters(self) -> FrozenSet[Symbol]:
+        return parameter_symbols(self.p_x) | parameter_symbols(self.p_y) | parameter_symbols(self.p_z)
+
+    @property
+    def is_mixture(self) -> bool:
+        return True
+
+    def mixture(self, resolver: Optional[ParamResolver] = None) -> List[Tuple[float, np.ndarray]]:
+        p_x = resolve(self.p_x, resolver)
+        p_y = resolve(self.p_y, resolver)
+        p_z = resolve(self.p_z, resolver)
+        p_i = 1.0 - p_x - p_y - p_z
+        if p_i < -_ATOL:
+            raise ValueError("asymmetric depolarizing probabilities exceed 1")
+        return [
+            (max(p_i, 0.0), np.eye(2, dtype=complex)),
+            (p_x, X.unitary()),
+            (p_y, Y.unitary()),
+            (p_z, Z.unitary()),
+        ]
+
+    def kraus_operators(self, resolver: Optional[ParamResolver] = None) -> List[np.ndarray]:
+        return [math.sqrt(prob) * unitary for prob, unitary in self.mixture(resolver)]
+
+    def __repr__(self) -> str:
+        return f"AsymmetricDepolarizingChannel({self.p_x}, {self.p_y}, {self.p_z})"
+
+
+class PhaseDampingChannel(_SingleParamChannel):
+    """Phase damping with strength gamma (related to T2 time).
+
+    Kraus operators E0 = diag(1, sqrt(1 - gamma)), E1 = diag(0, sqrt(gamma)).
+    This is the channel in the paper's running noisy Bell-state example with
+    gamma = 0.36.
+    """
+
+    def __init__(self, gamma: ParameterValue):
+        super().__init__("phase_damping", gamma)
+
+    def kraus_operators(self, resolver: Optional[ParamResolver] = None) -> List[np.ndarray]:
+        gamma = self._resolved(resolver)
+        e0 = np.array([[1.0, 0.0], [0.0, math.sqrt(1.0 - gamma)]], dtype=complex)
+        e1 = np.array([[0.0, 0.0], [0.0, math.sqrt(gamma)]], dtype=complex)
+        return [e0, e1]
+
+
+class AmplitudeDampingChannel(_SingleParamChannel):
+    """Amplitude damping with strength gamma (related to T1 time)."""
+
+    def __init__(self, gamma: ParameterValue):
+        super().__init__("amplitude_damping", gamma)
+
+    def kraus_operators(self, resolver: Optional[ParamResolver] = None) -> List[np.ndarray]:
+        gamma = self._resolved(resolver)
+        e0 = np.array([[1.0, 0.0], [0.0, math.sqrt(1.0 - gamma)]], dtype=complex)
+        e1 = np.array([[0.0, math.sqrt(gamma)], [0.0, 0.0]], dtype=complex)
+        return [e0, e1]
+
+
+class GeneralizedAmplitudeDampingChannel(NoiseChannel):
+    """Generalized amplitude damping (finite-temperature relaxation)."""
+
+    def __init__(self, p: ParameterValue, gamma: ParameterValue):
+        super().__init__("generalized_amplitude_damping", 1)
+        self.p = p
+        self.gamma = gamma
+
+    @property
+    def parameters(self) -> FrozenSet[Symbol]:
+        return parameter_symbols(self.p) | parameter_symbols(self.gamma)
+
+    def kraus_operators(self, resolver: Optional[ParamResolver] = None) -> List[np.ndarray]:
+        p = resolve(self.p, resolver)
+        gamma = resolve(self.gamma, resolver)
+        sqrt_p = math.sqrt(p)
+        sqrt_q = math.sqrt(1.0 - p)
+        e0 = sqrt_p * np.array([[1.0, 0.0], [0.0, math.sqrt(1.0 - gamma)]], dtype=complex)
+        e1 = sqrt_p * np.array([[0.0, math.sqrt(gamma)], [0.0, 0.0]], dtype=complex)
+        e2 = sqrt_q * np.array([[math.sqrt(1.0 - gamma), 0.0], [0.0, 1.0]], dtype=complex)
+        e3 = sqrt_q * np.array([[0.0, 0.0], [math.sqrt(gamma), 0.0]], dtype=complex)
+        return [e0, e1, e2, e3]
+
+    def __repr__(self) -> str:
+        return f"GeneralizedAmplitudeDampingChannel({self.p}, {self.gamma})"
+
+
+class MixtureChannel(NoiseChannel):
+    """An explicit probabilistic mixture of unitaries."""
+
+    def __init__(self, components: Sequence[Tuple[float, np.ndarray]], name: str = "mixture"):
+        components = [(float(p), np.asarray(u, dtype=complex)) for p, u in components]
+        if not components:
+            raise ValueError("MixtureChannel requires at least one component")
+        total = sum(p for p, _ in components)
+        if abs(total - 1.0) > 1e-7:
+            raise ValueError(f"mixture probabilities must sum to 1, got {total}")
+        dim = components[0][1].shape[0]
+        super().__init__(name, dim.bit_length() - 1)
+        self._components = components
+
+    @property
+    def is_mixture(self) -> bool:
+        return True
+
+    def mixture(self, resolver: Optional[ParamResolver] = None) -> List[Tuple[float, np.ndarray]]:
+        return [(p, u.copy()) for p, u in self._components]
+
+    def kraus_operators(self, resolver: Optional[ParamResolver] = None) -> List[np.ndarray]:
+        return [math.sqrt(p) * u for p, u in self._components]
+
+
+class KrausChannel(NoiseChannel):
+    """A channel defined by an explicit list of Kraus operators."""
+
+    def __init__(self, operators: Sequence[np.ndarray], name: str = "kraus"):
+        operators = [np.asarray(op, dtype=complex) for op in operators]
+        if not operators:
+            raise ValueError("KrausChannel requires at least one operator")
+        dim = operators[0].shape[0]
+        super().__init__(name, dim.bit_length() - 1)
+        self._operators = operators
+        self.validate()
+
+    def kraus_operators(self, resolver: Optional[ParamResolver] = None) -> List[np.ndarray]:
+        return [op.copy() for op in self._operators]
+
+
+def bit_flip(p: ParameterValue) -> BitFlipChannel:
+    return BitFlipChannel(p)
+
+
+def phase_flip(p: ParameterValue) -> PhaseFlipChannel:
+    return PhaseFlipChannel(p)
+
+
+def depolarize(p: ParameterValue) -> DepolarizingChannel:
+    return DepolarizingChannel(p)
+
+
+def amplitude_damp(gamma: ParameterValue) -> AmplitudeDampingChannel:
+    return AmplitudeDampingChannel(gamma)
+
+
+def phase_damp(gamma: ParameterValue) -> PhaseDampingChannel:
+    return PhaseDampingChannel(gamma)
+
+
+def generalized_amplitude_damp(p: ParameterValue, gamma: ParameterValue) -> GeneralizedAmplitudeDampingChannel:
+    return GeneralizedAmplitudeDampingChannel(p, gamma)

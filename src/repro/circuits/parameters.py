@@ -1,0 +1,178 @@
+"""Symbolic parameters for variational circuits.
+
+Variational algorithms (QAOA, VQE) repeatedly execute the same circuit with
+different gate angles.  The knowledge-compilation simulator compiles the
+circuit *structure* once and re-binds numeric values for the symbolic
+parameters on every optimizer iteration, so the circuit IR needs a small
+symbolic-parameter layer: a :class:`Symbol` plus affine expressions of a
+single symbol (enough to express the ``2 * gamma`` style angles appearing in
+QAOA/VQE ansatz circuits).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Union
+
+Number = Union[int, float]
+
+
+class Symbol:
+    """A named free parameter.
+
+    Supports the small amount of arithmetic needed by ansatz construction:
+    multiplication by a scalar and addition of a scalar, both of which yield
+    :class:`ParameterExpression` objects.
+    """
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("Symbol name must be non-empty")
+        self.name = str(name)
+
+    def __repr__(self) -> str:
+        return f"Symbol({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Symbol) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Symbol", self.name))
+
+    def __mul__(self, other: Number) -> "ParameterExpression":
+        return ParameterExpression(self, coefficient=float(other))
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "ParameterExpression":
+        return ParameterExpression(self, coefficient=-1.0)
+
+    def __add__(self, other: Number) -> "ParameterExpression":
+        return ParameterExpression(self, offset=float(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Number) -> "ParameterExpression":
+        return ParameterExpression(self, offset=-float(other))
+
+
+class ParameterExpression:
+    """An affine expression ``coefficient * symbol + offset``."""
+
+    def __init__(self, symbol: Symbol, coefficient: float = 1.0, offset: float = 0.0):
+        self.symbol = symbol
+        self.coefficient = float(coefficient)
+        self.offset = float(offset)
+
+    def __repr__(self) -> str:
+        return (
+            f"ParameterExpression({self.symbol!r}, coefficient={self.coefficient}, "
+            f"offset={self.offset})"
+        )
+
+    def __str__(self) -> str:
+        parts = []
+        if self.coefficient != 1.0:
+            parts.append(f"{self.coefficient}*{self.symbol}")
+        else:
+            parts.append(str(self.symbol))
+        if self.offset:
+            parts.append(f"+ {self.offset}")
+        return " ".join(parts)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ParameterExpression)
+            and other.symbol == self.symbol
+            and other.coefficient == self.coefficient
+            and other.offset == self.offset
+        )
+
+    def __hash__(self) -> int:
+        return hash(("ParameterExpression", self.symbol, self.coefficient, self.offset))
+
+    def __mul__(self, other: Number) -> "ParameterExpression":
+        return ParameterExpression(
+            self.symbol, self.coefficient * float(other), self.offset * float(other)
+        )
+
+    __rmul__ = __mul__
+
+    def __add__(self, other: Number) -> "ParameterExpression":
+        return ParameterExpression(self.symbol, self.coefficient, self.offset + float(other))
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "ParameterExpression":
+        return self * -1.0
+
+    def evaluate(self, value: float) -> float:
+        """Evaluate the expression at ``symbol = value``."""
+        return self.coefficient * value + self.offset
+
+
+ParameterValue = Union[Number, Symbol, ParameterExpression]
+
+
+def is_parameterized(value: ParameterValue) -> bool:
+    """Return True if ``value`` still contains a free symbol."""
+    return isinstance(value, (Symbol, ParameterExpression))
+
+
+def parameter_symbols(value: ParameterValue) -> FrozenSet[Symbol]:
+    """Return the set of symbols appearing in ``value``."""
+    if isinstance(value, Symbol):
+        return frozenset({value})
+    if isinstance(value, ParameterExpression):
+        return frozenset({value.symbol})
+    return frozenset()
+
+
+class ParamResolver:
+    """Maps symbols (or symbol names) to numeric values."""
+
+    def __init__(self, assignments: Mapping[Union[str, Symbol], Number] | None = None):
+        self._values: Dict[str, float] = {}
+        if assignments:
+            for key, value in assignments.items():
+                name = key.name if isinstance(key, Symbol) else str(key)
+                self._values[name] = float(value)
+
+    def __repr__(self) -> str:
+        return f"ParamResolver({self._values!r})"
+
+    def __contains__(self, key: Union[str, Symbol]) -> bool:
+        name = key.name if isinstance(key, Symbol) else str(key)
+        return name in self._values
+
+    def value_of(self, value: ParameterValue) -> float:
+        """Resolve ``value`` to a float, raising KeyError for unbound symbols."""
+        if isinstance(value, Symbol):
+            if value.name not in self._values:
+                raise KeyError(f"Unbound symbol: {value.name}")
+            return self._values[value.name]
+        if isinstance(value, ParameterExpression):
+            return value.evaluate(self.value_of(value.symbol))
+        return float(value)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._values)
+
+    def updated(self, assignments: Mapping[Union[str, Symbol], Number]) -> "ParamResolver":
+        """Return a new resolver with ``assignments`` overriding current values."""
+        merged = self.as_dict()
+        merged.update(
+            {(k.name if isinstance(k, Symbol) else str(k)): float(v) for k, v in assignments.items()}
+        )
+        return ParamResolver(merged)
+
+
+def resolve(value: ParameterValue, resolver: ParamResolver | None) -> float:
+    """Resolve ``value`` using ``resolver``; pass numbers straight through."""
+    if not is_parameterized(value):
+        return float(value)
+    if resolver is None:
+        raise ValueError(f"Parameterized value {value} requires a ParamResolver")
+    return resolver.value_of(value)

@@ -1,0 +1,13 @@
+"""Weighted CNF encoding of complex-valued Bayesian networks."""
+
+from .encoder import CNFEncoding, WeightReference, encode_bayesnet
+from .formula import CNF
+from .simplify import unit_propagate_cnf
+
+__all__ = [
+    "CNF",
+    "CNFEncoding",
+    "WeightReference",
+    "encode_bayesnet",
+    "unit_propagate_cnf",
+]

@@ -1,0 +1,197 @@
+"""Bayesian network -> weighted CNF encoder (Section 3.2.1 of the paper).
+
+The encoder separates the *structure* of the quantum circuit from its
+numeric parameters:
+
+* every binary network variable (qubit states) becomes one propositional
+  variable; multi-valued noise branch selectors are log-encoded over
+  ``ceil(log2(cardinality))`` propositional variables;
+* conditional-amplitude-table entries that are structurally zero become
+  plain clauses forbidding the corresponding assignment;
+* entries that are structurally one contribute nothing;
+* every other entry gets a dedicated *weight variable* ``P`` constrained to
+  be equivalent to the conjunction of its row's literals — the weight value
+  itself is supplied later, per simulation run, which is what enables
+  re-using the compiled representation across variational iterations.
+
+After encoding, known values (the deterministic initial qubit states) are
+absorbed by unit resolution, mirroring the paper's CNF simplification rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..bayesnet.network import (
+    ENTRY_ONE,
+    ENTRY_WEIGHT,
+    ENTRY_ZERO,
+    BayesianNetwork,
+    BayesNode,
+)
+from ..circuits.parameters import ParamResolver
+from .formula import CNF
+from .simplify import unit_propagate_cnf
+
+
+def bits_for_cardinality(cardinality: int) -> int:
+    """Number of propositional variables used to log-encode a node."""
+    if cardinality < 2:
+        raise ValueError("nodes must have cardinality at least 2")
+    return max(1, (cardinality - 1).bit_length())
+
+
+class WeightReference:
+    """Identifies the CAT entry whose numeric value a weight variable carries."""
+
+    def __init__(self, node_name: str, entry_index: Tuple[int, ...]):
+        self.node_name = node_name
+        self.entry_index = entry_index
+
+    def __repr__(self) -> str:
+        return f"WeightReference({self.node_name!r}, {self.entry_index})"
+
+
+class CNFEncoding:
+    """The result of encoding a Bayesian network into weighted CNF."""
+
+    def __init__(
+        self,
+        network: BayesianNetwork,
+        cnf: CNF,
+        node_bits: Dict[str, List[int]],
+        weight_refs: Dict[int, WeightReference],
+        forced_literals: Set[int],
+    ):
+        self.network = network
+        self.cnf = cnf
+        self.node_bits = node_bits
+        self.weight_refs = weight_refs
+        self.forced_literals = forced_literals
+
+    # ------------------------------------------------------------------
+    def bits_of(self, node_name: str) -> List[int]:
+        """The propositional variables encoding ``node_name`` (MSB first)."""
+        return list(self.node_bits[node_name])
+
+    def value_literals(self, node_name: str, value: int) -> List[int]:
+        """Literals asserting ``node_name == value``."""
+        bits = self.node_bits[node_name]
+        width = len(bits)
+        if not 0 <= value < 2 ** width:
+            raise ValueError(f"value {value} out of range for node {node_name}")
+        literals = []
+        for position, variable in enumerate(bits):
+            bit = (value >> (width - 1 - position)) & 1
+            literals.append(variable if bit else -variable)
+        return literals
+
+    def forced_value(self, variable: int) -> Optional[bool]:
+        """The truth value forced by unit resolution, or None if still free."""
+        if variable in self.forced_literals:
+            return True
+        if -variable in self.forced_literals:
+            return False
+        return None
+
+    @property
+    def weight_variables(self) -> List[int]:
+        return sorted(self.weight_refs)
+
+    def weights(self, resolver: Optional[ParamResolver] = None) -> Dict[int, complex]:
+        """Numeric weight for every weight variable under ``resolver``.
+
+        Tables are evaluated once per node and cached for the call, so
+        re-binding parameters each variational iteration touches each CAT a
+        single time.
+        """
+        tables: Dict[str, np.ndarray] = {}
+        values: Dict[int, complex] = {}
+        for variable, reference in self.weight_refs.items():
+            table = tables.get(reference.node_name)
+            if table is None:
+                table = self.network.node(reference.node_name).table(resolver)
+                tables[reference.node_name] = table
+            values[variable] = complex(table[reference.entry_index])
+        return values
+
+    def constant_factor(self, resolver: Optional[ParamResolver] = None) -> complex:
+        """Product of weights of weight variables forced true by simplification."""
+        factor = 1.0 + 0j
+        for literal in self.forced_literals:
+            if literal > 0 and literal in self.weight_refs:
+                reference = self.weight_refs[literal]
+                table = self.network.node(reference.node_name).table(resolver)
+                factor *= complex(table[reference.entry_index])
+        return factor
+
+    def stats(self) -> Dict[str, int]:
+        base = self.cnf.stats()
+        base["state_variables"] = sum(len(bits) for bits in self.node_bits.values())
+        base["weight_variables"] = len(self.weight_refs)
+        base["forced_literals"] = len(self.forced_literals)
+        return base
+
+    def __repr__(self) -> str:
+        return (
+            f"CNFEncoding(vars={self.cnf.num_vars}, clauses={self.cnf.num_clauses}, "
+            f"weights={len(self.weight_refs)})"
+        )
+
+
+def encode_bayesnet(
+    network: BayesianNetwork,
+    simplify: bool = True,
+    probe_count: int = 3,
+) -> CNFEncoding:
+    """Encode ``network`` into a weighted CNF.
+
+    With ``simplify=True`` (the default, matching the paper) unit resolution
+    absorbs deterministic evidence such as the known initial qubit states.
+    """
+    cnf = CNF()
+    node_bits: Dict[str, List[int]] = {}
+    weight_refs: Dict[int, WeightReference] = {}
+    probes = network.probe_resolvers(count=probe_count)
+
+    # 1. One propositional variable per encoded bit of every node.
+    for node in network.nodes:
+        width = bits_for_cardinality(node.cardinality)
+        node_bits[node.name] = [cnf.new_var(f"{node.name}.b{j}") for j in range(width)]
+
+    encoding = CNFEncoding(network, cnf, node_bits, weight_refs, set())
+
+    # 2. Table clauses.
+    for node in network.nodes:
+        structure = node.structure(probes)
+        padded_cardinality = 2 ** bits_for_cardinality(node.cardinality)
+        for entry_index in np.ndindex(*structure.shape):
+            kind = structure[entry_index]
+            if kind == ENTRY_ONE:
+                continue
+            parent_values = entry_index[:-1]
+            child_value = entry_index[-1]
+            row_literals: List[int] = []
+            for parent, value in zip(node.parents, parent_values):
+                row_literals.extend(encoding.value_literals(parent, value))
+            row_literals.extend(encoding.value_literals(node.name, child_value))
+            if kind == ENTRY_ZERO:
+                cnf.add_clause([-l for l in row_literals])
+                continue
+            # ENTRY_WEIGHT: dedicated parameter variable, equivalence-encoded.
+            weight_var = cnf.new_var(f"theta[{node.name}|{parent_values}->{child_value}]")
+            weight_refs[weight_var] = WeightReference(node.name, tuple(int(i) for i in entry_index))
+            cnf.add_clause([-l for l in row_literals] + [weight_var])
+            for literal in row_literals:
+                cnf.add_clause([-weight_var, literal])
+        # Forbid padded (unused) values of log-encoded nodes.
+        for unused_value in range(node.cardinality, padded_cardinality):
+            cnf.add_clause([-l for l in encoding.value_literals(node.name, unused_value)])
+
+    forced: Set[int] = set()
+    if simplify:
+        simplified_cnf, forced = unit_propagate_cnf(cnf)
+        encoding = CNFEncoding(network, simplified_cnf, node_bits, weight_refs, forced)
+    return encoding

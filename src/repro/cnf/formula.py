@@ -1,0 +1,169 @@
+"""CNF formulas with DIMACS-compatible input/output.
+
+Variables are positive integers; literals are signed integers (DIMACS
+convention).  The formula object also tracks human-readable variable names
+so compiled artefacts remain debuggable, mirroring the paper's Table 3 where
+each clause is interpreted back in terms of qubit states.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+Clause = Tuple[int, ...]
+
+
+class CNF:
+    """A conjunctive-normal-form formula over integer variables."""
+
+    def __init__(self, num_vars: int = 0):
+        self.num_vars = int(num_vars)
+        self.clauses: List[Clause] = []
+        self.var_names: Dict[int, str] = {}
+        self.comments: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def new_var(self, name: str = "") -> int:
+        self.num_vars += 1
+        if name:
+            self.var_names[self.num_vars] = name
+        return self.num_vars
+
+    def name_of(self, var: int) -> str:
+        return self.var_names.get(var, f"v{var}")
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        clause = tuple(dict.fromkeys(int(l) for l in literals))
+        if not clause:
+            raise ValueError("cannot add an empty clause")
+        for literal in clause:
+            if literal == 0 or abs(literal) > self.num_vars:
+                raise ValueError(f"literal {literal} out of range (num_vars={self.num_vars})")
+        # A clause containing x and ¬x is a tautology; skip it.
+        positives = {l for l in clause if l > 0}
+        if any(-l in positives for l in clause if l < 0):
+            return
+        self.clauses.append(clause)
+
+    def add_unit(self, literal: int) -> None:
+        self.add_clause([literal])
+
+    def add_exactly_one(self, variables: Sequence[int]) -> None:
+        """At-least-one plus pairwise at-most-one constraints."""
+        variables = list(variables)
+        self.add_clause(variables)
+        for i in range(len(variables)):
+            for j in range(i + 1, len(variables)):
+                self.add_clause([-variables[i], -variables[j]])
+
+    def add_comment(self, text: str) -> None:
+        self.comments.append(text)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def variables(self) -> Set[int]:
+        return {abs(l) for clause in self.clauses for l in clause}
+
+    def primal_graph(self) -> Dict[int, Set[int]]:
+        """Undirected graph connecting variables that share a clause."""
+        adjacency: Dict[int, Set[int]] = {v: set() for v in range(1, self.num_vars + 1)}
+        for clause in self.clauses:
+            vars_in_clause = [abs(l) for l in clause]
+            for i in range(len(vars_in_clause)):
+                for j in range(i + 1, len(vars_in_clause)):
+                    a, b = vars_in_clause[i], vars_in_clause[j]
+                    if a != b:
+                        adjacency[a].add(b)
+                        adjacency[b].add(a)
+        return adjacency
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "variables": self.num_vars,
+            "clauses": self.num_clauses,
+            "literals": sum(len(c) for c in self.clauses),
+        }
+
+    def __repr__(self) -> str:
+        return f"CNF(vars={self.num_vars}, clauses={self.num_clauses})"
+
+    # ------------------------------------------------------------------
+    # Semantics (for testing on small formulas)
+    # ------------------------------------------------------------------
+    def is_satisfied_by(self, assignment: Dict[int, bool]) -> bool:
+        for clause in self.clauses:
+            if not any(
+                (literal > 0) == assignment.get(abs(literal), False) for literal in clause
+            ):
+                return False
+        return True
+
+    def enumerate_models(self) -> Iterable[Dict[int, bool]]:
+        """Brute-force model enumeration (exponential; small formulas only)."""
+        variables = sorted(self.variables() | set(range(1, self.num_vars + 1)))
+        total = len(variables)
+        for mask in range(2 ** total):
+            assignment = {
+                variable: bool((mask >> position) & 1) for position, variable in enumerate(variables)
+            }
+            if self.is_satisfied_by(assignment):
+                yield assignment
+
+    def model_count(self) -> int:
+        return sum(1 for _ in self.enumerate_models())
+
+    # ------------------------------------------------------------------
+    # DIMACS I/O
+    # ------------------------------------------------------------------
+    def to_dimacs(self) -> str:
+        lines = [f"c {comment}" for comment in self.comments]
+        lines += [f"c var {var} {name}" for var, name in sorted(self.var_names.items())]
+        lines.append(f"p cnf {self.num_vars} {self.num_clauses}")
+        for clause in self.clauses:
+            lines.append(" ".join(str(l) for l in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def from_dimacs(text: str) -> "CNF":
+        cnf = CNF()
+        declared_vars = 0
+        for raw_line in text.splitlines():
+            line = raw_line.strip()
+            if not line:
+                continue
+            if line.startswith("c"):
+                parts = line.split()
+                if len(parts) >= 4 and parts[1] == "var" and parts[2].isdigit():
+                    cnf.var_names[int(parts[2])] = " ".join(parts[3:])
+                else:
+                    cnf.comments.append(line[1:].strip())
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                declared_vars = int(parts[2])
+                cnf.num_vars = max(cnf.num_vars, declared_vars)
+                continue
+            literals = [int(token) for token in line.split()]
+            if literals and literals[-1] == 0:
+                literals = literals[:-1]
+            if literals:
+                cnf.num_vars = max(cnf.num_vars, max(abs(l) for l in literals))
+                cnf.add_clause(literals)
+        cnf.num_vars = max(cnf.num_vars, declared_vars)
+        return cnf
+
+    def write_dimacs(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_dimacs())
+
+    @staticmethod
+    def read_dimacs(path: str) -> "CNF":
+        with open(path, "r", encoding="utf-8") as handle:
+            return CNF.from_dimacs(handle.read())

@@ -1,0 +1,62 @@
+"""CNF simplification by unit resolution.
+
+The encoder produces unit clauses for deterministic facts (known initial
+qubit states, impossible values).  Propagating them shrinks the CNF before
+knowledge compilation — the paper reports a linear clause-count reduction
+that translates into significantly smaller compiled circuits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from .formula import CNF
+
+
+def unit_propagate_cnf(cnf: CNF) -> Tuple[CNF, Set[int]]:
+    """Propagate unit clauses to a fixpoint.
+
+    Returns a new CNF (same variable numbering, satisfied clauses removed,
+    false literals deleted) together with the set of literals forced true.
+    Raises ``ValueError`` if the formula is unsatisfiable — a quantum-circuit
+    encoding can never be, so this indicates an encoding bug.
+    """
+    working: List[List[int]] = [list(clause) for clause in cnf.clauses]
+    forced: Set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for clause in working:
+            if len(clause) == 1:
+                literal = clause[0]
+                if -literal in forced:
+                    raise ValueError("CNF is unsatisfiable under unit propagation")
+                if literal not in forced:
+                    forced.add(literal)
+                    changed = True
+        if not changed:
+            break
+        reduced: List[List[int]] = []
+        for clause in working:
+            satisfied = False
+            remaining: List[int] = []
+            for literal in clause:
+                if literal in forced:
+                    satisfied = True
+                    break
+                if -literal in forced:
+                    continue
+                remaining.append(literal)
+            if satisfied:
+                continue
+            if not remaining:
+                raise ValueError("CNF is unsatisfiable under unit propagation")
+            reduced.append(remaining)
+        working = reduced
+
+    simplified = CNF(cnf.num_vars)
+    simplified.var_names = dict(cnf.var_names)
+    simplified.comments = list(cnf.comments)
+    for clause in working:
+        simplified.add_clause(clause)
+    return simplified, forced

@@ -1,0 +1,5 @@
+"""Dense density-matrix simulator backend (Cirq noisy-simulator stand-in)."""
+
+from .simulator import DensityMatrixSimulator
+
+__all__ = ["DensityMatrixSimulator"]

@@ -1,0 +1,109 @@
+"""Shared infrastructure for the per-figure experiment harness.
+
+Every experiment module produces a list of plain-dict rows (one per data
+point / table row) that mirror the series shown in the paper, plus helpers
+to render them as aligned text tables or CSV so results can be inspected
+without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+
+class Timer:
+    """A simple wall-clock timer used by the performance experiments."""
+
+    def __init__(self):
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def time_callable(function: Callable[[], Any]) -> tuple:
+    """Run ``function`` once, returning ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - start
+
+
+def format_table(rows: Sequence[Dict[str, Any]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as an aligned text table (the harness's stand-in for plots)."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = []
+    for row in rows:
+        rendered_rows.append([_format_cell(row.get(column, "")) for column in columns])
+    widths = [
+        max(len(str(column)), max(len(cells[i]) for cells in rendered_rows))
+        for i, column in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns)),
+        "  ".join("-" * widths[i] for i in range(len(columns))),
+    ]
+    for cells in rendered_rows:
+        lines.append("  ".join(cells[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def rows_to_csv(rows: Sequence[Dict[str, Any]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as CSV text."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns), extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_csv(path: str, rows: Sequence[Dict[str, Any]], columns: Optional[Sequence[str]] = None) -> None:
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(rows_to_csv(rows, columns))
+
+
+class ExperimentResult:
+    """A named collection of result rows for one paper figure or table."""
+
+    def __init__(self, name: str, description: str, rows: List[Dict[str, Any]]):
+        self.name = name
+        self.description = description
+        self.rows = rows
+
+    def table(self, columns: Optional[Sequence[str]] = None) -> str:
+        return format_table(self.rows, columns)
+
+    def csv(self, columns: Optional[Sequence[str]] = None) -> str:
+        return rows_to_csv(self.rows, columns)
+
+    def summary(self) -> str:
+        header = f"== {self.name}: {self.description} =="
+        return f"{header}\n{self.table()}"
+
+    def __repr__(self) -> str:
+        return f"ExperimentResult({self.name!r}, rows={len(self.rows)})"

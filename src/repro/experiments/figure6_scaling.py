@@ -1,0 +1,90 @@
+"""Figure 6 / Table 4: compiled-circuit size vs. quantum-circuit size.
+
+The paper plots the number of arithmetic-circuit nodes (log scale) against
+the number of CNF variables for three workloads: random circuit sampling
+(unstructured — exponential growth), Grover's search and Shor's algorithm
+(structured — sub-exponential growth).  Table 4 reports qubit/gate counts and
+AC file size for the largest instance of each workload.
+
+This experiment reproduces both, at laptop-scale instance sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..algorithms import grover_circuit, order_finding_circuit, random_circuit
+from ..simulator.kc_simulator import KnowledgeCompilationSimulator
+from .common import ExperimentResult, time_callable
+
+
+def _compile_and_measure(name: str, circuit, simulator: KnowledgeCompilationSimulator) -> Dict:
+    compiled, elapsed = time_callable(lambda: simulator.compile_circuit(circuit))
+    metrics = compiled.compilation_metrics()
+    return {
+        "workload": name,
+        "qubits": metrics["qubits"],
+        "gates": metrics["gates"],
+        "cnf_variables": metrics["cnf_variables"],
+        "cnf_clauses": metrics["cnf_clauses"],
+        "ac_nodes": metrics["ac_nodes"],
+        "ac_edges": metrics["ac_edges"],
+        "ac_size_bytes": metrics["ac_size_bytes"],
+        "compile_seconds": round(elapsed, 4),
+    }
+
+
+def default_instances(scale: str = "small") -> Dict[str, List]:
+    """Instance ladders per workload; "small" keeps everything under a minute."""
+    if scale == "small":
+        rcs_sizes = [(4, 2), (5, 2), (6, 2)]
+        grover_sizes = [2, 3]
+        shor_cases = [(2, 3), (2, 5)]
+    else:
+        rcs_sizes = [(4, 2), (6, 3), (8, 3), (10, 4)]
+        grover_sizes = [2, 3, 4]
+        shor_cases = [(2, 3), (2, 5), (4, 15), (7, 15)]
+    return {
+        "rcs": [random_circuit(n, depth, seed=17 + n).circuit for n, depth in rcs_sizes],
+        "grover": [grover_circuit([1] * n).circuit for n in grover_sizes],
+        "shor": [order_finding_circuit(a, modulus).circuit for a, modulus in shor_cases],
+    }
+
+
+def run(scale: str = "small", order_method: str = "min_fill") -> ExperimentResult:
+    """Compile every instance and report CNF-variable vs AC-node scaling."""
+    simulator = KnowledgeCompilationSimulator(order_method=order_method)
+    rows: List[Dict] = []
+    for workload, circuits in default_instances(scale).items():
+        for circuit in circuits:
+            rows.append(_compile_and_measure(workload, circuit, simulator))
+    return ExperimentResult(
+        "figure6_scaling",
+        "AC nodes vs CNF variables for RCS, Grover and Shor workloads (Figure 6 / Table 4)",
+        rows,
+    )
+
+
+def table4(result: Optional[ExperimentResult] = None, scale: str = "small") -> ExperimentResult:
+    """Table 4: the largest instance per workload."""
+    if result is None:
+        result = run(scale)
+    largest: Dict[str, Dict] = {}
+    for row in result.rows:
+        current = largest.get(row["workload"])
+        if current is None or row["cnf_variables"] > current["cnf_variables"]:
+            largest[row["workload"]] = row
+    rows = [
+        {
+            "workload": row["workload"],
+            "qubits": row["qubits"],
+            "gates": row["gates"],
+            "ac_file_size_bytes": row["ac_size_bytes"],
+        }
+        for row in largest.values()
+    ]
+    return ExperimentResult(
+        "table4_largest_instances",
+        "Problem-size metrics for the largest instances (Table 4)",
+        rows,
+    )

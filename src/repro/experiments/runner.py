@@ -1,0 +1,73 @@
+"""Run every experiment in the reproduction harness.
+
+``python -m repro.experiments.runner`` executes a laptop-scale version of
+every table and figure in the paper's evaluation and prints the resulting
+tables; pass ``--quick`` for an even smaller smoke-test configuration.
+Numbers land in ``EXPERIMENTS.md``-style text output (no plotting
+dependency).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from . import (
+    bell_example,
+    figure1_ac_reduction,
+    figure3_peaked_distribution,
+    figure6_scaling,
+    figure7_sampling_error,
+    figure8_ideal_performance,
+    figure9_noisy_performance,
+    table6_compilation_metrics,
+)
+from .common import ExperimentResult
+
+
+def run_all(quick: bool = False) -> List[ExperimentResult]:
+    """Run every experiment and return the collected results."""
+    results: List[ExperimentResult] = []
+
+    results.extend(bell_example.run())
+    results.append(figure1_ac_reduction.run(num_qubits=4))
+
+    if quick:
+        results.append(figure3_peaked_distribution.run(num_qubits=6, num_samples=800))
+        results.append(figure6_scaling.run(scale="small"))
+        results.extend(figure7_sampling_error.run_both(ideal_qubits=6, noisy_qubits=3,
+                                                       sample_counts=[10, 100, 500]))
+        results.append(figure8_ideal_performance.run("qaoa", 1, [4, 6, 8], num_samples=200))
+        results.append(figure8_ideal_performance.run("vqe", 1, [4, 6], num_samples=200))
+        results.append(figure9_noisy_performance.run("qaoa", 1, [4], num_samples=100))
+        results.append(figure9_noisy_performance.run("vqe", 1, [4], num_samples=100))
+        results.append(
+            table6_compilation_metrics.run(
+                ideal_qaoa_qubits=8, ideal_vqe_qubits=6, noisy_qaoa_qubits=4, noisy_vqe_qubits=4,
+                include_two_iterations=False,
+            )
+        )
+    else:
+        results.append(figure3_peaked_distribution.run(num_qubits=10, num_samples=4000))
+        results.append(figure6_scaling.run(scale="small"))
+        results.extend(figure7_sampling_error.run_both(ideal_qubits=8, noisy_qubits=4))
+        results.extend(figure8_ideal_performance.run_all_panels(num_samples=1000))
+        results.extend(figure9_noisy_performance.run_all_panels(num_samples=500))
+        results.append(table6_compilation_metrics.run())
+
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="run a reduced smoke-test configuration")
+    arguments = parser.parse_args(argv)
+    for result in run_all(quick=arguments.quick):
+        print(result.summary())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

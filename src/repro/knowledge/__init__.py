@@ -1,0 +1,54 @@
+"""Knowledge compilation: CNF -> d-DNNF -> arithmetic circuits."""
+
+from .arithmetic_circuit import ArithmeticCircuit
+from .compiler import CompilationStats, KnowledgeCompiler, split_components, unit_propagate
+from .nnf import (
+    AndNode,
+    FalseNode,
+    LiteralNode,
+    NNFManager,
+    NNFNode,
+    OrNode,
+    TrueNode,
+    check_decomposability,
+    check_smoothness,
+    count_nodes_and_edges,
+    evaluate_boolean,
+    topological_nodes,
+    variables_of,
+)
+from .queries import (
+    NoiseExplanation,
+    SensitivityReport,
+    most_probable_explanation,
+    sensitivity_analysis,
+)
+from .transform import condition, forget, smooth
+
+__all__ = [
+    "ArithmeticCircuit",
+    "CompilationStats",
+    "KnowledgeCompiler",
+    "NNFManager",
+    "NNFNode",
+    "TrueNode",
+    "FalseNode",
+    "LiteralNode",
+    "AndNode",
+    "OrNode",
+    "check_decomposability",
+    "check_smoothness",
+    "count_nodes_and_edges",
+    "evaluate_boolean",
+    "topological_nodes",
+    "variables_of",
+    "condition",
+    "forget",
+    "smooth",
+    "split_components",
+    "unit_propagate",
+    "NoiseExplanation",
+    "SensitivityReport",
+    "most_probable_explanation",
+    "sensitivity_analysis",
+]

@@ -1,0 +1,273 @@
+"""Arithmetic circuits: evaluating and differentiating compiled NNF.
+
+A smooth, deterministic, decomposable NNF evaluated over a semiring —
+literal leaves replaced by numeric values, AND by multiplication, OR by
+addition — is the paper's arithmetic circuit (Figure 5).  Two passes matter:
+
+* the **upward pass** computes the weighted model count, which in the
+  quantum encoding is the amplitude of the evidence (Section 3.3.1);
+* the **downward pass** computes the partial derivative of the root with
+  respect to every leaf (Darwiche's differential approach), which yields the
+  amplitude of every single-flip neighbour of the current assignment in one
+  sweep — exactly what the Gibbs sampler needs (Section 3.3.2).
+
+Values are complex (quantum amplitudes); noise probabilities embed as the
+real entries of Kraus operators.  Both passes are vectorised: nodes are
+grouped by topological level and evaluated with ``reduceat``/scatter-add
+operations, so repeated queries (the variational-algorithm use case) cost a
+handful of NumPy calls per level rather than a Python loop per node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .nnf import (
+    AndNode,
+    FalseNode,
+    LiteralNode,
+    NNFNode,
+    OrNode,
+    TrueNode,
+    topological_nodes,
+)
+
+NODE_FALSE = 0
+NODE_TRUE = 1
+NODE_LITERAL = 2
+NODE_AND = 3
+NODE_OR = 4
+
+
+class _LevelGroup:
+    """All AND (or all OR) nodes sharing one topological level."""
+
+    __slots__ = ("is_and", "node_positions", "child_indices", "offsets", "arities")
+
+    def __init__(self, is_and: bool, node_positions: List[int], children: List[List[int]]):
+        self.is_and = is_and
+        self.node_positions = np.asarray(node_positions, dtype=np.int64)
+        self.arities = np.asarray([len(c) for c in children], dtype=np.int64)
+        flat: List[int] = []
+        offsets: List[int] = []
+        cursor = 0
+        for child_list in children:
+            offsets.append(cursor)
+            flat.extend(child_list)
+            cursor += len(child_list)
+        self.child_indices = np.asarray(flat, dtype=np.int64)
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+
+
+class ArithmeticCircuit:
+    """A flattened, topologically ordered, vectorised arithmetic circuit."""
+
+    def __init__(self, root: NNFNode, num_vars: int):
+        self.num_vars = int(num_vars)
+        nodes = topological_nodes(root)
+        index_of: Dict[int, int] = {node.node_id: i for i, node in enumerate(nodes)}
+        self.root_index = index_of[root.node_id]
+        self.num_nodes = len(nodes)
+
+        self.node_types: List[int] = []
+        self.literals: List[int] = []
+        self.children: List[List[int]] = []
+        levels = np.zeros(self.num_nodes, dtype=np.int64)
+
+        literal_positions: List[int] = []
+        literal_vars: List[int] = []
+        literal_signs: List[int] = []
+        true_positions: List[int] = []
+        false_positions: List[int] = []
+
+        for position, node in enumerate(nodes):
+            if isinstance(node, FalseNode):
+                self.node_types.append(NODE_FALSE)
+                self.literals.append(0)
+                self.children.append([])
+                false_positions.append(position)
+            elif isinstance(node, TrueNode):
+                self.node_types.append(NODE_TRUE)
+                self.literals.append(0)
+                self.children.append([])
+                true_positions.append(position)
+            elif isinstance(node, LiteralNode):
+                self.node_types.append(NODE_LITERAL)
+                self.literals.append(node.literal)
+                self.children.append([])
+                literal_positions.append(position)
+                literal_vars.append(abs(node.literal))
+                literal_signs.append(1 if node.literal > 0 else 0)
+            elif isinstance(node, (AndNode, OrNode)):
+                child_positions = [index_of[c.node_id] for c in node.children()]
+                self.node_types.append(NODE_AND if isinstance(node, AndNode) else NODE_OR)
+                self.literals.append(0)
+                self.children.append(child_positions)
+                levels[position] = 1 + max(levels[c] for c in child_positions)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown NNF node type: {type(node)}")
+
+        self._literal_positions = np.asarray(literal_positions, dtype=np.int64)
+        self._literal_vars = np.asarray(literal_vars, dtype=np.int64)
+        self._literal_signs = np.asarray(literal_signs, dtype=np.int64)
+        self._true_positions = np.asarray(true_positions, dtype=np.int64)
+        self._false_positions = np.asarray(false_positions, dtype=np.int64)
+
+        # Group internal nodes by (level, type) for vectorised passes.
+        grouped: Dict[Tuple[int, int], Tuple[List[int], List[List[int]]]] = {}
+        for position in range(self.num_nodes):
+            node_type = self.node_types[position]
+            if node_type not in (NODE_AND, NODE_OR):
+                continue
+            key = (int(levels[position]), node_type)
+            bucket = grouped.setdefault(key, ([], []))
+            bucket[0].append(position)
+            bucket[1].append(self.children[position])
+        self._groups: List[_LevelGroup] = [
+            _LevelGroup(node_type == NODE_AND, positions, children)
+            for (level, node_type), (positions, children) in sorted(grouped.items())
+        ]
+
+    # ------------------------------------------------------------------
+    # Structural metrics (used by Figure 6 / Table 4 / Table 6 experiments)
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return sum(len(c) for c in self.children)
+
+    @property
+    def num_literal_leaves(self) -> int:
+        return len(self._literal_positions)
+
+    def size_bytes(self) -> int:
+        """Approximate serialized size (length of the c2d-style .nnf text)."""
+        return len(self.to_nnf_text().encode("utf-8"))
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "literal_leaves": self.num_literal_leaves,
+            "size_bytes": self.size_bytes(),
+        }
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def default_literal_values(self) -> np.ndarray:
+        """Array of literal values, all ones: shape (num_vars + 1, 2).
+
+        Index ``[v, 1]`` holds the value of literal ``+v`` and ``[v, 0]`` the
+        value of ``-v``; row 0 is unused.
+        """
+        return np.ones((self.num_vars + 1, 2), dtype=complex)
+
+    def _upward(self, literal_values: np.ndarray) -> Tuple[np.ndarray, Dict[int, Tuple[np.ndarray, np.ndarray]]]:
+        """Bottom-up pass.  Returns node values plus per-AND-group zero bookkeeping."""
+        values = np.zeros(self.num_nodes, dtype=complex)
+        if len(self._true_positions):
+            values[self._true_positions] = 1.0
+        if len(self._literal_positions):
+            values[self._literal_positions] = literal_values[self._literal_vars, self._literal_signs]
+
+        and_bookkeeping: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        for group_index, group in enumerate(self._groups):
+            gathered = values[group.child_indices]
+            if group.is_and:
+                zero_mask = gathered == 0
+                zero_counts = np.add.reduceat(zero_mask.astype(np.int64), group.offsets)
+                nonzero_product = np.multiply.reduceat(
+                    np.where(zero_mask, 1.0 + 0j, gathered), group.offsets
+                )
+                values[group.node_positions] = np.where(zero_counts > 0, 0.0 + 0j, nonzero_product)
+                and_bookkeeping[group_index] = (zero_counts, nonzero_product)
+            else:
+                values[group.node_positions] = np.add.reduceat(gathered, group.offsets)
+        return values, and_bookkeeping
+
+    def evaluate(self, literal_values: np.ndarray) -> complex:
+        """Upward pass: the weighted model count under ``literal_values``."""
+        values, _ = self._upward(literal_values)
+        return complex(values[self.root_index])
+
+    def evaluate_with_derivatives(
+        self, literal_values: np.ndarray
+    ) -> Tuple[complex, np.ndarray]:
+        """Upward + downward pass.
+
+        Returns ``(root_value, derivatives)`` where ``derivatives`` has the
+        same shape as ``literal_values`` and holds the partial derivative of
+        the root with respect to each literal leaf value.
+        """
+        values, and_bookkeeping = self._upward(literal_values)
+        gradients = np.zeros(self.num_nodes, dtype=complex)
+        gradients[self.root_index] = 1.0
+
+        for group_index in range(len(self._groups) - 1, -1, -1):
+            group = self._groups[group_index]
+            parent_gradients = gradients[group.node_positions]
+            per_edge_gradient = np.repeat(parent_gradients, group.arities)
+            if group.is_and:
+                zero_counts, nonzero_product = and_bookkeeping[group_index]
+                child_values = values[group.child_indices]
+                zero_counts_per_edge = np.repeat(zero_counts, group.arities)
+                nonzero_product_per_edge = np.repeat(nonzero_product, group.arities)
+                child_is_zero = child_values == 0
+                # Product of the node's *other* children:
+                #  - no zero children: nonzero_product / child_value
+                #  - exactly one zero child: nonzero_product for that child, 0 for others
+                #  - two or more zero children: 0 everywhere.
+                safe_ratio = np.divide(
+                    nonzero_product_per_edge,
+                    child_values,
+                    out=np.zeros_like(child_values),
+                    where=~child_is_zero,
+                )
+                others_product = np.where(
+                    zero_counts_per_edge == 0,
+                    safe_ratio,
+                    np.where(
+                        (zero_counts_per_edge == 1) & child_is_zero,
+                        nonzero_product_per_edge,
+                        0.0 + 0j,
+                    ),
+                )
+                contributions = per_edge_gradient * others_product
+            else:
+                contributions = per_edge_gradient
+            np.add.at(gradients, group.child_indices, contributions)
+
+        derivatives = np.zeros_like(literal_values, dtype=complex)
+        if len(self._literal_positions):
+            np.add.at(
+                derivatives,
+                (self._literal_vars, self._literal_signs),
+                gradients[self._literal_positions],
+            )
+        return complex(values[self.root_index]), derivatives
+
+    # ------------------------------------------------------------------
+    # Serialisation (c2d-compatible .nnf text)
+    # ------------------------------------------------------------------
+    def to_nnf_text(self) -> str:
+        lines = [f"nnf {self.num_nodes} {self.num_edges} {self.num_vars}"]
+        for index in range(self.num_nodes):
+            node_type = self.node_types[index]
+            if node_type == NODE_FALSE:
+                lines.append("O 0 0")
+            elif node_type == NODE_TRUE:
+                lines.append("A 0")
+            elif node_type == NODE_LITERAL:
+                lines.append(f"L {self.literals[index]}")
+            elif node_type == NODE_AND:
+                children = self.children[index]
+                lines.append("A " + " ".join(str(c) for c in [len(children)] + children))
+            else:
+                children = self.children[index]
+                lines.append("O 0 " + " ".join(str(c) for c in [len(children)] + children))
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:
+        return f"ArithmeticCircuit(nodes={self.num_nodes}, edges={self.num_edges}, vars={self.num_vars})"

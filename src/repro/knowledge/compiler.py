@@ -1,0 +1,248 @@
+"""Exhaustive DPLL knowledge compiler: CNF -> deterministic decomposable NNF.
+
+This is the reproduction's stand-in for the c2d compiler used by the paper.
+It performs exhaustive DPLL search with
+
+* unit propagation,
+* connected-component decomposition (decomposable AND nodes),
+* formula caching (hash-consed sub-results shared across branches), and
+* a static decision-variable order derived from the CNF primal graph
+  (min-fill / min-degree / lexicographic / hypergraph-partitioning, the same
+  menu of orderings the paper discusses for qubit-state elimination).
+
+The result is a decision-DNNF whose OR nodes are deterministic (each decides
+one variable), which after smoothing evaluates amplitudes by a single
+bottom-up pass — the arithmetic circuit of the paper's Figure 5.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..bayesnet.elimination_order import elimination_order
+from ..cnf.formula import CNF, Clause
+from .nnf import NNFManager, NNFNode
+
+ClauseSet = FrozenSet[Clause]
+
+
+class CompilationStats:
+    """Counters describing one compilation run."""
+
+    def __init__(self):
+        self.decisions = 0
+        self.cache_hits = 0
+        self.component_splits = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "decisions": self.decisions,
+            "cache_hits": self.cache_hits,
+            "component_splits": self.component_splits,
+        }
+
+    def __repr__(self) -> str:
+        return f"CompilationStats({self.as_dict()})"
+
+
+class KnowledgeCompiler:
+    """Compiles CNF formulas to deterministic decomposable NNF."""
+
+    def __init__(self, order_method: str = "min_fill"):
+        self.order_method = order_method
+
+    # ------------------------------------------------------------------
+    def compile(
+        self,
+        cnf: CNF,
+        manager: Optional[NNFManager] = None,
+        variable_order: Optional[Sequence[int]] = None,
+        decision_variables: Optional[Sequence[int]] = None,
+    ) -> Tuple[NNFNode, NNFManager, CompilationStats]:
+        """Compile ``cnf``; returns (root node, manager, statistics).
+
+        ``decision_variables`` restricts branching to the given variables
+        (the quantum encoding only ever needs to branch on qubit-state and
+        noise-branch bits — weight variables are always implied by unit
+        propagation once their row is decided, so excluding them shrinks the
+        search dramatically).  If a component contains none of them the
+        compiler falls back to branching on any of its variables.
+        """
+        manager = manager or NNFManager()
+        stats = CompilationStats()
+        if variable_order is None:
+            variable_order = self.decision_order(cnf)
+        order_index: Dict[int, int] = {var: i for i, var in enumerate(variable_order)}
+        # Variables missing from the order (e.g. isolated) go last.
+        next_rank = len(order_index)
+        for var in range(1, cnf.num_vars + 1):
+            if var not in order_index:
+                order_index[var] = next_rank
+                next_rank += 1
+        decision_set = set(decision_variables) if decision_variables is not None else None
+
+        clauses: ClauseSet = frozenset(tuple(sorted(set(c))) for c in cnf.clauses)
+        cache: Dict[ClauseSet, NNFNode] = {}
+
+        previous_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(previous_limit, 100_000))
+        try:
+            root = self._compile(clauses, manager, cache, order_index, stats, decision_set)
+        finally:
+            sys.setrecursionlimit(previous_limit)
+        return root, manager, stats
+
+    def decision_order(self, cnf: CNF) -> List[int]:
+        """Static decision order over the CNF's variables."""
+        return list(elimination_order(cnf.primal_graph(), self.order_method))
+
+    # ------------------------------------------------------------------
+    def _compile(
+        self,
+        clauses: ClauseSet,
+        manager: NNFManager,
+        cache: Dict[ClauseSet, NNFNode],
+        order_index: Dict[int, int],
+        stats: CompilationStats,
+        decision_set: Optional[Set[int]],
+    ) -> NNFNode:
+        cached = cache.get(clauses)
+        if cached is not None:
+            stats.cache_hits += 1
+            return cached
+
+        simplified, implied, conflict = unit_propagate(clauses)
+        if conflict:
+            cache[clauses] = manager.false()
+            return manager.false()
+
+        literal_nodes = [manager.literal(lit) for lit in sorted(implied, key=abs)]
+
+        if not simplified:
+            node = manager.conjoin(literal_nodes)
+            cache[clauses] = node
+            return node
+
+        components = split_components(simplified)
+        if len(components) > 1:
+            stats.component_splits += 1
+
+        component_nodes: List[NNFNode] = []
+        for component in components:
+            component_nodes.append(
+                self._compile_component(component, manager, cache, order_index, stats, decision_set)
+            )
+
+        node = manager.conjoin(literal_nodes + component_nodes)
+        cache[clauses] = node
+        return node
+
+    def _compile_component(
+        self,
+        component: ClauseSet,
+        manager: NNFManager,
+        cache: Dict[ClauseSet, NNFNode],
+        order_index: Dict[int, int],
+        stats: CompilationStats,
+        decision_set: Optional[Set[int]],
+    ) -> NNFNode:
+        cached = cache.get(component)
+        if cached is not None:
+            stats.cache_hits += 1
+            return cached
+
+        variables = {abs(l) for clause in component for l in clause}
+        candidates = variables
+        if decision_set is not None:
+            preferred = variables & decision_set
+            if preferred:
+                candidates = preferred
+        decision = min(candidates, key=lambda v: (order_index.get(v, v), v))
+        stats.decisions += 1
+
+        positive = self._compile(
+            component | frozenset({(decision,)}), manager, cache, order_index, stats, decision_set
+        )
+        negative = self._compile(
+            component | frozenset({(-decision,)}), manager, cache, order_index, stats, decision_set
+        )
+        node = manager.disjoin([positive, negative], decision_variable=decision)
+        cache[component] = node
+        return node
+
+
+# ----------------------------------------------------------------------
+# CNF manipulation helpers (shared with the encoder's simplifier)
+# ----------------------------------------------------------------------
+def unit_propagate(clauses: Iterable[Clause]) -> Tuple[ClauseSet, Set[int], bool]:
+    """Unit propagation to a fixpoint.
+
+    Returns ``(residual_clauses, implied_literals, conflict)``.  The residual
+    clauses contain no implied variables and no unit clauses.
+    """
+    working: List[List[int]] = [list(c) for c in clauses]
+    implied: Set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        units = [c[0] for c in working if len(c) == 1]
+        if not units:
+            break
+        for literal in units:
+            if -literal in implied:
+                return frozenset(), implied, True
+            if literal in implied:
+                continue
+            implied.add(literal)
+            changed = True
+        new_working: List[List[int]] = []
+        for clause in working:
+            satisfied = False
+            reduced: List[int] = []
+            for literal in clause:
+                if literal in implied:
+                    satisfied = True
+                    break
+                if -literal in implied:
+                    continue
+                reduced.append(literal)
+            if satisfied:
+                continue
+            if not reduced:
+                return frozenset(), implied, True
+            new_working.append(reduced)
+        working = new_working
+    residual = frozenset(tuple(sorted(set(c))) for c in working)
+    return residual, implied, False
+
+
+def split_components(clauses: ClauseSet) -> List[ClauseSet]:
+    """Partition clauses into groups sharing no variables (union-find)."""
+    parent: Dict[int, int] = {}
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for clause in clauses:
+        variables = [abs(l) for l in clause]
+        for var in variables:
+            parent.setdefault(var, var)
+        for other in variables[1:]:
+            union(variables[0], other)
+
+    groups: Dict[int, List[Clause]] = {}
+    for clause in clauses:
+        root = find(abs(clause[0]))
+        groups.setdefault(root, []).append(clause)
+    return [frozenset(group) for group in groups.values()]

@@ -1,0 +1,266 @@
+"""Negation normal form (NNF) node structures with hash-consing.
+
+The knowledge compiler produces *deterministic, decomposable* NNF (d-DNNF):
+
+* decomposable — the children of every AND node mention disjoint variables,
+* deterministic — the children of every OR node are mutually inconsistent.
+
+These properties make weighted model counting a single bottom-up pass, which
+is what turns the compiled representation into the paper's arithmetic
+circuit.  Nodes are hash-consed through :class:`NNFManager` so structurally
+identical sub-circuits are shared (the DAG form in Figure 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+class NNFNode:
+    """Base class for NNF nodes.  Instances are created via :class:`NNFManager`."""
+
+    __slots__ = ("node_id",)
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+
+    def children(self) -> Tuple["NNFNode", ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(id={self.node_id})"
+
+
+class TrueNode(NNFNode):
+    __slots__ = ()
+
+
+class FalseNode(NNFNode):
+    __slots__ = ()
+
+
+class LiteralNode(NNFNode):
+    __slots__ = ("literal",)
+
+    def __init__(self, node_id: int, literal: int):
+        super().__init__(node_id)
+        self.literal = literal
+
+    @property
+    def variable(self) -> int:
+        return abs(self.literal)
+
+    @property
+    def positive(self) -> bool:
+        return self.literal > 0
+
+    def __repr__(self) -> str:
+        return f"LiteralNode({self.literal})"
+
+
+class AndNode(NNFNode):
+    __slots__ = ("_children",)
+
+    def __init__(self, node_id: int, children: Tuple[NNFNode, ...]):
+        super().__init__(node_id)
+        self._children = children
+
+    def children(self) -> Tuple[NNFNode, ...]:
+        return self._children
+
+
+class OrNode(NNFNode):
+    __slots__ = ("_children", "decision_variable")
+
+    def __init__(self, node_id: int, children: Tuple[NNFNode, ...], decision_variable: int = 0):
+        super().__init__(node_id)
+        self._children = children
+        self.decision_variable = decision_variable
+
+    def children(self) -> Tuple[NNFNode, ...]:
+        return self._children
+
+
+class NNFManager:
+    """Creates NNF nodes with structural sharing (a unique table)."""
+
+    def __init__(self):
+        self._next_id = 0
+        self._true: Optional[TrueNode] = None
+        self._false: Optional[FalseNode] = None
+        self._literals: Dict[int, LiteralNode] = {}
+        self._ands: Dict[Tuple[int, ...], AndNode] = {}
+        self._ors: Dict[Tuple[Tuple[int, ...], int], OrNode] = {}
+
+    def _new_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    # ------------------------------------------------------------------
+    def true(self) -> TrueNode:
+        if self._true is None:
+            self._true = TrueNode(self._new_id())
+        return self._true
+
+    def false(self) -> FalseNode:
+        if self._false is None:
+            self._false = FalseNode(self._new_id())
+        return self._false
+
+    def literal(self, literal: int) -> LiteralNode:
+        if literal == 0:
+            raise ValueError("literal cannot be zero")
+        node = self._literals.get(literal)
+        if node is None:
+            node = LiteralNode(self._new_id(), literal)
+            self._literals[literal] = node
+        return node
+
+    def conjoin(self, children: Iterable[NNFNode]) -> NNFNode:
+        """AND node with simplification: drop TRUE children, collapse on FALSE."""
+        flat: List[NNFNode] = []
+        for child in children:
+            if isinstance(child, FalseNode):
+                return self.false()
+            if isinstance(child, TrueNode):
+                continue
+            if isinstance(child, AndNode):
+                flat.extend(child.children())
+            else:
+                flat.append(child)
+        if not flat:
+            return self.true()
+        if len(flat) == 1:
+            return flat[0]
+        key = tuple(sorted({c.node_id for c in flat}))
+        unique = {c.node_id: c for c in flat}
+        node = self._ands.get(key)
+        if node is None:
+            node = AndNode(self._new_id(), tuple(unique[i] for i in key))
+            self._ands[key] = node
+        return node
+
+    def disjoin(self, children: Iterable[NNFNode], decision_variable: int = 0) -> NNFNode:
+        """OR node with simplification: drop FALSE children, collapse on TRUE."""
+        flat: List[NNFNode] = []
+        for child in children:
+            if isinstance(child, TrueNode):
+                return self.true()
+            if isinstance(child, FalseNode):
+                continue
+            flat.append(child)
+        if not flat:
+            return self.false()
+        if len(flat) == 1:
+            return flat[0]
+        key = (tuple(sorted({c.node_id for c in flat})), decision_variable)
+        unique = {c.node_id: c for c in flat}
+        node = self._ors.get(key)
+        if node is None:
+            node = OrNode(self._new_id(), tuple(unique[i] for i in key[0]), decision_variable)
+            self._ors[key] = node
+        return node
+
+
+# ----------------------------------------------------------------------
+# DAG traversal helpers
+# ----------------------------------------------------------------------
+def topological_nodes(root: NNFNode) -> List[NNFNode]:
+    """All reachable nodes, children before parents (iterative DFS)."""
+    order: List[NNFNode] = []
+    visited: Set[int] = set()
+    stack: List[Tuple[NNFNode, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+            continue
+        if node.node_id in visited:
+            continue
+        visited.add(node.node_id)
+        stack.append((node, True))
+        for child in node.children():
+            if child.node_id not in visited:
+                stack.append((child, False))
+    return order
+
+
+def count_nodes_and_edges(root: NNFNode) -> Tuple[int, int]:
+    nodes = topological_nodes(root)
+    edges = sum(len(node.children()) for node in nodes)
+    return len(nodes), edges
+
+
+def variables_of(root: NNFNode) -> Set[int]:
+    return {
+        node.variable for node in topological_nodes(root) if isinstance(node, LiteralNode)
+    }
+
+
+def mentioned_variables_per_node(root: NNFNode) -> Dict[int, FrozenSet[int]]:
+    """For each node id, the set of variables mentioned in its sub-DAG."""
+    mentioned: Dict[int, FrozenSet[int]] = {}
+    for node in topological_nodes(root):
+        if isinstance(node, LiteralNode):
+            mentioned[node.node_id] = frozenset({node.variable})
+        elif isinstance(node, (AndNode, OrNode)):
+            combined: Set[int] = set()
+            for child in node.children():
+                combined |= mentioned[child.node_id]
+            mentioned[node.node_id] = frozenset(combined)
+        else:
+            mentioned[node.node_id] = frozenset()
+    return mentioned
+
+
+def check_decomposability(root: NNFNode) -> bool:
+    """True if every AND node's children mention pairwise disjoint variables."""
+    mentioned = mentioned_variables_per_node(root)
+    for node in topological_nodes(root):
+        if isinstance(node, AndNode):
+            seen: Set[int] = set()
+            for child in node.children():
+                child_vars = mentioned[child.node_id]
+                if seen & child_vars:
+                    return False
+                seen |= child_vars
+    return True
+
+
+def check_smoothness(root: NNFNode) -> bool:
+    """True if every OR node's children mention identical variable sets."""
+    mentioned = mentioned_variables_per_node(root)
+    for node in topological_nodes(root):
+        if isinstance(node, OrNode):
+            sets = [mentioned[child.node_id] for child in node.children()]
+            if any(s != sets[0] for s in sets[1:]):
+                return False
+    return True
+
+
+def enumerate_models(root: NNFNode, variables: Sequence[int]) -> List[Dict[int, bool]]:
+    """Brute-force model enumeration of the NNF (testing only, small inputs)."""
+    variables = list(variables)
+    models = []
+    for mask in range(2 ** len(variables)):
+        assignment = {v: bool((mask >> i) & 1) for i, v in enumerate(variables)}
+        if evaluate_boolean(root, assignment):
+            models.append(assignment)
+    return models
+
+
+def evaluate_boolean(root: NNFNode, assignment: Dict[int, bool]) -> bool:
+    """Evaluate the NNF as a Boolean function under a complete assignment."""
+    values: Dict[int, bool] = {}
+    for node in topological_nodes(root):
+        if isinstance(node, TrueNode):
+            values[node.node_id] = True
+        elif isinstance(node, FalseNode):
+            values[node.node_id] = False
+        elif isinstance(node, LiteralNode):
+            values[node.node_id] = assignment[node.variable] == node.positive
+        elif isinstance(node, AndNode):
+            values[node.node_id] = all(values[c.node_id] for c in node.children())
+        elif isinstance(node, OrNode):
+            values[node.node_id] = any(values[c.node_id] for c in node.children())
+    return values[root.node_id]

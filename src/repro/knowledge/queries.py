@@ -1,0 +1,177 @@
+"""Additional PGM-style queries on compiled circuits (the paper's Section 5).
+
+The paper's research-directions section points out that once a noisy quantum
+circuit lives in a probabilistic-graphical-model representation, query types
+beyond amplitude computation become available:
+
+* **Most probable explanation (MPE)** — which noise events best explain an
+  observed (symptomatic) measurement outcome?  A max operator exists for the
+  real-valued noise probabilities, so the query is answered over the noise
+  branch selectors while amplitudes are handled exactly.
+* **Sensitivity analysis** — how strongly does an output probability depend
+  on each conditional-amplitude-table entry?  The downward differential pass
+  already computes the required partial derivatives.
+
+Both are implemented against :class:`repro.simulator.kc_simulator.CompiledCircuit`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.parameters import ParamResolver
+
+
+class NoiseExplanation:
+    """The result of a most-probable-explanation query."""
+
+    def __init__(
+        self,
+        branches: Tuple[int, ...],
+        probability: float,
+        posterior: float,
+        channel_names: List[str],
+        exact: bool,
+    ):
+        self.branches = branches
+        self.probability = probability
+        self.posterior = posterior
+        self.channel_names = channel_names
+        self.exact = exact
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(zip(self.channel_names, self.branches))
+
+    def __repr__(self) -> str:
+        return (
+            f"NoiseExplanation(branches={self.branches}, posterior={self.posterior:.4f}, "
+            f"exact={self.exact})"
+        )
+
+
+def most_probable_explanation(
+    compiled,
+    bits: Sequence[int],
+    resolver: Optional[ParamResolver] = None,
+    enumeration_limit: int = 4096,
+    max_passes: int = 8,
+) -> NoiseExplanation:
+    """Find the noise-branch assignment that best explains an observed outcome.
+
+    For small noise spaces (up to ``enumeration_limit`` joint branch
+    assignments) the query is answered exactly by enumeration; beyond that a
+    greedy coordinate-ascent over branch selectors is used (each step scores
+    candidate branches by the squared amplitude of the full assignment), which
+    yields a locally optimal explanation.
+    """
+    noise_variables = compiled.noise_variables
+    if not noise_variables:
+        raise ValueError("circuit has no noise channels; MPE over noise events is undefined")
+    channel_names = [variable.node_name for variable in noise_variables]
+    cardinalities = [variable.cardinality for variable in noise_variables]
+    total_assignments = int(np.prod(cardinalities))
+
+    def joint_probability(branches: Sequence[int]) -> float:
+        amplitude = compiled.amplitude(bits, noise_branches=list(branches), resolver=resolver)
+        return float(abs(amplitude) ** 2)
+
+    if total_assignments <= enumeration_limit:
+        best_branches: Tuple[int, ...] = tuple([0] * len(noise_variables))
+        best_probability = -1.0
+        evidence_mass = 0.0
+        for branches in itertools.product(*[range(c) for c in cardinalities]):
+            probability = joint_probability(branches)
+            evidence_mass += probability
+            if probability > best_probability:
+                best_probability = probability
+                best_branches = tuple(branches)
+        posterior = best_probability / evidence_mass if evidence_mass > 0 else 0.0
+        return NoiseExplanation(best_branches, best_probability, posterior, channel_names, exact=True)
+
+    # Greedy coordinate ascent for large noise spaces.
+    branches = [0] * len(noise_variables)
+    best_probability = joint_probability(branches)
+    for _ in range(max_passes):
+        improved = False
+        for index, cardinality in enumerate(cardinalities):
+            for candidate in range(cardinality):
+                if candidate == branches[index]:
+                    continue
+                trial = list(branches)
+                trial[index] = candidate
+                probability = joint_probability(trial)
+                if probability > best_probability:
+                    best_probability = probability
+                    branches = trial
+                    improved = True
+        if not improved:
+            break
+    return NoiseExplanation(tuple(branches), best_probability, float("nan"), channel_names, exact=False)
+
+
+class SensitivityReport:
+    """Partial derivatives of an output probability with respect to CAT entries."""
+
+    def __init__(self, rows: List[Dict]):
+        self.rows = rows
+
+    def top(self, count: int = 5) -> List[Dict]:
+        return sorted(self.rows, key=lambda row: abs(row["dP_dtheta"]), reverse=True)[:count]
+
+    def by_node(self) -> Dict[str, float]:
+        """Aggregate |dP/dtheta| per Bayesian-network node."""
+        totals: Dict[str, float] = {}
+        for row in self.rows:
+            totals[row["node"]] = totals.get(row["node"], 0.0) + abs(row["dP_dtheta"])
+        return totals
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"SensitivityReport(entries={len(self.rows)})"
+
+
+def sensitivity_analysis(
+    compiled,
+    bits: Sequence[int],
+    noise_branches: Optional[Sequence[int]] = None,
+    resolver: Optional[ParamResolver] = None,
+) -> SensitivityReport:
+    """Sensitivity of the outcome probability to every weight (CAT entry).
+
+    For the amplitude f and a table entry theta appearing multilinearly in
+    the weighted model count, ``dP/dtheta = 2 Re(conj(f) * df/dtheta)`` where
+    ``df/dtheta`` is read off the downward differential pass.
+    """
+    if compiled.noise_variables and noise_branches is None:
+        raise ValueError("noisy circuit: provide the noise branch assignment to analyse")
+    literal_values, constant = compiled.base_literal_values(resolver)
+    assignment = compiled.assignment_for(bits, noise_branches)
+    shortcut = compiled.apply_evidence(literal_values, assignment)
+    if shortcut is not None:
+        amplitude = shortcut
+        derivatives = np.zeros_like(literal_values)
+    else:
+        amplitude, derivatives = compiled.arithmetic_circuit.evaluate_with_derivatives(literal_values)
+        amplitude *= constant
+        derivatives = derivatives * constant
+
+    rows: List[Dict] = []
+    for variable, reference in compiled.encoding.weight_refs.items():
+        df_dtheta = complex(derivatives[variable, 1])
+        dp_dtheta = 2.0 * float(np.real(np.conj(amplitude) * df_dtheta))
+        rows.append(
+            {
+                "weight_variable": variable,
+                "node": reference.node_name,
+                "entry_index": reference.entry_index,
+                "df_dtheta": df_dtheta,
+                "dP_dtheta": dp_dtheta,
+                "current_value": complex(literal_values[variable, 1]),
+            }
+        )
+    return SensitivityReport(rows)

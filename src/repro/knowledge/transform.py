@@ -1,0 +1,148 @@
+"""Transformations on compiled NNF circuits.
+
+Three transforms matter to the simulation pipeline:
+
+* :func:`forget` — existential quantification of variables.  The paper calls
+  this *qubit state elision*: intermediate qubit-state indicator variables
+  are summed over (the Feynman path sum), which both shrinks the circuit and
+  removes the cost of computing intermediate amplitudes.
+* :func:`smooth` — make every OR node's children mention the same variables,
+  a prerequisite for evaluating weighted model counts with a single
+  bottom-up pass.
+* :func:`condition` — fix literals to constants (used by tests and by the
+  most-probable-explanation queries).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set
+
+from .nnf import (
+    AndNode,
+    FalseNode,
+    LiteralNode,
+    NNFManager,
+    NNFNode,
+    OrNode,
+    TrueNode,
+    mentioned_variables_per_node,
+    topological_nodes,
+)
+
+
+def _rebuild(
+    manager: NNFManager,
+    root: NNFNode,
+    leaf_map: Dict[int, NNFNode],
+) -> NNFNode:
+    """Rebuild the DAG bottom-up, substituting leaves via ``leaf_map``."""
+    rebuilt: Dict[int, NNFNode] = {}
+    for node in topological_nodes(root):
+        if node.node_id in leaf_map:
+            rebuilt[node.node_id] = leaf_map[node.node_id]
+        elif isinstance(node, (TrueNode, FalseNode, LiteralNode)):
+            rebuilt[node.node_id] = node
+        elif isinstance(node, AndNode):
+            rebuilt[node.node_id] = manager.conjoin(rebuilt[c.node_id] for c in node.children())
+        elif isinstance(node, OrNode):
+            rebuilt[node.node_id] = manager.disjoin(
+                (rebuilt[c.node_id] for c in node.children()),
+                decision_variable=node.decision_variable,
+            )
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown NNF node type: {type(node)}")
+    return rebuilt[root.node_id]
+
+
+def forget(manager: NNFManager, root: NNFNode, variables: Iterable[int]) -> NNFNode:
+    """Existentially quantify ``variables`` out of a decomposable NNF.
+
+    Literal leaves over the forgotten variables are replaced by TRUE; the
+    manager's simplification rules then fold away trivial AND/OR structure.
+    On decomposable circuits this computes exactly ∃X.f, and when evaluated
+    as an arithmetic circuit the forgotten variables are summed over.
+    """
+    forget_set = set(variables)
+    leaf_map: Dict[int, NNFNode] = {}
+    for node in topological_nodes(root):
+        if isinstance(node, LiteralNode) and node.variable in forget_set:
+            leaf_map[node.node_id] = manager.true()
+    if not leaf_map:
+        return root
+    return _rebuild(manager, root, leaf_map)
+
+
+def condition(manager: NNFManager, root: NNFNode, literals: Iterable[int]) -> NNFNode:
+    """Condition the circuit on the given literals (set them true)."""
+    fixed = set(literals)
+    leaf_map: Dict[int, NNFNode] = {}
+    for node in topological_nodes(root):
+        if isinstance(node, LiteralNode):
+            if node.literal in fixed:
+                leaf_map[node.node_id] = manager.true()
+            elif -node.literal in fixed:
+                leaf_map[node.node_id] = manager.false()
+    if not leaf_map:
+        return root
+    return _rebuild(manager, root, leaf_map)
+
+
+def smooth(manager: NNFManager, root: NNFNode, variables: Sequence[int]) -> NNFNode:
+    """Return an equivalent smooth circuit over ``variables``.
+
+    Every OR child is multiplied by "free" (v OR ¬v) gadgets for the
+    variables its siblings mention but it does not, and the root is
+    multiplied by gadgets for variables missing from the whole circuit.
+    Smoothness makes the bottom-up weighted-model-count pass exact.
+    """
+    variables = list(variables)
+    mentioned = mentioned_variables_per_node(root)
+
+    def free_gadget(variable: int) -> NNFNode:
+        return manager.disjoin(
+            [manager.literal(variable), manager.literal(-variable)],
+            decision_variable=variable,
+        )
+
+    rebuilt: Dict[int, NNFNode] = {}
+    rebuilt_vars: Dict[int, FrozenSet[int]] = {}
+
+    for node in topological_nodes(root):
+        if isinstance(node, (TrueNode, FalseNode)):
+            rebuilt[node.node_id] = node
+            rebuilt_vars[node.node_id] = frozenset()
+        elif isinstance(node, LiteralNode):
+            rebuilt[node.node_id] = node
+            rebuilt_vars[node.node_id] = frozenset({node.variable})
+        elif isinstance(node, AndNode):
+            rebuilt[node.node_id] = manager.conjoin(rebuilt[c.node_id] for c in node.children())
+            combined: Set[int] = set()
+            for child in node.children():
+                combined |= rebuilt_vars[child.node_id]
+            rebuilt_vars[node.node_id] = frozenset(combined)
+        elif isinstance(node, OrNode):
+            target: Set[int] = set()
+            for child in node.children():
+                target |= rebuilt_vars[child.node_id]
+            new_children: List[NNFNode] = []
+            for child in node.children():
+                missing = target - rebuilt_vars[child.node_id]
+                padded = rebuilt[child.node_id]
+                if missing:
+                    padded = manager.conjoin(
+                        [padded] + [free_gadget(v) for v in sorted(missing)]
+                    )
+                new_children.append(padded)
+            rebuilt[node.node_id] = manager.disjoin(
+                new_children, decision_variable=node.decision_variable
+            )
+            rebuilt_vars[node.node_id] = frozenset(target)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown NNF node type: {type(node)}")
+
+    result = rebuilt[root.node_id]
+    covered = rebuilt_vars[root.node_id]
+    missing_at_root = [v for v in variables if v not in covered]
+    if missing_at_root:
+        result = manager.conjoin([result] + [free_gadget(v) for v in missing_at_root])
+    return result

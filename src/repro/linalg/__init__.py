@@ -1,0 +1,35 @@
+"""Dense linear algebra helpers used by the baseline simulators."""
+
+from .tensor_ops import (
+    apply_kraus_to_density,
+    apply_unitary_to_density,
+    apply_unitary_to_state,
+    basis_state,
+    bits_to_index,
+    density_from_state,
+    density_measurement_probabilities,
+    expand_operator,
+    index_to_bits,
+    kron_all,
+    measurement_probabilities,
+    partial_trace,
+    state_fidelity,
+    trace_distance,
+)
+
+__all__ = [
+    "apply_kraus_to_density",
+    "apply_unitary_to_density",
+    "apply_unitary_to_state",
+    "basis_state",
+    "bits_to_index",
+    "density_from_state",
+    "density_measurement_probabilities",
+    "expand_operator",
+    "index_to_bits",
+    "kron_all",
+    "measurement_probabilities",
+    "partial_trace",
+    "state_fidelity",
+    "trace_distance",
+]

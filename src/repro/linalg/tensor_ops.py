@@ -1,0 +1,185 @@
+"""Dense linear-algebra primitives shared by the baseline simulators.
+
+Conventions
+-----------
+A system of ``n`` qubits indexed ``0..n-1`` has basis states indexed by
+integers whose binary expansion lists qubit 0 as the most significant bit
+(the Cirq "big endian" convention used throughout the paper's examples).
+State vectors have shape ``(2**n,)`` and density matrices ``(2**n, 2**n)``.
+
+Gate application works on reshaped tensors so the density-matrix simulator
+never materialises a full ``2^n x 2^n`` operator for a local gate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+def kron_all(matrices: Iterable[np.ndarray]) -> np.ndarray:
+    """Kronecker product of a sequence of matrices (left to right)."""
+    result = np.array([[1.0 + 0j]])
+    for matrix in matrices:
+        result = np.kron(result, matrix)
+    return result
+
+
+def basis_state(index: int, num_qubits: int) -> np.ndarray:
+    """Return the computational basis state |index> on ``num_qubits`` qubits."""
+    dim = 2 ** num_qubits
+    if not 0 <= index < dim:
+        raise ValueError(f"basis index {index} out of range for {num_qubits} qubits")
+    state = np.zeros(dim, dtype=complex)
+    state[index] = 1.0
+    return state
+
+
+def bits_to_index(bits: Sequence[int]) -> int:
+    """Convert a bit list (qubit 0 first = most significant) to a basis index."""
+    index = 0
+    for bit in bits:
+        index = (index << 1) | (int(bit) & 1)
+    return index
+
+
+def index_to_bits(index: int, num_qubits: int) -> Tuple[int, ...]:
+    """Convert a basis index to a bit tuple (qubit 0 first = most significant)."""
+    return tuple((index >> (num_qubits - 1 - i)) & 1 for i in range(num_qubits))
+
+
+def _apply_to_axes(
+    tensor: np.ndarray, op_tensor: np.ndarray, targets: Sequence[int], k: int
+) -> np.ndarray:
+    """Contract a (2,)*2k operator tensor into ``targets`` axes of ``tensor``.
+
+    ``op_tensor`` has its first k axes as outputs and last k axes as inputs.
+    The result has the same axis layout as ``tensor``.
+    """
+    targets = list(targets)
+    num_axes = tensor.ndim
+    contracted = np.tensordot(op_tensor, tensor, axes=(list(range(k, 2 * k)), targets))
+    # Axes of `contracted`: the k operator output axes first, then the
+    # surviving axes of `tensor` in their original relative order.
+    surviving = [axis for axis in range(num_axes) if axis not in targets]
+    position_of = {axis: k + i for i, axis in enumerate(surviving)}
+    order: List[int] = []
+    for axis in range(num_axes):
+        if axis in targets:
+            order.append(targets.index(axis))
+        else:
+            order.append(position_of[axis])
+    return np.transpose(contracted, order)
+
+
+def expand_operator(operator: np.ndarray, targets: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Embed a k-qubit operator acting on ``targets`` into the full 2^n space.
+
+    ``targets[i]`` gives the global qubit index corresponding to the i-th
+    (most significant first) qubit of ``operator``.  Only used for small
+    systems (tests, overall-circuit unitaries); simulators use the
+    tensor-contraction helpers instead.
+    """
+    operator = np.asarray(operator, dtype=complex)
+    k = len(targets)
+    if operator.shape != (2 ** k, 2 ** k):
+        raise ValueError("operator shape does not match number of targets")
+    if len(set(targets)) != k:
+        raise ValueError("targets must be distinct")
+    identity = np.eye(2 ** num_qubits, dtype=complex)
+    columns = _apply_to_axes(
+        identity.reshape((2,) * num_qubits + (2 ** num_qubits,)),
+        operator.reshape((2,) * (2 * k)),
+        targets,
+        k,
+    )
+    return columns.reshape((2 ** num_qubits, 2 ** num_qubits))
+
+
+def apply_unitary_to_state(
+    state: np.ndarray, unitary: np.ndarray, targets: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply a k-qubit unitary to ``targets`` of an n-qubit state vector."""
+    k = len(targets)
+    tensor = np.asarray(state, dtype=complex).reshape((2,) * num_qubits)
+    op_tensor = np.asarray(unitary, dtype=complex).reshape((2,) * (2 * k))
+    return _apply_to_axes(tensor, op_tensor, targets, k).reshape(-1)
+
+
+def apply_unitary_to_density(
+    rho: np.ndarray, unitary: np.ndarray, targets: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply a unitary U to ``targets`` of a density matrix: rho -> U rho U†."""
+    return apply_kraus_to_density(rho, [unitary], targets, num_qubits)
+
+
+def apply_kraus_to_density(
+    rho: np.ndarray,
+    kraus_operators: Sequence[np.ndarray],
+    targets: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply a channel given by Kraus operators to ``targets`` of a density matrix.
+
+    The density matrix is treated as a tensor with ``2 * num_qubits`` axes;
+    each Kraus operator is contracted into the row axes and its conjugate
+    into the column axes, avoiding any full-space operator expansion.
+    """
+    targets = list(targets)
+    k = len(targets)
+    dim = 2 ** num_qubits
+    rho_tensor = np.asarray(rho, dtype=complex).reshape((2,) * (2 * num_qubits))
+    column_targets = [t + num_qubits for t in targets]
+    result = np.zeros_like(rho_tensor)
+    for op in kraus_operators:
+        op_tensor = np.asarray(op, dtype=complex).reshape((2,) * (2 * k))
+        op_conj = np.conj(op_tensor)
+        branch = _apply_to_axes(rho_tensor, op_tensor, targets, k)
+        branch = _apply_to_axes(branch, op_conj, column_targets, k)
+        result += branch
+    return result.reshape((dim, dim))
+
+
+def density_from_state(state: np.ndarray) -> np.ndarray:
+    """Return the pure-state density matrix |state><state|."""
+    state = np.asarray(state, dtype=complex)
+    return np.outer(state, state.conj())
+
+
+def partial_trace(rho: np.ndarray, keep: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Trace out all qubits not listed in ``keep`` from a density matrix.
+
+    The kept qubits retain their relative order.
+    """
+    keep = list(keep)
+    tensor = np.asarray(rho, dtype=complex).reshape((2,) * (2 * num_qubits))
+    traced = sorted((q for q in range(num_qubits) if q not in keep), reverse=True)
+    remaining = num_qubits
+    for qubit in traced:
+        tensor = np.trace(tensor, axis1=qubit, axis2=qubit + remaining)
+        remaining -= 1
+    dim = 2 ** len(keep)
+    return tensor.reshape((dim, dim))
+
+
+def measurement_probabilities(state: np.ndarray) -> np.ndarray:
+    """Measurement probabilities of a state vector in the computational basis."""
+    return np.abs(np.asarray(state)) ** 2
+
+
+def density_measurement_probabilities(rho: np.ndarray) -> np.ndarray:
+    """Measurement probabilities from the diagonal of a density matrix."""
+    return np.real(np.diag(rho)).clip(min=0.0)
+
+
+def state_fidelity(state_a: np.ndarray, state_b: np.ndarray) -> float:
+    """|<a|b>|^2 for two pure states."""
+    return float(abs(np.vdot(state_a, state_b)) ** 2)
+
+
+def trace_distance(rho_a: np.ndarray, rho_b: np.ndarray) -> float:
+    """Trace distance between two density matrices."""
+    diff = np.asarray(rho_a) - np.asarray(rho_b)
+    eigenvalues = np.linalg.eigvalsh((diff + diff.conj().T) / 2.0)
+    return float(0.5 * np.sum(np.abs(eigenvalues)))

@@ -1,0 +1,22 @@
+"""Sampling utilities: Gibbs MCMC over compiled circuits, ideal sampling, metrics."""
+
+from .gibbs import GibbsSampler
+from .ideal import ideal_sample_from_distribution, ideal_sample_from_state_vector
+from .metrics import (
+    chi_squared_statistic,
+    empirical_distribution,
+    kl_divergence,
+    reverse_kl_divergence,
+    total_variation_distance,
+)
+
+__all__ = [
+    "GibbsSampler",
+    "ideal_sample_from_distribution",
+    "ideal_sample_from_state_vector",
+    "kl_divergence",
+    "reverse_kl_divergence",
+    "total_variation_distance",
+    "chi_squared_statistic",
+    "empirical_distribution",
+]

@@ -1,0 +1,76 @@
+"""Distribution-comparison metrics for sampling-accuracy experiments.
+
+The paper (Figure 7) quantifies sampling error with the Kullback-Leibler
+divergence between the exact measurement distribution and the empirical
+distribution of the drawn samples, chosen because it discounts outcomes the
+sampler never draws from low-probability basis states.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def _validated(p: Sequence[float], q: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    p_arr = np.asarray(p, dtype=float)
+    q_arr = np.asarray(q, dtype=float)
+    if p_arr.shape != q_arr.shape:
+        raise ValueError("distributions must have the same shape")
+    if p_arr.sum() <= 0 or q_arr.sum() <= 0:
+        raise ValueError("distributions must have positive mass")
+    return p_arr / p_arr.sum(), q_arr / q_arr.sum()
+
+
+def kl_divergence(exact: Sequence[float], empirical: Sequence[float]) -> float:
+    """KL(exact || empirical), in nats.
+
+    Follows the paper's convention of measuring how well the empirical
+    (sampled) distribution covers the exact one.  Empirical zeros where the
+    exact distribution has mass contribute a large but finite penalty by
+    flooring the empirical distribution at one pseudo-count equivalent.
+    """
+    p, q = _validated(exact, empirical)
+    floor = 1.0 / max(len(q) * 1e6, 1.0)
+    q = np.maximum(q, floor)
+    q = q / q.sum()
+    mask = p > 0
+    return float(np.sum(p[mask] * np.log(p[mask] / q[mask])))
+
+
+def reverse_kl_divergence(exact: Sequence[float], empirical: Sequence[float]) -> float:
+    """KL(empirical || exact): penalises samples drawn where the exact mass is zero."""
+    p, q = _validated(empirical, exact)
+    floor = 1.0 / max(len(q) * 1e6, 1.0)
+    q = np.maximum(q, floor)
+    q = q / q.sum()
+    mask = p > 0
+    return float(np.sum(p[mask] * np.log(p[mask] / q[mask])))
+
+
+def total_variation_distance(p: Sequence[float], q: Sequence[float]) -> float:
+    """Half the L1 distance between two distributions."""
+    a, b = _validated(p, q)
+    return float(0.5 * np.abs(a - b).sum())
+
+
+def chi_squared_statistic(exact: Sequence[float], empirical: Sequence[float]) -> float:
+    """Pearson chi-squared statistic of the empirical vs. exact distribution."""
+    p, q = _validated(exact, empirical)
+    mask = p > 0
+    return float(np.sum((q[mask] - p[mask]) ** 2 / p[mask]))
+
+
+def empirical_distribution(samples: Sequence[Sequence[int]], num_qubits: int) -> np.ndarray:
+    """Dense empirical distribution over 2^n basis states from bit samples."""
+    counts = np.zeros(2 ** num_qubits)
+    for sample in samples:
+        index = 0
+        for bit in sample:
+            index = (index << 1) | (int(bit) & 1)
+        counts[index] += 1.0
+    if counts.sum() > 0:
+        counts /= counts.sum()
+    return counts

@@ -1,0 +1,17 @@
+"""Simulator backends and shared result containers.
+
+The knowledge-compilation simulator (the paper's contribution) lives in
+:mod:`repro.simulator.kc_simulator`; the baselines live in their own
+packages (:mod:`repro.statevector`, :mod:`repro.densitymatrix`,
+:mod:`repro.tensornetwork`).
+"""
+
+from .base import Simulator
+from .results import DensityMatrixResult, SampleResult, StateVectorResult
+
+__all__ = [
+    "Simulator",
+    "SampleResult",
+    "StateVectorResult",
+    "DensityMatrixResult",
+]

@@ -1,0 +1,50 @@
+"""Common simulator interface implemented by every backend.
+
+The experiment harness (Figures 8 and 9) times "draw 1000 samples from the
+final wavefunction" for several backends; a shared abstract interface keeps
+those comparisons honest: every backend exposes the same ``simulate`` /
+``sample`` entry points with identical circuit and parameter-resolver inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.parameters import ParamResolver
+from ..circuits.qubits import Qubit
+from .results import SampleResult
+
+
+class Simulator:
+    """Abstract simulator backend."""
+
+    name = "abstract"
+
+    def simulate(
+        self,
+        circuit: Circuit,
+        resolver: Optional[ParamResolver] = None,
+        qubit_order: Optional[Sequence[Qubit]] = None,
+    ):
+        """Run the circuit and return a backend-specific result object."""
+        raise NotImplementedError
+
+    def sample(
+        self,
+        circuit: Circuit,
+        repetitions: int,
+        resolver: Optional[ParamResolver] = None,
+        qubit_order: Optional[Sequence[Qubit]] = None,
+        seed: Optional[int] = None,
+    ) -> SampleResult:
+        """Draw measurement samples from the circuit's final wavefunction."""
+        raise NotImplementedError
+
+    def _rng(self, seed: Optional[int]) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"

@@ -1,0 +1,361 @@
+"""The knowledge-compilation simulator — the paper's primary contribution.
+
+Pipeline (Figure 4 of the paper):
+
+1. circuit -> complex-valued Bayesian network (:mod:`repro.bayesnet`);
+2. Bayesian network -> weighted CNF (:mod:`repro.cnf`);
+3. CNF -> d-DNNF / arithmetic circuit (:mod:`repro.knowledge`), with
+   intermediate qubit states elided and the circuit smoothed;
+4. repeated amplitude queries (upward passes) and Gibbs sampling (upward +
+   downward passes) with per-run numeric parameters.
+
+The compile step is performed once per circuit *structure*; variational
+iterations only re-bind weight values.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..bayesnet.from_circuit import QuantumBayesNet, circuit_to_bayesnet
+from ..circuits.circuit import Circuit
+from ..circuits.parameters import ParamResolver
+from ..circuits.qubits import Qubit
+from ..cnf.encoder import CNFEncoding, encode_bayesnet
+from ..knowledge.arithmetic_circuit import ArithmeticCircuit
+from ..knowledge.compiler import KnowledgeCompiler
+from ..knowledge.transform import forget, smooth
+from ..linalg.tensor_ops import index_to_bits
+from .base import Simulator
+from .results import DensityMatrixResult, SampleResult, StateVectorResult
+
+
+class RetainedVariable:
+    """A Bayesian-network variable that survives elision and can be queried.
+
+    Either a final qubit-state node (binary) or a noise branch-selector node
+    (cardinality = number of Kraus operators, log-encoded over several CNF
+    bits).
+    """
+
+    def __init__(self, node_name: str, cardinality: int, kind: str, bit_vars: List[int]):
+        self.node_name = node_name
+        self.cardinality = cardinality
+        self.kind = kind  # "final" or "noise"
+        self.bit_vars = list(bit_vars)  # CNF variable per bit, MSB first
+
+    @property
+    def width(self) -> int:
+        return len(self.bit_vars)
+
+    def bit_values(self, value: int) -> List[int]:
+        """The bit pattern (MSB first) for ``value``."""
+        if not 0 <= value < 2 ** self.width:
+            raise ValueError(f"value {value} out of range for {self.node_name}")
+        return [(value >> (self.width - 1 - j)) & 1 for j in range(self.width)]
+
+    def value_from_bits(self, bits: Sequence[int]) -> int:
+        value = 0
+        for bit in bits:
+            value = (value << 1) | (int(bit) & 1)
+        return value
+
+    def __repr__(self) -> str:
+        return f"RetainedVariable({self.node_name!r}, kind={self.kind!r}, card={self.cardinality})"
+
+
+class CompiledCircuit:
+    """A circuit compiled once, queryable many times with different parameters."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        network: QuantumBayesNet,
+        encoding: CNFEncoding,
+        arithmetic_circuit: ArithmeticCircuit,
+        elided: bool,
+        order_method: str,
+    ):
+        self.circuit = circuit
+        self.network = network
+        self.encoding = encoding
+        self.arithmetic_circuit = arithmetic_circuit
+        self.elided = elided
+        self.order_method = order_method
+
+        self.qubits: List[Qubit] = list(network.qubit_order)
+        self.final_variables: List[RetainedVariable] = []
+        self.noise_variables: List[RetainedVariable] = []
+        for name in network.final_node_names:
+            node = network.node(name)
+            self.final_variables.append(
+                RetainedVariable(name, node.cardinality, "final", encoding.bits_of(name))
+            )
+        for name in network.noise_node_names:
+            node = network.node(name)
+            self.noise_variables.append(
+                RetainedVariable(name, node.cardinality, "noise", encoding.bits_of(name))
+            )
+
+        self._weights_cache: Optional[Tuple[Optional[int], Dict[int, complex], complex]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+    @property
+    def retained_variables(self) -> List[RetainedVariable]:
+        return self.final_variables + self.noise_variables
+
+    def compilation_metrics(self) -> Dict[str, int]:
+        """Table 6-style metrics: gates, CNF clauses, AC nodes/edges/size."""
+        return {
+            "qubits": self.num_qubits,
+            "gates": self.circuit.gate_count(include_noise=True),
+            "bn_nodes": self.network.num_nodes,
+            "cnf_variables": self.encoding.cnf.num_vars,
+            "cnf_clauses": self.encoding.cnf.num_clauses,
+            "ac_nodes": self.arithmetic_circuit.num_nodes,
+            "ac_edges": self.arithmetic_circuit.num_edges,
+            "ac_size_bytes": self.arithmetic_circuit.size_bytes(),
+        }
+
+    # ------------------------------------------------------------------
+    # Parameter binding
+    # ------------------------------------------------------------------
+    def _resolver_key(self, resolver: Optional[ParamResolver]) -> Optional[int]:
+        if resolver is None:
+            return None
+        return hash(tuple(sorted(resolver.as_dict().items())))
+
+    def base_literal_values(self, resolver: Optional[ParamResolver] = None) -> Tuple[np.ndarray, complex]:
+        """Literal values with weights bound and every state bit left free.
+
+        Returns ``(literal_values, constant_factor)``; callers overwrite the
+        retained-variable bit entries with evidence before evaluating.
+        Weight lookups are memoized per resolver binding.
+        """
+        key = self._resolver_key(resolver)
+        if self._weights_cache is not None and self._weights_cache[0] == key:
+            weights, constant = self._weights_cache[1], self._weights_cache[2]
+        else:
+            weights = self.encoding.weights(resolver)
+            constant = self.encoding.constant_factor(resolver)
+            self._weights_cache = (key, weights, constant)
+        literal_values = self.arithmetic_circuit.default_literal_values()
+        for variable, value in weights.items():
+            literal_values[variable, 1] = value
+        return literal_values, constant
+
+    def apply_evidence(
+        self,
+        literal_values: np.ndarray,
+        assignment: Mapping[str, int],
+    ) -> Optional[complex]:
+        """Set bit entries for ``assignment`` (node name -> value).
+
+        Returns ``0j`` immediately if the assignment contradicts a literal
+        forced during CNF simplification (the amplitude is exactly zero) and
+        ``None`` otherwise.
+        """
+        for variable in self.retained_variables:
+            if variable.node_name not in assignment:
+                continue
+            observed = int(assignment[variable.node_name])
+            bits = variable.bit_values(observed)
+            for bit_var, bit in zip(variable.bit_vars, bits):
+                forced = self.encoding.forced_value(bit_var)
+                if forced is not None:
+                    if int(forced) != bit:
+                        return 0j
+                    continue
+                literal_values[bit_var, 1] = 1.0 if bit else 0.0
+                literal_values[bit_var, 0] = 0.0 if bit else 1.0
+        return None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def assignment_for(
+        self, bits: Sequence[int], noise_branches: Optional[Sequence[int]] = None
+    ) -> Dict[str, int]:
+        if len(bits) != self.num_qubits:
+            raise ValueError("bits length must equal the number of qubits")
+        assignment: Dict[str, int] = {
+            variable.node_name: int(bit) for variable, bit in zip(self.final_variables, bits)
+        }
+        if noise_branches is not None:
+            if len(noise_branches) != len(self.noise_variables):
+                raise ValueError("noise_branches length must equal the number of noise channels")
+            for variable, branch in zip(self.noise_variables, noise_branches):
+                assignment[variable.node_name] = int(branch)
+        return assignment
+
+    def amplitude(
+        self,
+        bits: Sequence[int],
+        noise_branches: Optional[Sequence[int]] = None,
+        resolver: Optional[ParamResolver] = None,
+    ) -> complex:
+        """Amplitude of the output bitstring (given noise branch outcomes, if noisy)."""
+        if self.noise_variables and noise_branches is None:
+            raise ValueError("noisy circuit: a noise branch assignment is required for amplitudes")
+        literal_values, constant = self.base_literal_values(resolver)
+        assignment = self.assignment_for(bits, noise_branches)
+        shortcut = self.apply_evidence(literal_values, assignment)
+        if shortcut is not None:
+            return shortcut
+        return self.arithmetic_circuit.evaluate(literal_values) * constant
+
+    def state_vector(self, resolver: Optional[ParamResolver] = None) -> np.ndarray:
+        """Full final state vector of an ideal circuit (exponential; validation only)."""
+        if self.noise_variables:
+            raise ValueError("circuit is noisy; use density_matrix()")
+        dim = 2 ** self.num_qubits
+        state = np.zeros(dim, dtype=complex)
+        for index in range(dim):
+            bits = index_to_bits(index, self.num_qubits)
+            state[index] = self.amplitude(bits, resolver=resolver)
+        return state
+
+    def density_matrix(self, resolver: Optional[ParamResolver] = None) -> np.ndarray:
+        """Full density matrix, summing over noise branches (validation only)."""
+        dim = 2 ** self.num_qubits
+        rho = np.zeros((dim, dim), dtype=complex)
+        cardinalities = [variable.cardinality for variable in self.noise_variables]
+        for branches in itertools.product(*[range(c) for c in cardinalities]):
+            vector = np.zeros(dim, dtype=complex)
+            for index in range(dim):
+                bits = index_to_bits(index, self.num_qubits)
+                vector[index] = self.amplitude(bits, noise_branches=branches, resolver=resolver)
+            rho += np.outer(vector, vector.conj())
+        return rho
+
+    def probabilities(self, resolver: Optional[ParamResolver] = None) -> np.ndarray:
+        """Exact output measurement distribution (validation only)."""
+        if not self.noise_variables:
+            return np.abs(self.state_vector(resolver)) ** 2
+        return np.real(np.diag(self.density_matrix(resolver))).clip(min=0.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledCircuit(qubits={self.num_qubits}, ac_nodes={self.arithmetic_circuit.num_nodes}, "
+            f"noise_vars={len(self.noise_variables)})"
+        )
+
+
+class KnowledgeCompilationSimulator(Simulator):
+    """Simulator backend based on knowledge compilation of noisy circuits."""
+
+    name = "knowledge_compilation"
+
+    def __init__(
+        self,
+        order_method: str = "hypergraph",
+        elide_internal: bool = True,
+        seed: Optional[int] = None,
+        burn_in_sweeps: int = 4,
+    ):
+        self.order_method = order_method
+        self.elide_internal = elide_internal
+        self.burn_in_sweeps = burn_in_sweeps
+        self._default_rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def compile_circuit(
+        self,
+        circuit: Circuit,
+        qubit_order: Optional[Sequence[Qubit]] = None,
+        initial_bits: Optional[Sequence[int]] = None,
+        elide_internal: Optional[bool] = None,
+    ) -> CompiledCircuit:
+        """Compile a circuit's structure once, for repeated parameterized queries."""
+        elide = self.elide_internal if elide_internal is None else elide_internal
+        network = circuit_to_bayesnet(circuit, qubit_order=qubit_order, initial_bits=initial_bits)
+        encoding = encode_bayesnet(network)
+        compiler = KnowledgeCompiler(order_method=self.order_method)
+        state_bits = [bit for bits in encoding.node_bits.values() for bit in bits]
+        root, manager, _stats = compiler.compile(encoding.cnf, decision_variables=state_bits)
+
+        if elide:
+            elidable: List[int] = []
+            finals = set(network.final_node_names)
+            for node in network.nodes:
+                if node.kind in ("initial", "qubit") and node.name not in finals:
+                    elidable.extend(encoding.bits_of(node.name))
+            root = forget(manager, root, elidable)
+            keep_vars = sorted(set(encoding.cnf.variables()) - set(elidable))
+        else:
+            keep_vars = sorted(encoding.cnf.variables())
+
+        root = smooth(manager, root, keep_vars)
+        arithmetic_circuit = ArithmeticCircuit(root, encoding.cnf.num_vars)
+        return CompiledCircuit(circuit, network, encoding, arithmetic_circuit, elide, self.order_method)
+
+    def _ensure_compiled(self, circuit) -> CompiledCircuit:
+        if isinstance(circuit, CompiledCircuit):
+            return circuit
+        return self.compile_circuit(circuit)
+
+    # ------------------------------------------------------------------
+    def amplitude(
+        self,
+        circuit,
+        bits: Sequence[int],
+        noise_branches: Optional[Sequence[int]] = None,
+        resolver: Optional[ParamResolver] = None,
+    ) -> complex:
+        return self._ensure_compiled(circuit).amplitude(bits, noise_branches, resolver)
+
+    def simulate(
+        self,
+        circuit,
+        resolver: Optional[ParamResolver] = None,
+        qubit_order: Optional[Sequence[Qubit]] = None,
+    ) -> StateVectorResult:
+        compiled = (
+            circuit
+            if isinstance(circuit, CompiledCircuit)
+            else self.compile_circuit(circuit, qubit_order=qubit_order)
+        )
+        return StateVectorResult(compiled.qubits, compiled.state_vector(resolver))
+
+    def simulate_density_matrix(
+        self,
+        circuit,
+        resolver: Optional[ParamResolver] = None,
+        qubit_order: Optional[Sequence[Qubit]] = None,
+    ) -> DensityMatrixResult:
+        compiled = (
+            circuit
+            if isinstance(circuit, CompiledCircuit)
+            else self.compile_circuit(circuit, qubit_order=qubit_order)
+        )
+        return DensityMatrixResult(compiled.qubits, compiled.density_matrix(resolver))
+
+    def sample(
+        self,
+        circuit,
+        repetitions: int,
+        resolver: Optional[ParamResolver] = None,
+        qubit_order: Optional[Sequence[Qubit]] = None,
+        seed: Optional[int] = None,
+        burn_in_sweeps: Optional[int] = None,
+        steps_per_sample: int = 1,
+    ) -> SampleResult:
+        """Draw output samples via Gibbs sampling on the compiled arithmetic circuit."""
+        from ..sampling.gibbs import GibbsSampler
+
+        compiled = (
+            circuit
+            if isinstance(circuit, CompiledCircuit)
+            else self.compile_circuit(circuit, qubit_order=qubit_order)
+        )
+        rng = self._rng(seed) if seed is not None else self._default_rng
+        sampler = GibbsSampler(compiled, resolver=resolver, rng=rng)
+        sweeps = self.burn_in_sweeps if burn_in_sweeps is None else burn_in_sweeps
+        return sampler.sample(repetitions, burn_in_sweeps=sweeps, steps_per_sample=steps_per_sample)

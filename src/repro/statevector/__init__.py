@@ -1,0 +1,5 @@
+"""Dense state-vector simulator backend (qsim stand-in)."""
+
+from .simulator import StateVectorSimulator
+
+__all__ = ["StateVectorSimulator"]

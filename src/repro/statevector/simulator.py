@@ -1,0 +1,146 @@
+"""State-vector simulator (the reproduction's stand-in for Google qsim).
+
+The simulator multiplies gate unitaries into a dense ``2^n`` state vector.
+Ideal circuits are simulated exactly; noisy circuits are handled with the
+quantum-trajectory method — each run samples one Kraus branch per channel
+with the appropriate probability — which keeps memory at ``2^n`` at the cost
+of per-trajectory variance.  The paper's Figure 8 baselines only exercise the
+ideal path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.noise import NoiseOperation
+from ..circuits.parameters import ParamResolver
+from ..circuits.qubits import Qubit
+from ..linalg.tensor_ops import apply_unitary_to_state, basis_state
+from ..simulator.base import Simulator
+from ..simulator.results import SampleResult, StateVectorResult
+
+
+class StateVectorSimulator(Simulator):
+    """Dense state-vector simulation of ideal (and trajectory-noisy) circuits."""
+
+    name = "state_vector"
+
+    def __init__(self, seed: Optional[int] = None):
+        self._default_rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        circuit: Circuit,
+        resolver: Optional[ParamResolver] = None,
+        qubit_order: Optional[Sequence[Qubit]] = None,
+        initial_state: int = 0,
+    ) -> StateVectorResult:
+        """Simulate an ideal circuit exactly.
+
+        Raises ``ValueError`` if the circuit contains noise operations; use
+        :meth:`simulate_trajectory` or the density-matrix simulator for those.
+        """
+        if circuit.has_noise:
+            raise ValueError(
+                "StateVectorSimulator.simulate only supports ideal circuits; "
+                "use simulate_trajectory for noisy circuits"
+            )
+        qubits, state = self._run(circuit, resolver, qubit_order, initial_state, rng=None)
+        return StateVectorResult(qubits, state)
+
+    def simulate_trajectory(
+        self,
+        circuit: Circuit,
+        resolver: Optional[ParamResolver] = None,
+        qubit_order: Optional[Sequence[Qubit]] = None,
+        initial_state: int = 0,
+        seed: Optional[int] = None,
+    ) -> StateVectorResult:
+        """Simulate one quantum trajectory of a (possibly noisy) circuit."""
+        rng = self._rng(seed) if seed is not None else self._default_rng
+        qubits, state = self._run(circuit, resolver, qubit_order, initial_state, rng=rng)
+        return StateVectorResult(qubits, state)
+
+    def sample(
+        self,
+        circuit: Circuit,
+        repetitions: int,
+        resolver: Optional[ParamResolver] = None,
+        qubit_order: Optional[Sequence[Qubit]] = None,
+        seed: Optional[int] = None,
+    ) -> SampleResult:
+        """Draw samples from the final wavefunction.
+
+        For ideal circuits the state is computed once and sampled
+        ``repetitions`` times.  For noisy circuits each sample comes from an
+        independent trajectory.
+        """
+        rng = self._rng(seed) if seed is not None else self._default_rng
+        if not circuit.has_noise:
+            result = self.simulate(circuit, resolver, qubit_order)
+            return result.sample(repetitions, rng)
+        qubits = list(qubit_order) if qubit_order is not None else circuit.all_qubits()
+        samples: List[Tuple[int, ...]] = []
+        for _ in range(repetitions):
+            trajectory = StateVectorResult(
+                qubits, self._run(circuit, resolver, qubits, 0, rng=rng)[1]
+            )
+            samples.extend(trajectory.sample(1, rng).samples)
+        return SampleResult(qubits, samples)
+
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        circuit: Circuit,
+        resolver: Optional[ParamResolver],
+        qubit_order: Optional[Sequence[Qubit]],
+        initial_state: int,
+        rng: Optional[np.random.Generator],
+    ) -> Tuple[List[Qubit], np.ndarray]:
+        qubits = list(qubit_order) if qubit_order is not None else circuit.all_qubits()
+        index_of: Dict[Qubit, int] = {q: i for i, q in enumerate(qubits)}
+        num_qubits = len(qubits)
+        state = basis_state(initial_state, num_qubits)
+        for op in circuit.all_operations():
+            if op.is_measurement:
+                continue
+            targets = [index_of[q] for q in op.qubits]
+            if isinstance(op, NoiseOperation):
+                if rng is None:
+                    raise ValueError("noise operation encountered in ideal simulation")
+                state = self._apply_noise_trajectory(state, op, targets, num_qubits, resolver, rng)
+            else:
+                state = apply_unitary_to_state(state, op.unitary(resolver), targets, num_qubits)
+        return qubits, state
+
+    @staticmethod
+    def _apply_noise_trajectory(
+        state: np.ndarray,
+        op: NoiseOperation,
+        targets: Sequence[int],
+        num_qubits: int,
+        resolver: Optional[ParamResolver],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Sample one Kraus branch with probability <psi|E†E|psi> and renormalise."""
+        operators = op.kraus_operators(resolver)
+        branch_states = []
+        branch_probabilities = []
+        for kraus in operators:
+            candidate = apply_unitary_to_state(state, kraus, targets, num_qubits)
+            probability = float(np.real(np.vdot(candidate, candidate)))
+            branch_states.append(candidate)
+            branch_probabilities.append(probability)
+        probabilities = np.array(branch_probabilities)
+        total = probabilities.sum()
+        if total <= 0:
+            raise ValueError("all Kraus branches have zero probability")
+        probabilities = probabilities / total
+        choice = int(rng.choice(len(operators), p=probabilities))
+        chosen = branch_states[choice]
+        norm = np.linalg.norm(chosen)
+        return chosen / norm

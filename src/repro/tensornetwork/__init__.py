@@ -1,0 +1,26 @@
+"""Tensor-network contraction simulator backend (qTorch stand-in)."""
+
+from .contraction import (
+    contract_by_index_elimination,
+    contract_greedy,
+    contract_network,
+    interaction_graph,
+    min_degree_index_order,
+)
+from .network import TensorNetwork, circuit_to_network
+from .simulator import TensorNetworkSimulator
+from .tensor import Tensor, contract_pair, contraction_cost
+
+__all__ = [
+    "Tensor",
+    "TensorNetwork",
+    "TensorNetworkSimulator",
+    "circuit_to_network",
+    "contract_by_index_elimination",
+    "contract_greedy",
+    "contract_network",
+    "contract_pair",
+    "contraction_cost",
+    "interaction_graph",
+    "min_degree_index_order",
+]

@@ -1,0 +1,109 @@
+"""Tensor-network construction from quantum circuits.
+
+An ideal quantum circuit maps directly to a tensor network (Markov & Shi
+2008): each gate is a tensor whose axes are the qubit wire segments entering
+and leaving it, initial qubit states are rank-1 tensors, and fixing an output
+bitstring attaches rank-1 projector tensors to the final wire segments.
+Contracting the whole network yields the amplitude ``<bits|C|0...0>`` — the
+basic query the qTorch baseline answers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.noise import NoiseOperation
+from ..circuits.parameters import ParamResolver
+from ..circuits.qubits import Qubit
+from .tensor import Tensor
+
+
+class TensorNetwork:
+    """A collection of labelled tensors plus the set of open (uncontracted) indices."""
+
+    def __init__(self, tensors: Sequence[Tensor], open_indices: Sequence[object] = ()):
+        self.tensors: List[Tensor] = list(tensors)
+        self.open_indices: List[object] = list(open_indices)
+
+    @property
+    def num_tensors(self) -> int:
+        return len(self.tensors)
+
+    def all_indices(self) -> List[object]:
+        seen = []
+        seen_set = set()
+        for tensor in self.tensors:
+            for index in tensor.indices:
+                if index not in seen_set:
+                    seen_set.add(index)
+                    seen.append(index)
+        return seen
+
+    def __repr__(self) -> str:
+        return f"TensorNetwork(tensors={len(self.tensors)}, open={len(self.open_indices)})"
+
+
+def circuit_to_network(
+    circuit: Circuit,
+    output_bits: Optional[Sequence[int]] = None,
+    resolver: Optional[ParamResolver] = None,
+    qubit_order: Optional[Sequence[Qubit]] = None,
+    initial_bits: Optional[Sequence[int]] = None,
+) -> TensorNetwork:
+    """Build the amplitude tensor network of an ideal circuit.
+
+    ``output_bits`` fixes the final state of every qubit (yielding a scalar
+    network whose contraction is the amplitude).  If omitted, the final wire
+    indices remain open and contraction yields the full state tensor.
+    """
+    if circuit.has_noise:
+        raise ValueError("tensor network construction supports ideal circuits only")
+    qubits = list(qubit_order) if qubit_order is not None else circuit.all_qubits()
+    index_of: Dict[Qubit, int] = {q: i for i, q in enumerate(qubits)}
+    num_qubits = len(qubits)
+    if initial_bits is None:
+        initial_bits = [0] * num_qubits
+    if len(initial_bits) != num_qubits:
+        raise ValueError("initial_bits length mismatch")
+
+    # wire_segment[q] is the label of the current (latest) wire segment of qubit q.
+    wire_segment: List[Tuple[int, int]] = [(q, 0) for q in range(num_qubits)]
+    segment_counter: List[int] = [0] * num_qubits
+    tensors: List[Tensor] = []
+
+    for position, bit in enumerate(initial_bits):
+        state = np.zeros(2, dtype=complex)
+        state[int(bit)] = 1.0
+        tensors.append(Tensor(state, [wire_segment[position]]))
+
+    for op in circuit.all_operations():
+        if op.is_measurement:
+            continue
+        if isinstance(op, NoiseOperation):
+            raise ValueError("tensor network construction supports ideal circuits only")
+        targets = [index_of[q] for q in op.qubits]
+        k = len(targets)
+        in_indices = [wire_segment[t] for t in targets]
+        out_indices = []
+        for t in targets:
+            segment_counter[t] += 1
+            wire_segment[t] = (t, segment_counter[t])
+            out_indices.append(wire_segment[t])
+        unitary = op.unitary(resolver).reshape((2,) * (2 * k))
+        tensors.append(Tensor(unitary, out_indices + in_indices))
+
+    open_indices: List[object] = []
+    if output_bits is not None:
+        if len(output_bits) != num_qubits:
+            raise ValueError("output_bits length mismatch")
+        for position, bit in enumerate(output_bits):
+            projector = np.zeros(2, dtype=complex)
+            projector[int(bit)] = 1.0
+            tensors.append(Tensor(projector, [wire_segment[position]]))
+    else:
+        open_indices = [wire_segment[position] for position in range(num_qubits)]
+
+    return TensorNetwork(tensors, open_indices)

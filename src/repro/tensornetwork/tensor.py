@@ -1,0 +1,64 @@
+"""Labelled tensors for the tensor-network contraction simulator."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+class Tensor:
+    """A dense tensor whose axes are identified by hashable index labels.
+
+    Every axis has dimension 2 (qubit wires), but the implementation does not
+    rely on that except through the circuit builder.
+    """
+
+    def __init__(self, data: np.ndarray, indices: Sequence[object]):
+        data = np.asarray(data, dtype=complex)
+        indices = list(indices)
+        if data.ndim != len(indices):
+            raise ValueError(
+                f"tensor rank {data.ndim} does not match index count {len(indices)}"
+            )
+        if len(set(indices)) != len(indices):
+            raise ValueError("tensor indices must be unique")
+        self.data = data
+        self.indices: List[object] = indices
+
+    @property
+    def rank(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def scalar(self) -> complex:
+        if self.rank != 0:
+            raise ValueError("tensor is not a scalar")
+        return complex(self.data)
+
+    def __repr__(self) -> str:
+        return f"Tensor(indices={self.indices}, shape={self.data.shape})"
+
+
+def contract_pair(a: Tensor, b: Tensor) -> Tensor:
+    """Contract two tensors over all shared indices."""
+    shared = [index for index in a.indices if index in b.indices]
+    a_axes = [a.indices.index(index) for index in shared]
+    b_axes = [b.indices.index(index) for index in shared]
+    data = np.tensordot(a.data, b.data, axes=(a_axes, b_axes))
+    remaining_a = [index for index in a.indices if index not in shared]
+    remaining_b = [index for index in b.indices if index not in shared]
+    return Tensor(data, remaining_a + remaining_b)
+
+
+def contraction_cost(a: Tensor, b: Tensor) -> int:
+    """Number of elements in the tensor resulting from contracting ``a`` with ``b``.
+
+    Used by the greedy contraction-order heuristic.
+    """
+    shared = set(a.indices) & set(b.indices)
+    open_rank = (a.rank - len(shared)) + (b.rank - len(shared))
+    return 2 ** open_rank

@@ -1,0 +1,178 @@
+"""Parameter-shift gradients evaluated on a compiled circuit.
+
+Because the knowledge-compilation simulator re-binds parameters without
+recompiling, gradient estimation via the parameter-shift rule — evaluate the
+objective at ``theta +/- pi/2`` per parameter — costs just two extra weight
+re-bindings and sampling passes per parameter.  This module implements that
+estimator for QAOA/VQE ansatz objectives, enabling gradient-based optimizers
+alongside the paper's Nelder–Mead loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..simulator.base import Simulator
+from ..simulator.kc_simulator import CompiledCircuit, KnowledgeCompilationSimulator
+
+Objective = Callable[[Sequence[float]], float]
+
+
+def parameter_shift_gradient(
+    objective: Objective,
+    parameters: Sequence[float],
+    shift: float = np.pi / 2,
+    frequency: float = 1.0,
+) -> np.ndarray:
+    """Two-term parameter-shift gradient of ``objective`` at ``parameters``.
+
+    Exact for objectives of the form ``A + B cos(f * theta) + C sin(f * theta)``
+    in each parameter, where ``f`` is ``frequency``:
+
+        dE/dtheta = f * (E(theta + s) - E(theta - s)) / (2 sin(f * s)).
+
+    Expectation values of rotations ``exp(-i theta P / 2)`` have frequency 1
+    (the textbook rule, ``shift = pi/2``); this library's QAOA/VQE ansatz
+    passes ``2 * parameter`` as the gate angle, giving frequency 2 (use
+    ``shift = pi/4``, which :class:`CompiledObjective` does by default).
+    """
+    parameters = np.asarray(parameters, dtype=float)
+    gradient = np.zeros_like(parameters)
+    denominator = 2.0 * np.sin(frequency * shift) / frequency
+    if abs(denominator) < 1e-12:
+        raise ValueError("shift and frequency lead to a vanishing parameter-shift denominator")
+    for index in range(len(parameters)):
+        plus = parameters.copy()
+        minus = parameters.copy()
+        plus[index] += shift
+        minus[index] -= shift
+        gradient[index] = (objective(plus) - objective(minus)) / denominator
+    return gradient
+
+
+class CompiledObjective:
+    """An ansatz objective evaluated by sampling a compiled circuit.
+
+    Wraps (ansatz, simulator) into a callable suitable for
+    :func:`parameter_shift_gradient` and for gradient-descent loops; the
+    circuit is compiled once when the simulator supports it.
+    """
+
+    def __init__(
+        self,
+        ansatz,
+        simulator: Simulator,
+        samples_per_evaluation: int = 512,
+        seed: Optional[int] = None,
+        exact: bool = False,
+    ):
+        self.ansatz = ansatz
+        self.simulator = simulator
+        self.samples_per_evaluation = samples_per_evaluation
+        self.seed = seed
+        self.exact = exact
+        self._evaluations = 0
+        self._compiled: Optional[CompiledCircuit] = None
+        if isinstance(simulator, KnowledgeCompilationSimulator):
+            self._compiled = simulator.compile_circuit(ansatz.circuit)
+
+    @property
+    def num_evaluations(self) -> int:
+        return self._evaluations
+
+    def __call__(self, parameters: Sequence[float]) -> float:
+        self._evaluations += 1
+        resolver = self.ansatz.resolver(list(parameters))
+        if self.exact:
+            return self._exact_value(resolver)
+        seed = None if self.seed is None else self.seed + self._evaluations
+        if self._compiled is not None:
+            samples = self.simulator.sample(
+                self._compiled, self.samples_per_evaluation, resolver=resolver, seed=seed
+            )
+        else:
+            resolved = self.ansatz.circuit.resolve_parameters(resolver)
+            samples = self.simulator.sample(resolved, self.samples_per_evaluation, seed=seed)
+        return self.ansatz.objective_from_samples(samples)
+
+    def _exact_value(self, resolver) -> float:
+        """Noise-free exact objective from the full output distribution (tests, small circuits)."""
+        if self._compiled is not None:
+            probabilities = np.abs(self._compiled.state_vector(resolver)) ** 2
+        else:
+            from ..statevector import StateVectorSimulator
+
+            state = StateVectorSimulator().simulate(
+                self.ansatz.circuit.resolve_parameters(resolver)
+            ).state_vector
+            probabilities = np.abs(state) ** 2
+        return self.ansatz.objective_from_distribution(probabilities)
+
+    def gradient(
+        self,
+        parameters: Sequence[float],
+        method: str = "finite_difference",
+        step: float = 1e-4,
+        shift: float = np.pi / 4,
+        frequency: float = 2.0,
+    ) -> np.ndarray:
+        """Gradient of the objective at ``parameters``.
+
+        The default is a central finite difference: QAOA/VQE cost expectations
+        are sums of multi-frequency trigonometric terms (several edges share
+        each angle), so no single two-term parameter-shift rule is exact for
+        them.  ``method="parameter_shift"`` applies the two-term rule with the
+        given ``shift``/``frequency`` for ansatz families where it is exact
+        (one rotation per parameter).
+        """
+        if method == "parameter_shift":
+            return parameter_shift_gradient(self, parameters, shift, frequency)
+        if method != "finite_difference":
+            raise ValueError(f"unknown gradient method: {method}")
+        parameters = np.asarray(parameters, dtype=float)
+        gradient = np.zeros_like(parameters)
+        for index in range(len(parameters)):
+            plus = parameters.copy()
+            minus = parameters.copy()
+            plus[index] += step
+            minus[index] -= step
+            gradient[index] = (self(plus) - self(minus)) / (2.0 * step)
+        return gradient
+
+
+def gradient_descent(
+    objective: CompiledObjective,
+    initial_parameters: Sequence[float],
+    learning_rate: float = 0.1,
+    num_steps: int = 50,
+    method: str = "finite_difference",
+) -> List[dict]:
+    """A plain gradient-descent loop over a compiled objective.
+
+    Returns the per-step history (parameters, objective value, gradient norm).
+    """
+    parameters = np.asarray(initial_parameters, dtype=float)
+    history: List[dict] = []
+    for step in range(num_steps):
+        value = objective(parameters)
+        gradient = objective.gradient(parameters, method=method)
+        history.append(
+            {
+                "step": step,
+                "parameters": parameters.copy(),
+                "value": float(value),
+                "gradient_norm": float(np.linalg.norm(gradient)),
+            }
+        )
+        parameters = parameters - learning_rate * gradient
+    history.append(
+        {
+            "step": num_steps,
+            "parameters": parameters.copy(),
+            "value": float(objective(parameters)),
+            "gradient_norm": float("nan"),
+        }
+    )
+    return history

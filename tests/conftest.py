@@ -1,0 +1,68 @@
+"""Shared pytest fixtures for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+# Allow running the tests from a source checkout without installation.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.circuits import CNOT, Circuit, H, LineQubit, ParamResolver, Rx, Symbol, ZZ, depolarize
+from repro.densitymatrix import DensityMatrixSimulator
+from repro.simulator.kc_simulator import KnowledgeCompilationSimulator
+from repro.statevector import StateVectorSimulator
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20210419)
+
+
+@pytest.fixture
+def bell_circuit():
+    q0, q1 = LineQubit.range(2)
+    return Circuit([H(q0), CNOT(q0, q1)])
+
+
+@pytest.fixture
+def qaoa_like_circuit():
+    """A 4-qubit parameterized QAOA-style circuit (chain graph, one iteration)."""
+    qubits = LineQubit.range(4)
+    gamma, beta = Symbol("gamma"), Symbol("beta")
+    operations = [H(q) for q in qubits]
+    operations += [ZZ(2 * gamma)(qubits[i], qubits[i + 1]) for i in range(3)]
+    operations += [Rx(2 * beta)(q) for q in qubits]
+    return Circuit(operations)
+
+
+@pytest.fixture
+def qaoa_resolver():
+    return ParamResolver({"gamma": 0.55, "beta": 0.35})
+
+
+@pytest.fixture
+def noisy_bell_circuit():
+    q0, q1 = LineQubit.range(2)
+    circuit = Circuit([H(q0), CNOT(q0, q1)])
+    return circuit.with_noise(lambda: depolarize(0.05))
+
+
+@pytest.fixture
+def state_vector_simulator():
+    return StateVectorSimulator(seed=7)
+
+
+@pytest.fixture
+def density_matrix_simulator():
+    return DensityMatrixSimulator(seed=7)
+
+
+@pytest.fixture
+def kc_simulator():
+    return KnowledgeCompilationSimulator(seed=7)

@@ -1,0 +1,34 @@
+"""Tests for the decision-ordering ablation experiment."""
+
+import pytest
+
+from repro.experiments import ablation_orderings
+
+
+class TestAblationOrderings:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_orderings.run(num_qubits=5, order_methods=["lexicographic", "hypergraph"])
+
+    def test_row_schema(self, result):
+        assert len(result.rows) == 4  # 2 orderings x (elided, unelided)
+        for row in result.rows:
+            assert row["ac_nodes"] > 0
+            assert row["compile_seconds"] >= 0
+            assert row["nodes_vs_best"] >= 1.0
+
+    def test_hypergraph_not_worse_than_lexicographic(self, result):
+        by_key = {(r["order_method"], r["elide_internal_states"]): r["ac_nodes"] for r in result.rows}
+        assert by_key[("hypergraph", True)] <= by_key[("lexicographic", True)]
+
+    def test_elision_never_grows_the_circuit(self, result):
+        by_key = {(r["order_method"], r["elide_internal_states"]): r["ac_nodes"] for r in result.rows}
+        for method in ("lexicographic", "hypergraph"):
+            assert by_key[(method, True)] <= by_key[(method, False)]
+
+    def test_elision_only_mode(self):
+        result = ablation_orderings.run(
+            num_qubits=4, order_methods=["hypergraph"], include_unelided=False
+        )
+        assert len(result.rows) == 1
+        assert result.rows[0]["elide_internal_states"] is True

@@ -1,0 +1,153 @@
+"""Validation of the quantum-algorithm benchmark suite on the state-vector simulator.
+
+Mirrors the paper's Appendix A.6.1 validation list: each algorithm circuit is
+simulated and its output distribution (or other analytic property) checked.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    bell_state_circuit,
+    bernstein_vazirani_circuit,
+    chsh_circuit,
+    chsh_value,
+    deutsch_circuit,
+    deutsch_jozsa_circuit,
+    expected_qft_amplitudes,
+    ghz_circuit,
+    grover_circuit,
+    hidden_shift_circuit,
+    inverse_qft_circuit,
+    qft_circuit,
+    random_circuit,
+    recover_secret,
+    secret_consistent,
+    simon_circuit,
+    teleportation_circuit,
+)
+from repro.circuits import phase_damp
+from repro.statevector import StateVectorSimulator
+
+
+SIMULATOR = StateVectorSimulator(seed=11)
+
+
+def exact_distribution(instance):
+    return SIMULATOR.simulate(instance.circuit).probabilities()
+
+
+class TestBasicCircuits:
+    def test_bell_state(self):
+        instance = bell_state_circuit()
+        assert np.allclose(exact_distribution(instance), instance.expected_distribution, atol=1e-9)
+
+    def test_noisy_bell_instance_builds(self):
+        instance = bell_state_circuit(noise_channel=phase_damp(0.36))
+        assert instance.circuit.has_noise
+
+    @pytest.mark.parametrize("num_qubits", [2, 3, 5])
+    def test_ghz(self, num_qubits):
+        instance = ghz_circuit(num_qubits)
+        assert np.allclose(exact_distribution(instance), instance.expected_distribution, atol=1e-9)
+
+    def test_teleportation(self):
+        instance = teleportation_circuit(message_angle=0.8)
+        assert np.allclose(exact_distribution(instance), instance.expected_distribution, atol=1e-9)
+
+    def test_chsh_violates_classical_bound(self):
+        distributions = {}
+        for alice in (0, 1):
+            for bob in (0, 1):
+                instance = chsh_circuit(alice, bob)
+                distributions[(alice, bob)] = exact_distribution(instance)
+        value = chsh_value(distributions)
+        assert value == pytest.approx(2 * np.sqrt(2), abs=1e-6)
+        assert value > 2.0
+
+
+class TestOracleAlgorithms:
+    @pytest.mark.parametrize("oracle", ["constant", "balanced"])
+    def test_deutsch_jozsa(self, oracle):
+        instance = deutsch_jozsa_circuit(3, oracle=oracle)
+        assert np.allclose(exact_distribution(instance), instance.expected_distribution, atol=1e-9)
+
+    def test_deutsch_single_qubit(self):
+        instance = deutsch_circuit(balanced=True)
+        distribution = exact_distribution(instance)
+        # Input register must read 1 for a balanced oracle.
+        assert distribution[2] + distribution[3] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("secret", [[1, 0, 1], [0, 0, 1], [1, 1, 1, 1]])
+    def test_bernstein_vazirani(self, secret):
+        instance = bernstein_vazirani_circuit(secret)
+        assert np.allclose(exact_distribution(instance), instance.expected_distribution, atol=1e-9)
+
+    @pytest.mark.parametrize("shift", [[1, 0, 0, 1], [0, 1, 1, 0], [1, 1, 1, 1, 0, 0]])
+    def test_hidden_shift(self, shift):
+        instance = hidden_shift_circuit(shift)
+        distribution = exact_distribution(instance)
+        expected_index = int("".join(str(b) for b in instance.expected_bitstring), 2)
+        assert distribution[expected_index] == pytest.approx(1.0, abs=1e-9)
+
+    def test_simon_samples_orthogonal_to_secret(self):
+        secret = [1, 1, 0]
+        instance = simon_circuit(secret)
+        samples = SIMULATOR.sample(instance.circuit, 200, seed=5)
+        assert secret_consistent(samples.samples, secret, num_input_qubits=3)
+
+    def test_simon_secret_recovery(self):
+        secret = [1, 0, 1]
+        instance = simon_circuit(secret)
+        samples = SIMULATOR.sample(instance.circuit, 64, seed=7)
+        recovered = recover_secret(samples.samples, num_input_qubits=3)
+        assert recovered == tuple(secret)
+
+
+class TestQFT:
+    @pytest.mark.parametrize("num_qubits,value", [(2, 1), (3, 5), (4, 9)])
+    def test_qft_amplitudes_match_analytic_form(self, num_qubits, value):
+        instance = qft_circuit(num_qubits, input_value=value)
+        state = SIMULATOR.simulate(instance.circuit).state_vector
+        assert np.allclose(state, expected_qft_amplitudes(num_qubits, value), atol=1e-9)
+
+    def test_qft_output_uniform(self):
+        instance = qft_circuit(3, input_value=6)
+        assert np.allclose(exact_distribution(instance), np.full(8, 1 / 8), atol=1e-9)
+
+    @pytest.mark.parametrize("frequency", [0, 3, 7])
+    def test_inverse_qft_round_trip(self, frequency):
+        instance = inverse_qft_circuit(3, frequency)
+        distribution = exact_distribution(instance)
+        assert distribution[frequency] == pytest.approx(1.0, abs=1e-9)
+
+
+class TestGrover:
+    @pytest.mark.parametrize("marked", [[1, 1], [0, 1, 0], [1, 0, 1, 1]])
+    def test_marked_state_amplified(self, marked):
+        instance = grover_circuit(marked)
+        distribution = exact_distribution(instance)
+        marked_index = int("".join(str(b) for b in marked), 2)
+        assert distribution[marked_index] == pytest.approx(
+            instance.metadata["success_probability"], abs=1e-9
+        )
+        assert distribution[marked_index] > 0.5
+
+    def test_two_qubit_grover_is_exact(self):
+        instance = grover_circuit([1, 0])
+        distribution = exact_distribution(instance)
+        assert distribution[2] == pytest.approx(1.0, abs=1e-9)
+
+
+class TestRandomCircuits:
+    def test_random_circuit_reproducible(self):
+        first = random_circuit(4, 3, seed=5)
+        second = random_circuit(4, 3, seed=5)
+        assert first.circuit == second.circuit
+
+    def test_random_circuit_normalised(self):
+        instance = random_circuit(5, 4, seed=8)
+        distribution = exact_distribution(instance)
+        assert distribution.sum() == pytest.approx(1.0)
+        # Output should be spread over many basis states (anti-concentration).
+        assert np.count_nonzero(distribution > 1e-6) > 8

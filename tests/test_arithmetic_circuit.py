@@ -1,0 +1,148 @@
+"""Tests for arithmetic-circuit evaluation and differentiation."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnf import CNF
+from repro.knowledge import ArithmeticCircuit, KnowledgeCompiler, NNFManager, smooth
+
+
+def compile_to_ac(cnf):
+    compiler = KnowledgeCompiler()
+    root, manager, _ = compiler.compile(cnf)
+    # Smooth over *all* variables (including ones absent from every clause) so
+    # the weighted model count ranges over complete assignments, matching the
+    # brute-force oracle below.
+    root = smooth(manager, root, list(range(1, cnf.num_vars + 1)))
+    return ArithmeticCircuit(root, cnf.num_vars)
+
+
+def brute_force_wmc(cnf, literal_values):
+    variables = sorted(set(range(1, cnf.num_vars + 1)))
+    total = 0.0 + 0j
+    for bits in itertools.product([False, True], repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        if not cnf.is_satisfied_by(assignment):
+            continue
+        weight = 1.0 + 0j
+        for variable in variables:
+            weight *= literal_values[variable, 1 if assignment[variable] else 0]
+        total += weight
+    return total
+
+
+def random_cnf(num_vars, num_clauses, seed):
+    rng = np.random.default_rng(seed)
+    cnf = CNF(num_vars)
+    for _ in range(num_clauses):
+        width = int(rng.integers(1, 4))
+        variables = rng.choice(np.arange(1, num_vars + 1), size=min(width, num_vars), replace=False)
+        cnf.add_clause([int(v) if rng.random() < 0.5 else -int(v) for v in variables])
+    return cnf
+
+
+def random_literal_values(ac, seed, complex_values=True):
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(0.1, 1.5, size=(ac.num_vars + 1, 2)).astype(complex)
+    if complex_values:
+        values = values + 1j * rng.uniform(-0.5, 0.5, size=values.shape)
+    return values
+
+
+class TestEvaluation:
+    def test_model_count_with_unit_weights(self):
+        cnf = CNF(3)
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-2, 3])
+        ac = compile_to_ac(cnf)
+        count = ac.evaluate(ac.default_literal_values())
+        expected = sum(
+            1
+            for bits in itertools.product([False, True], repeat=3)
+            if cnf.is_satisfied_by(dict(zip([1, 2, 3], bits)))
+        )
+        assert count == pytest.approx(expected)
+
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=25, deadline=None)
+    def test_weighted_model_count_matches_brute_force(self, seed):
+        cnf = random_cnf(num_vars=5, num_clauses=6, seed=seed)
+        ac = compile_to_ac(cnf)
+        literal_values = random_literal_values(ac, seed + 1)
+        assert ac.evaluate(literal_values) == pytest.approx(brute_force_wmc(cnf, literal_values))
+
+    def test_evidence_via_zeroed_indicators(self):
+        cnf = CNF(2)
+        cnf.add_clause([1, 2])
+        ac = compile_to_ac(cnf)
+        values = ac.default_literal_values()
+        values[1, 0] = 0.0  # forbid var1 = False
+        values[2, 1] = 0.0  # forbid var2 = True
+        assert ac.evaluate(values) == pytest.approx(1.0)  # only model: 1=T, 2=F
+
+    def test_stats_and_text_export(self):
+        cnf = CNF(2)
+        cnf.add_clause([1, 2])
+        ac = compile_to_ac(cnf)
+        stats = ac.stats()
+        assert stats["nodes"] == ac.num_nodes
+        assert stats["edges"] == ac.num_edges
+        text = ac.to_nnf_text()
+        assert text.startswith("nnf ")
+        assert stats["size_bytes"] == len(text.encode("utf-8"))
+
+
+class TestDerivatives:
+    def test_derivatives_match_finite_differences(self):
+        cnf = random_cnf(num_vars=4, num_clauses=5, seed=11)
+        ac = compile_to_ac(cnf)
+        literal_values = random_literal_values(ac, seed=12, complex_values=False)
+        value, derivatives = ac.evaluate_with_derivatives(literal_values)
+        step = 1e-6
+        for variable in range(1, ac.num_vars + 1):
+            for sign in (0, 1):
+                perturbed = literal_values.copy()
+                perturbed[variable, sign] += step
+                numeric = (ac.evaluate(perturbed) - value) / step
+                assert derivatives[variable, sign] == pytest.approx(numeric, rel=1e-3, abs=1e-5)
+
+    def test_derivatives_with_zero_values(self):
+        """The downward pass must handle zero-valued children exactly (evidence zeros)."""
+        cnf = CNF(2)
+        cnf.add_clause([1, 2])
+        ac = compile_to_ac(cnf)
+        values = ac.default_literal_values()
+        values[1, 1] = 0.0  # forbid var1 = True
+        root_value, derivatives = ac.evaluate_with_derivatives(values)
+        # With var1 = True forbidden, models are (F,T) only -> WMC = 1.
+        assert root_value == pytest.approx(1.0)
+        # d/d lambda_{1=T} recovers the WMC with var1 set to True: models (T,T) and (T,F) -> 2.
+        assert derivatives[1, 1] == pytest.approx(2.0)
+
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=15, deadline=None)
+    def test_derivative_identity_property(self, seed):
+        """For multilinear WMC: f = lambda_x * df/dlambda_x + lambda_notx * df/dlambda_notx."""
+        cnf = random_cnf(num_vars=4, num_clauses=5, seed=seed)
+        ac = compile_to_ac(cnf)
+        literal_values = random_literal_values(ac, seed + 7)
+        value, derivatives = ac.evaluate_with_derivatives(literal_values)
+        for variable in range(1, ac.num_vars + 1):
+            reconstructed = (
+                literal_values[variable, 1] * derivatives[variable, 1]
+                + literal_values[variable, 0] * derivatives[variable, 0]
+            )
+            assert reconstructed == pytest.approx(value, rel=1e-9, abs=1e-9)
+
+    def test_complex_weights_supported(self):
+        cnf = CNF(2)
+        cnf.add_clause([1, 2])
+        ac = compile_to_ac(cnf)
+        values = ac.default_literal_values()
+        values[1, 1] = 1j
+        values[2, 0] = -0.5 + 0.5j
+        assert ac.evaluate(values) == pytest.approx(brute_force_wmc(cnf, values))

@@ -1,0 +1,190 @@
+"""Tests for the circuit -> Bayesian network compiler and variable elimination."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import (
+    ENTRY_ONE,
+    ENTRY_WEIGHT,
+    ENTRY_ZERO,
+    BayesianNetwork,
+    BayesNode,
+    amplitude_of_assignment,
+    circuit_to_bayesnet,
+    final_density_matrix,
+    final_state_vector,
+    measurement_probabilities,
+)
+from repro.circuits import (
+    CNOT,
+    CZ,
+    Circuit,
+    H,
+    ISWAP,
+    LineQubit,
+    ParamResolver,
+    Rx,
+    Symbol,
+    X,
+    ZZ,
+    bit_flip,
+    depolarize,
+    phase_damp,
+)
+from repro.densitymatrix import DensityMatrixSimulator
+from repro.statevector import StateVectorSimulator
+
+
+class TestNetworkStructure:
+    def test_bell_network_nodes(self, bell_circuit):
+        network = circuit_to_bayesnet(bell_circuit)
+        assert network.node_names == ["q0m0", "q1m0", "q0m1", "q1m1"]
+        assert network.final_node_names == ["q0m1", "q1m1"]
+        assert network.internal_node_names == []
+        network.validate()
+
+    def test_paper_bell_example_structure(self):
+        """Figure 2(c): H -> q0m1, phase damping -> q0m2rv + q0m2, CNOT -> q1m3-like node."""
+        q = LineQubit.range(2)
+        circuit = Circuit([H(q[0])])
+        circuit.append(phase_damp(0.36).on(q[0]))
+        circuit.append(CNOT(q[0], q[1]))
+        network = circuit_to_bayesnet(circuit)
+        assert "q0m2rv" in network.node_names
+        assert network.noise_node_names == ["q0m2rv"]
+        rv_node = network.node("q0m2rv")
+        assert rv_node.cardinality == 2
+        # The CNOT target node depends on both the control state and the prior target state.
+        target_node = network.node(network.final_node_of[q[1]])
+        assert set(target_node.parents) == {"q0m2", "q1m0"}
+
+    def test_cnot_does_not_create_control_node(self, bell_circuit):
+        network = circuit_to_bayesnet(bell_circuit)
+        q = LineQubit.range(2)
+        # The control qubit keeps its post-H node as its final node.
+        assert network.final_node_of[q[0]] == "q0m1"
+
+    def test_diagonal_gate_creates_single_phase_node(self):
+        q = LineQubit.range(2)
+        network = circuit_to_bayesnet(Circuit([H(q[0]), H(q[1]), CZ(q[0], q[1])]))
+        # CZ is diagonal: only one new node carries the phase.
+        assert network.num_nodes == 2 + 2 + 1
+
+    def test_non_monomial_two_qubit_gate_uses_chain_encoding(self):
+        q = LineQubit.range(2)
+        network = circuit_to_bayesnet(Circuit([ISWAP(q[0], q[1])]))
+        # ISWAP is monomial so it should not need the chain encoding; use XX instead.
+        from repro.circuits import XX
+
+        network = circuit_to_bayesnet(Circuit([XX(0.7)(q[0], q[1])]))
+        finals = network.final_node_names
+        last = network.node(finals[1])
+        assert len(last.parents) == 3  # two inputs + sibling output
+
+    def test_depolarizing_noise_node_cardinality(self, noisy_bell_circuit):
+        network = circuit_to_bayesnet(noisy_bell_circuit)
+        assert len(network.noise_node_names) == 3
+        assert all(network.node(name).cardinality == 4 for name in network.noise_node_names)
+
+    def test_moral_graph_contains_family_edges(self, bell_circuit):
+        network = circuit_to_bayesnet(bell_circuit)
+        adjacency = network.moral_graph()
+        assert "q0m0" in adjacency["q0m1"]
+
+    def test_add_node_validation(self):
+        network = BayesianNetwork()
+        with pytest.raises(ValueError):
+            network.add_node(
+                BayesNode("child", 2, ["missing_parent"], lambda r: np.ones((2, 2)))
+            )
+
+    def test_duplicate_node_rejected(self):
+        network = BayesianNetwork()
+        network.add_node(BayesNode("a", 2, [], lambda r: np.ones(2)))
+        with pytest.raises(ValueError):
+            network.add_node(BayesNode("a", 2, [], lambda r: np.ones(2)))
+
+
+class TestStructureClassification:
+    def test_hadamard_structure_is_all_weights(self):
+        q = LineQubit(0)
+        network = circuit_to_bayesnet(Circuit([H(q)]))
+        node = network.node("q0m1")
+        structure = node.structure(network.probe_resolvers())
+        assert np.all(structure == ENTRY_WEIGHT)
+
+    def test_cnot_structure_is_deterministic(self, bell_circuit):
+        network = circuit_to_bayesnet(bell_circuit)
+        q = LineQubit.range(2)
+        node = network.node(network.final_node_of[q[1]])
+        structure = node.structure(network.probe_resolvers())
+        assert set(np.unique(structure)) <= {ENTRY_ZERO, ENTRY_ONE}
+
+    def test_parameterized_rz_zero_pattern_stable(self):
+        q = LineQubit(0)
+        circuit = Circuit([H(q), ZZ(Symbol("t"))(q, LineQubit(1))])
+        network = circuit_to_bayesnet(circuit)
+        probes = network.probe_resolvers()
+        assert len(probes) == 3
+        for node in network.nodes:
+            structure = node.structure(probes)
+            assert structure.shape == node.expected_shape(network)
+
+
+class TestVariableElimination:
+    def test_bell_state_vector(self, bell_circuit):
+        state = final_state_vector(circuit_to_bayesnet(bell_circuit))
+        assert np.allclose(state, np.array([1, 0, 0, 1]) / np.sqrt(2))
+
+    def test_matches_state_vector_simulator(self, qaoa_like_circuit, qaoa_resolver):
+        network = circuit_to_bayesnet(qaoa_like_circuit)
+        state = final_state_vector(network, qaoa_resolver)
+        expected = StateVectorSimulator().simulate(qaoa_like_circuit, qaoa_resolver).state_vector
+        assert np.allclose(state, expected, atol=1e-9)
+
+    @pytest.mark.parametrize("order_method", ["min_fill", "min_degree", "lexicographic", "hypergraph"])
+    def test_all_elimination_orders_agree(self, bell_circuit, order_method):
+        network = circuit_to_bayesnet(bell_circuit)
+        state = final_state_vector(network, order_method=order_method)
+        assert np.allclose(state, np.array([1, 0, 0, 1]) / np.sqrt(2))
+
+    def test_noisy_density_matrix_matches_dense_simulator(self):
+        q = LineQubit.range(2)
+        circuit = Circuit([H(q[0])])
+        circuit.append(bit_flip(0.2).on(q[0]))
+        circuit.append(CNOT(q[0], q[1]))
+        network = circuit_to_bayesnet(circuit)
+        rho = final_density_matrix(network)
+        expected = DensityMatrixSimulator().simulate(circuit).density_matrix
+        assert np.allclose(rho, expected, atol=1e-9)
+
+    def test_paper_phase_damping_density_matrix(self):
+        q = LineQubit.range(2)
+        circuit = Circuit([H(q[0])])
+        circuit.append(phase_damp(0.36).on(q[0]))
+        circuit.append(CNOT(q[0], q[1]))
+        rho = final_density_matrix(circuit_to_bayesnet(circuit))
+        assert rho[0, 3] == pytest.approx(0.4)
+        assert rho[0, 0] == pytest.approx(0.5)
+
+    def test_measurement_probabilities_noisy(self, noisy_bell_circuit):
+        probabilities = measurement_probabilities(circuit_to_bayesnet(noisy_bell_circuit))
+        expected = DensityMatrixSimulator().simulate(noisy_bell_circuit).probabilities()
+        assert np.allclose(probabilities, expected, atol=1e-9)
+
+    def test_amplitude_of_assignment(self, bell_circuit):
+        network = circuit_to_bayesnet(bell_circuit)
+        amplitude = amplitude_of_assignment(network, {"q0m1": 1, "q1m1": 1})
+        assert amplitude == pytest.approx(1 / np.sqrt(2))
+
+    def test_joint_amplitude_product(self, bell_circuit):
+        network = circuit_to_bayesnet(bell_circuit)
+        value = network.joint_amplitude({"q0m0": 0, "q1m0": 0, "q0m1": 1, "q1m1": 1})
+        assert value == pytest.approx(1 / np.sqrt(2))
+
+    def test_initial_bits(self, bell_circuit):
+        network = circuit_to_bayesnet(bell_circuit, initial_bits=[1, 0])
+        state = final_state_vector(network)
+        # H X |0> = |->, so the Bell circuit gives (|00> - |11>)/sqrt(2).
+        assert state[0] == pytest.approx(1 / np.sqrt(2))
+        assert state[3] == pytest.approx(-1 / np.sqrt(2))

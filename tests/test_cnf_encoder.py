@@ -1,0 +1,167 @@
+"""Tests for the Bayesian-network -> weighted CNF encoder."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import circuit_to_bayesnet
+from repro.circuits import CNOT, Circuit, H, LineQubit, ParamResolver, Rx, Symbol, X, ZZ, depolarize, phase_damp
+from repro.cnf import CNF, encode_bayesnet
+from repro.cnf.encoder import bits_for_cardinality
+
+
+def brute_force_wmc(encoding, evidence, resolver=None):
+    """Exhaustive weighted model count over the *unsimplified* encoding.
+
+    ``evidence`` maps node names to values; elided (unobserved) nodes are
+    summed over.  This is the ground truth the compiled pipeline must match.
+    """
+    cnf = encoding.cnf
+    weights = encoding.weights(resolver)
+    total = 0.0 + 0j
+    variables = sorted(set(range(1, cnf.num_vars + 1)))
+    evidence_literals = {}
+    for node, value in evidence.items():
+        for literal in encoding.value_literals(node, value):
+            evidence_literals[abs(literal)] = literal > 0
+    for assignment_bits in itertools.product([False, True], repeat=len(variables)):
+        assignment = dict(zip(variables, assignment_bits))
+        if any(assignment[var] != val for var, val in evidence_literals.items()):
+            continue
+        if not cnf.is_satisfied_by(assignment):
+            continue
+        weight = 1.0 + 0j
+        for variable, value in weights.items():
+            if assignment.get(variable, False):
+                weight *= value
+        total += weight
+    return total
+
+
+class TestEncodingBasics:
+    def test_bits_for_cardinality(self):
+        assert bits_for_cardinality(2) == 1
+        assert bits_for_cardinality(3) == 2
+        assert bits_for_cardinality(4) == 2
+        with pytest.raises(ValueError):
+            bits_for_cardinality(1)
+
+    def test_binary_nodes_use_single_variable(self, bell_circuit):
+        encoding = encode_bayesnet(circuit_to_bayesnet(bell_circuit))
+        for name in ("q0m0", "q0m1", "q1m1"):
+            assert len(encoding.bits_of(name)) == 1
+
+    def test_depolarizing_selector_uses_two_bits(self, noisy_bell_circuit):
+        encoding = encode_bayesnet(circuit_to_bayesnet(noisy_bell_circuit))
+        network = encoding.network
+        for name in network.noise_node_names:
+            assert len(encoding.bits_of(name)) == 2
+
+    def test_value_literals(self, bell_circuit):
+        encoding = encode_bayesnet(circuit_to_bayesnet(bell_circuit))
+        bit = encoding.bits_of("q0m1")[0]
+        assert encoding.value_literals("q0m1", 0) == [-bit]
+        assert encoding.value_literals("q0m1", 1) == [bit]
+        with pytest.raises(ValueError):
+            encoding.value_literals("q0m1", 2)
+
+    def test_weight_variables_created_for_hadamard(self, bell_circuit):
+        encoding = encode_bayesnet(circuit_to_bayesnet(bell_circuit), simplify=False)
+        # The Hadamard CAT has four weighted entries; the CNOT is fully deterministic.
+        hadamard_weights = [
+            ref for ref in encoding.weight_refs.values() if ref.node_name == "q0m1"
+        ]
+        assert len(hadamard_weights) == 4
+        cnot_weights = [ref for ref in encoding.weight_refs.values() if ref.node_name == "q1m1"]
+        assert cnot_weights == []
+
+    def test_weights_lookup_matches_tables(self, bell_circuit):
+        encoding = encode_bayesnet(circuit_to_bayesnet(bell_circuit))
+        weights = encoding.weights()
+        values = sorted(np.round(np.real(list(weights.values())), 6))
+        assert values[0] == pytest.approx(-1 / np.sqrt(2))
+        assert values[-1] == pytest.approx(1 / np.sqrt(2))
+
+    def test_simplification_forces_initial_states(self, bell_circuit):
+        encoding = encode_bayesnet(circuit_to_bayesnet(bell_circuit), simplify=True)
+        initial_bit = encoding.bits_of("q0m0")[0]
+        assert encoding.forced_value(initial_bit) is False  # initial state |0>
+
+    def test_stats_reported(self, bell_circuit):
+        encoding = encode_bayesnet(circuit_to_bayesnet(bell_circuit))
+        stats = encoding.stats()
+        assert stats["weight_variables"] == len(encoding.weight_refs)
+        assert stats["clauses"] == encoding.cnf.num_clauses
+
+
+class TestEncodingSemantics:
+    def test_wmc_equals_amplitude_bell(self, bell_circuit):
+        network = circuit_to_bayesnet(bell_circuit)
+        encoding = encode_bayesnet(network, simplify=False)
+        amplitude = brute_force_wmc(encoding, {"q0m1": 1, "q1m1": 1})
+        assert amplitude == pytest.approx(1 / np.sqrt(2))
+        amplitude = brute_force_wmc(encoding, {"q0m1": 0, "q1m1": 1})
+        assert amplitude == pytest.approx(0.0)
+
+    def test_wmc_sums_over_internal_states(self):
+        q = LineQubit(0)
+        circuit = Circuit([H(q), H(q)])  # H H |0> = |0>, via interference of two paths
+        network = circuit_to_bayesnet(circuit)
+        encoding = encode_bayesnet(network, simplify=False)
+        assert brute_force_wmc(encoding, {"q0m2": 0}) == pytest.approx(1.0)
+        assert brute_force_wmc(encoding, {"q0m2": 1}) == pytest.approx(0.0, abs=1e-12)
+
+    def test_wmc_with_noise_branch_evidence(self):
+        q = LineQubit.range(2)
+        circuit = Circuit([H(q[0])])
+        circuit.append(phase_damp(0.36).on(q[0]))
+        circuit.append(CNOT(q[0], q[1]))
+        network = circuit_to_bayesnet(circuit)
+        encoding = encode_bayesnet(network, simplify=False)
+        # Branch 0 (no damping event): amplitudes 1/sqrt(2) and 0.8/sqrt(2) (Table 5).
+        assert brute_force_wmc(encoding, {"q0m2rv": 0, "q0m2": 0, "q1m1": 0}) == pytest.approx(
+            1 / np.sqrt(2)
+        )
+        assert brute_force_wmc(encoding, {"q0m2rv": 0, "q0m2": 1, "q1m1": 1}) == pytest.approx(
+            0.8 / np.sqrt(2)
+        )
+        # Branch 1 (damping event): magnitude 0.6/sqrt(2) on |11>.
+        branch_one = brute_force_wmc(encoding, {"q0m2rv": 1, "q0m2": 1, "q1m1": 1})
+        assert abs(branch_one) == pytest.approx(0.6 / np.sqrt(2))
+
+    def test_parameterized_weights_rebind(self):
+        q = LineQubit(0)
+        theta = Symbol("theta")
+        circuit = Circuit([Rx(theta)(q)])
+        network = circuit_to_bayesnet(circuit)
+        encoding = encode_bayesnet(network, simplify=False)
+        for value in (0.3, 1.2):
+            resolver = ParamResolver({"theta": value})
+            amplitude = brute_force_wmc(encoding, {"q0m1": 0}, resolver)
+            assert amplitude == pytest.approx(np.cos(value / 2))
+
+    def test_constant_factor_accounts_for_forced_weights(self):
+        """A deterministic circuit whose only amplitude lives in a forced weight variable.
+
+        Rz on |0> leaves the state in |0> up to the phase exp(-i theta / 2);
+        unit resolution forces the corresponding weight variable true, and
+        the encoding must surface that phase through ``constant_factor``.
+        """
+        from repro.circuits import Rz
+
+        q = LineQubit(0)
+        circuit = Circuit([Rz(0.5)(q)])
+        network = circuit_to_bayesnet(circuit)
+        simplified = encode_bayesnet(network, simplify=True)
+        forced_weights = [
+            literal for literal in simplified.forced_literals
+            if literal > 0 and literal in simplified.weight_refs
+        ]
+        assert forced_weights, "the Rz phase weight should be forced true"
+        assert simplified.constant_factor() == pytest.approx(np.exp(-0.25j))
+
+    def test_unsimplified_encoding_has_no_forced_literals(self, bell_circuit):
+        encoding = encode_bayesnet(circuit_to_bayesnet(bell_circuit), simplify=False)
+        assert encoding.forced_literals == set()
+        assert encoding.constant_factor() == pytest.approx(1.0)

@@ -1,0 +1,129 @@
+"""Tests for the CNF data structure and DIMACS I/O."""
+
+import pytest
+
+from repro.cnf import CNF, unit_propagate_cnf
+
+
+class TestConstruction:
+    def test_new_var_and_names(self):
+        cnf = CNF()
+        v1 = cnf.new_var("alpha")
+        v2 = cnf.new_var()
+        assert (v1, v2) == (1, 2)
+        assert cnf.name_of(v1) == "alpha"
+        assert cnf.name_of(v2) == "v2"
+
+    def test_add_clause_validates_range(self):
+        cnf = CNF(2)
+        with pytest.raises(ValueError):
+            cnf.add_clause([3])
+        with pytest.raises(ValueError):
+            cnf.add_clause([0])
+        with pytest.raises(ValueError):
+            cnf.add_clause([])
+
+    def test_tautologies_skipped(self):
+        cnf = CNF(1)
+        cnf.add_clause([1, -1])
+        assert cnf.num_clauses == 0
+
+    def test_duplicate_literals_deduplicated(self):
+        cnf = CNF(2)
+        cnf.add_clause([1, 1, 2])
+        assert cnf.clauses[0] == (1, 2)
+
+    def test_exactly_one(self):
+        cnf = CNF()
+        variables = [cnf.new_var() for _ in range(3)]
+        cnf.add_exactly_one(variables)
+        # 1 at-least-one clause + 3 pairwise at-most-one clauses.
+        assert cnf.num_clauses == 4
+        assert cnf.model_count() == 3
+
+
+class TestSemantics:
+    def test_model_count_simple(self):
+        cnf = CNF(2)
+        cnf.add_clause([1, 2])
+        assert cnf.model_count() == 3
+
+    def test_is_satisfied_by(self):
+        cnf = CNF(2)
+        cnf.add_clause([1])
+        cnf.add_clause([-2])
+        assert cnf.is_satisfied_by({1: True, 2: False})
+        assert not cnf.is_satisfied_by({1: True, 2: True})
+
+    def test_primal_graph(self):
+        cnf = CNF(3)
+        cnf.add_clause([1, -2])
+        cnf.add_clause([2, 3])
+        graph = cnf.primal_graph()
+        assert 2 in graph[1]
+        assert 3 in graph[2]
+        assert 3 not in graph[1]
+
+    def test_stats(self):
+        cnf = CNF(2)
+        cnf.add_clause([1, 2])
+        stats = cnf.stats()
+        assert stats == {"variables": 2, "clauses": 1, "literals": 2}
+
+
+class TestDimacs:
+    def test_round_trip(self):
+        cnf = CNF()
+        a = cnf.new_var("a")
+        b = cnf.new_var("b")
+        cnf.add_clause([a, -b])
+        cnf.add_clause([b])
+        text = cnf.to_dimacs()
+        parsed = CNF.from_dimacs(text)
+        assert parsed.num_vars == 2
+        assert parsed.clauses == cnf.clauses
+        assert parsed.var_names[1] == "a"
+
+    def test_parse_header_and_comments(self):
+        text = "c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n"
+        cnf = CNF.from_dimacs(text)
+        assert cnf.num_vars == 3
+        assert cnf.num_clauses == 2
+        assert cnf.comments == ["a comment"]
+
+    def test_file_round_trip(self, tmp_path):
+        cnf = CNF(2)
+        cnf.add_clause([1, 2])
+        path = tmp_path / "formula.cnf"
+        cnf.write_dimacs(str(path))
+        loaded = CNF.read_dimacs(str(path))
+        assert loaded.clauses == cnf.clauses
+
+
+class TestUnitPropagation:
+    def test_forced_literals(self):
+        cnf = CNF(3)
+        cnf.add_clause([1])
+        cnf.add_clause([-1, 2])
+        cnf.add_clause([-2, 3, -3])  # tautology, dropped at insert
+        cnf.add_clause([2, 3])
+        simplified, forced = unit_propagate_cnf(cnf)
+        assert 1 in forced and 2 in forced
+        assert simplified.num_clauses == 0
+
+    def test_unsat_detected(self):
+        cnf = CNF(1)
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        with pytest.raises(ValueError):
+            unit_propagate_cnf(cnf)
+
+    def test_residual_clauses_untouched_by_propagation(self):
+        cnf = CNF(3)
+        cnf.add_clause([1])
+        cnf.add_clause([2, 3])
+        simplified, forced = unit_propagate_cnf(cnf)
+        assert forced == {1}
+        assert simplified.clauses == [(2, 3)]
+        # Original model count: var 1 forced true, (2, 3) leaves 3 choices.
+        assert cnf.model_count() == 3

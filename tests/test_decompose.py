@@ -1,0 +1,106 @@
+"""Tests for the gate-decomposition utilities."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import CZ, Circuit, CPhase, LineQubit, Rx, Ry, Rz, SWAP, TOFFOLI, H, T, X
+from repro.circuits.decompose import (
+    decompose_controlled_phase,
+    decompose_controlled_unitary,
+    decompose_controlled_z,
+    decompose_swap,
+    decompose_toffoli,
+    reconstruct_from_zyz,
+    zyz_angles,
+)
+
+
+def circuit_unitary(operations, qubits):
+    return Circuit(operations).unitary(qubit_order=qubits)
+
+
+def random_unitary(seed):
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+    q, r = np.linalg.qr(matrix)
+    return q * (np.diag(r) / np.abs(np.diag(r)))
+
+
+def equal_up_to_global_phase(a, b, atol=1e-8):
+    index = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    if abs(a[index]) < atol:
+        return False
+    phase = b[index] / a[index]
+    return np.allclose(a * phase, b, atol=atol)
+
+
+class TestZYZ:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_round_trip_random_unitaries(self, seed):
+        unitary = random_unitary(seed)
+        angles = zyz_angles(unitary)
+        assert np.allclose(reconstruct_from_zyz(*angles), unitary, atol=1e-8)
+
+    @pytest.mark.parametrize("gate", [H, X, T], ids=lambda g: g.name)
+    def test_round_trip_named_gates(self, gate):
+        angles = zyz_angles(gate.unitary())
+        assert np.allclose(reconstruct_from_zyz(*angles), gate.unitary(), atol=1e-8)
+
+    @pytest.mark.parametrize("angle", [0.0, 0.4, np.pi / 2, np.pi])
+    def test_round_trip_rotations(self, angle):
+        for gate in (Rx(angle), Ry(angle), Rz(angle)):
+            angles = zyz_angles(gate.unitary())
+            assert np.allclose(reconstruct_from_zyz(*angles), gate.unitary(), atol=1e-8)
+
+    def test_rejects_two_qubit_input(self):
+        with pytest.raises(ValueError):
+            zyz_angles(np.eye(4))
+
+
+class TestTwoQubitDecompositions:
+    def test_swap(self):
+        q = LineQubit.range(2)
+        assert np.allclose(circuit_unitary(decompose_swap(*q), q), SWAP.unitary(), atol=1e-9)
+
+    def test_controlled_z(self):
+        q = LineQubit.range(2)
+        assert np.allclose(circuit_unitary(decompose_controlled_z(*q), q), CZ.unitary(), atol=1e-9)
+
+    @pytest.mark.parametrize("angle", [0.3, np.pi / 2, 1.7])
+    def test_controlled_phase(self, angle):
+        q = LineQubit.range(2)
+        decomposed = circuit_unitary(decompose_controlled_phase(angle, *q), q)
+        assert np.allclose(decomposed, CPhase(angle).unitary(), atol=1e-9)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_controlled_random_unitary(self, seed):
+        q = LineQubit.range(2)
+        unitary = random_unitary(seed + 100)
+        decomposed = circuit_unitary(decompose_controlled_unitary(unitary, q[0], q[1]), q)
+        expected = np.eye(4, dtype=complex)
+        expected[2:, 2:] = unitary
+        assert equal_up_to_global_phase(decomposed, expected)
+
+    def test_controlled_x_equals_cnot(self):
+        from repro.circuits import CNOT
+
+        q = LineQubit.range(2)
+        decomposed = circuit_unitary(decompose_controlled_unitary(X.unitary(), q[0], q[1]), q)
+        assert equal_up_to_global_phase(decomposed, CNOT.unitary())
+
+
+class TestToffoli:
+    def test_matches_toffoli_unitary(self):
+        q = LineQubit.range(3)
+        decomposed = circuit_unitary(decompose_toffoli(*q), q)
+        assert np.allclose(decomposed, TOFFOLI.unitary(), atol=1e-9)
+
+    def test_simulates_identically(self):
+        from repro.statevector import StateVectorSimulator
+
+        q = LineQubit.range(3)
+        native = Circuit([H(q[0]), H(q[1]), TOFFOLI(*q)])
+        decomposed = Circuit([H(q[0]), H(q[1])] + decompose_toffoli(*q))
+        native_state = StateVectorSimulator().simulate(native, qubit_order=q).state_vector
+        decomposed_state = StateVectorSimulator().simulate(decomposed, qubit_order=q).state_vector
+        assert np.allclose(native_state, decomposed_state, atol=1e-9)

@@ -1,0 +1,100 @@
+"""Tests for the density-matrix simulator backend."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    CNOT,
+    Circuit,
+    H,
+    LineQubit,
+    X,
+    amplitude_damp,
+    bit_flip,
+    depolarize,
+    phase_damp,
+    phase_flip,
+)
+from repro.densitymatrix import DensityMatrixSimulator
+from repro.statevector import StateVectorSimulator
+
+
+class TestIdealAgreement:
+    def test_matches_state_vector_on_ideal_circuit(self, qaoa_like_circuit, qaoa_resolver):
+        rho = DensityMatrixSimulator().simulate(qaoa_like_circuit, qaoa_resolver).density_matrix
+        state = StateVectorSimulator().simulate(qaoa_like_circuit, qaoa_resolver).state_vector
+        assert np.allclose(rho, np.outer(state, state.conj()), atol=1e-9)
+
+    def test_pure_state_purity(self, bell_circuit, density_matrix_simulator):
+        result = density_matrix_simulator.simulate(bell_circuit)
+        assert result.purity() == pytest.approx(1.0)
+
+
+class TestNoiseModels:
+    def test_paper_noisy_bell_density_matrix(self):
+        """Equation 3 of the paper: phase damping with gamma=0.36 inside a Bell circuit."""
+        q = LineQubit.range(2)
+        circuit = Circuit([H(q[0])])
+        circuit.append(phase_damp(0.36).on(q[0]))
+        circuit.append(CNOT(q[0], q[1]))
+        rho = DensityMatrixSimulator().simulate(circuit).density_matrix
+        expected = np.zeros((4, 4), dtype=complex)
+        expected[0, 0] = expected[3, 3] = 0.5
+        expected[0, 3] = expected[3, 0] = 0.4
+        assert np.allclose(rho, expected, atol=1e-9)
+
+    def test_bit_flip_distribution(self):
+        q = LineQubit(0)
+        circuit = Circuit([X(q)])
+        circuit.append(bit_flip(0.3).on(q))
+        probabilities = DensityMatrixSimulator().simulate(circuit).probabilities()
+        assert probabilities[0] == pytest.approx(0.3)
+        assert probabilities[1] == pytest.approx(0.7)
+
+    def test_phase_flip_leaves_populations(self):
+        q = LineQubit(0)
+        circuit = Circuit([H(q)])
+        circuit.append(phase_flip(0.5).on(q))
+        rho = DensityMatrixSimulator().simulate(circuit).density_matrix
+        # Fully dephased: off-diagonals vanish, populations stay 1/2.
+        assert rho[0, 1] == pytest.approx(0.0)
+        assert rho[0, 0] == pytest.approx(0.5)
+
+    def test_amplitude_damping_decays_excited_state(self):
+        q = LineQubit(0)
+        circuit = Circuit([X(q)])
+        circuit.append(amplitude_damp(0.25).on(q))
+        probabilities = DensityMatrixSimulator().simulate(circuit).probabilities()
+        assert probabilities[0] == pytest.approx(0.25)
+        assert probabilities[1] == pytest.approx(0.75)
+
+    def test_depolarizing_mixes_towards_identity(self):
+        q = LineQubit(0)
+        circuit = Circuit([X(q)])
+        circuit.append(depolarize(0.75).on(q))
+        rho = DensityMatrixSimulator().simulate(circuit).density_matrix
+        assert rho[0, 0] == pytest.approx(0.5)
+        assert rho[1, 1] == pytest.approx(0.5)
+
+    def test_trace_preserved_through_deep_noisy_circuit(self, noisy_bell_circuit):
+        rho = DensityMatrixSimulator().simulate(noisy_bell_circuit).density_matrix
+        assert np.trace(rho).real == pytest.approx(1.0)
+        assert np.allclose(rho, rho.conj().T)
+
+    def test_noise_reduces_purity(self, noisy_bell_circuit, density_matrix_simulator):
+        result = density_matrix_simulator.simulate(noisy_bell_circuit)
+        assert result.purity() < 1.0
+
+
+class TestSampling:
+    def test_sampling_matches_diagonal(self, noisy_bell_circuit):
+        simulator = DensityMatrixSimulator()
+        exact = simulator.simulate(noisy_bell_circuit).probabilities()
+        samples = simulator.sample(noisy_bell_circuit, 4000, seed=3)
+        empirical = samples.empirical_distribution()
+        assert 0.5 * np.abs(empirical - exact).sum() < 0.05
+
+    def test_probability_of_specific_bits(self, bell_circuit, density_matrix_simulator):
+        result = density_matrix_simulator.simulate(bell_circuit)
+        assert result.probability_of([1, 1]) == pytest.approx(0.5)
+        assert result.probability_of([1, 0]) == pytest.approx(0.0)

@@ -1,0 +1,107 @@
+"""Tests for elimination/decision ordering heuristics."""
+
+import pytest
+
+from repro.bayesnet import (
+    elimination_order,
+    hypergraph_partition_order,
+    induced_width,
+    lexicographic_order,
+    min_degree_order,
+    min_fill_order,
+)
+
+
+def chain_graph(n):
+    adjacency = {i: set() for i in range(n)}
+    for i in range(n - 1):
+        adjacency[i].add(i + 1)
+        adjacency[i + 1].add(i)
+    return adjacency
+
+
+def grid_graph(rows, cols):
+    adjacency = {}
+    for r in range(rows):
+        for c in range(cols):
+            adjacency[(r, c)] = set()
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                adjacency[(r, c)].add((r, c + 1))
+                adjacency[(r, c + 1)].add((r, c))
+            if r + 1 < rows:
+                adjacency[(r, c)].add((r + 1, c))
+                adjacency[(r + 1, c)].add((r, c))
+    return adjacency
+
+
+ALL_METHODS = ["min_degree", "min_fill", "lexicographic", "hypergraph"]
+
+
+class TestOrderValidity:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_order_is_permutation(self, method):
+        adjacency = grid_graph(3, 3)
+        order = elimination_order(adjacency, method)
+        assert sorted(order, key=str) == sorted(adjacency.keys(), key=str)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            elimination_order(chain_graph(4), "bogus")
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_empty_graph(self, method):
+        assert elimination_order({}, method) == []
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_disconnected_graph(self, method):
+        adjacency = {**chain_graph(3), **{f"x{i}": set() for i in range(3)}}
+        order = elimination_order(adjacency, method)
+        assert len(order) == 6
+
+
+class TestOrderQuality:
+    def test_min_degree_on_chain_has_width_one(self):
+        adjacency = chain_graph(10)
+        order = min_degree_order(adjacency)
+        assert induced_width(adjacency, order) == 1
+
+    def test_min_fill_on_chain_has_width_one(self):
+        adjacency = chain_graph(10)
+        assert induced_width(adjacency, min_fill_order(adjacency)) == 1
+
+    def test_min_fill_beats_lexicographic_on_grid(self):
+        adjacency = grid_graph(4, 4)
+        lexicographic_width = induced_width(adjacency, lexicographic_order(adjacency))
+        min_fill_width = induced_width(adjacency, min_fill_order(adjacency))
+        assert min_fill_width <= lexicographic_width
+
+    def test_grid_width_bounded_by_smaller_dimension(self):
+        adjacency = grid_graph(3, 5)
+        width = induced_width(adjacency, min_fill_order(adjacency))
+        assert width <= 4
+
+    def test_induced_width_of_complete_graph(self):
+        n = 5
+        adjacency = {i: {j for j in range(n) if j != i} for i in range(n)}
+        assert induced_width(adjacency, list(range(n))) == n - 1
+
+
+class TestHypergraphOrder:
+    def test_separator_vertices_come_early_on_two_cliques(self):
+        # Two triangles joined by a single bridge vertex: the bridge is the separator.
+        adjacency = {
+            "a1": {"a2", "a3"},
+            "a2": {"a1", "a3"},
+            "a3": {"a1", "a2", "bridge"},
+            "bridge": {"a3", "b1"},
+            "b1": {"bridge", "b2", "b3"},
+            "b2": {"b1", "b3"},
+            "b3": {"b1", "b2"},
+        }
+        order = hypergraph_partition_order(adjacency)
+        assert set(order) == set(adjacency)
+        # The bridge or one of its endpoints must appear in the first half of the order.
+        cut_vertices = {"bridge", "a3", "b1"}
+        assert any(vertex in cut_vertices for vertex in order[: len(order) // 2])

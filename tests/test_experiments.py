@@ -1,0 +1,140 @@
+"""Smoke and schema tests for the experiment harness (tiny configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    bell_example,
+    figure1_ac_reduction,
+    figure3_peaked_distribution,
+    figure6_scaling,
+    figure7_sampling_error,
+    figure8_ideal_performance,
+    figure9_noisy_performance,
+    format_table,
+    rows_to_csv,
+    table6_compilation_metrics,
+)
+
+
+class TestCommonInfrastructure:
+    def test_format_table(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.000001}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+        assert "10" in text
+
+    def test_format_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_rows_to_csv(self):
+        rows = [{"x": 1, "y": "h"}]
+        csv_text = rows_to_csv(rows)
+        assert csv_text.splitlines()[0] == "x,y"
+
+    def test_experiment_result_summary(self):
+        result = ExperimentResult("name", "desc", [{"k": 1}])
+        assert "name" in result.summary()
+        assert "k" in result.csv()
+
+
+class TestBellExample:
+    def test_density_matrix_matches_equation3(self):
+        rho = bell_example.final_density_matrix()
+        expected = bell_example.expected_density_matrix()
+        assert np.allclose(rho, expected, atol=1e-9)
+
+    def test_tables_have_rows(self):
+        results = bell_example.run()
+        assert len(results) == 4
+        for result in results:
+            assert result.rows
+
+    def test_upward_pass_amplitudes(self):
+        result = bell_example.upward_pass_amplitudes()
+        probabilities = [row["probability"] for row in result.rows]
+        assert sum(probabilities) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestFigure1:
+    def test_elision_reduces_ac_size(self):
+        result = figure1_ac_reduction.run(num_qubits=3, noise_probability=0.02)
+        by_key = {(r["order_method"], r["elide_internal_states"]): r for r in result.rows}
+        methods = {r["order_method"] for r in result.rows}
+        assert {"lexicographic", "hypergraph"} <= methods
+        for method in methods:
+            assert by_key[(method, True)]["ac_nodes"] <= by_key[(method, False)]["ac_nodes"]
+
+
+class TestFigure3:
+    def test_distribution_is_peaked_and_sampled(self):
+        result = figure3_peaked_distribution.run(num_qubits=5, num_samples=400, seed=2)
+        top = result.rows[0]
+        uniform = 1.0 / 2 ** 5
+        assert top["measurement_probability"] > 2 * uniform
+        assert 0.0 <= top["gibbs_sampling_probability"] <= 1.0
+
+
+class TestFigure6:
+    def test_scaling_rows_schema(self):
+        result = figure6_scaling.run(scale="small")
+        workloads = {row["workload"] for row in result.rows}
+        assert workloads == {"rcs", "grover", "shor"}
+        for row in result.rows:
+            assert row["ac_nodes"] > 0
+            assert row["cnf_variables"] > 0
+        table4 = figure6_scaling.table4(result)
+        assert len(table4.rows) == 3
+
+
+class TestFigure7:
+    def test_kl_decreases_with_samples(self):
+        result = figure7_sampling_error.run(num_qubits=4, noisy=False, sample_counts=[20, 2000], seed=3)
+        first, last = result.rows[0], result.rows[-1]
+        assert last["kl_ideal_sampling"] < first["kl_ideal_sampling"]
+        assert last["kl_gibbs_sampling"] < first["kl_gibbs_sampling"] + 1e-9
+
+
+class TestPerformancePanels:
+    def test_figure8_row_schema(self):
+        result = figure8_ideal_performance.run(
+            "qaoa", 1, qubit_counts=[4], num_samples=20, tensor_network_sample_cap=5
+        )
+        row = result.rows[0]
+        assert {"state_vector_seconds", "tensor_network_seconds", "knowledge_compilation_seconds"} <= set(row)
+        assert row["qubits"] == 4
+
+    def test_figure8_vqe_variant(self):
+        result = figure8_ideal_performance.run(
+            "vqe", 1, qubit_counts=[4], num_samples=10, backends=["state_vector", "knowledge_compilation"]
+        )
+        assert "state_vector_seconds" in result.rows[0]
+        assert "tensor_network_seconds" not in result.rows[0]
+
+    def test_figure9_row_schema(self):
+        result = figure9_noisy_performance.run("qaoa", 1, qubit_counts=[3], num_samples=10)
+        row = result.rows[0]
+        assert "density_matrix_seconds" in row
+        assert "knowledge_compilation_seconds" in row
+
+    def test_invalid_workload_rejected(self):
+        with pytest.raises(ValueError):
+            figure8_ideal_performance.run("annealing", 1)
+        with pytest.raises(ValueError):
+            figure9_noisy_performance.noisy_variational_circuit("annealing", 4, 1, 0.01, 1)
+
+
+class TestTable6:
+    def test_metrics_schema(self):
+        result = table6_compilation_metrics.run(
+            ideal_qaoa_qubits=5,
+            ideal_vqe_qubits=4,
+            noisy_qaoa_qubits=3,
+            noisy_vqe_qubits=2,
+            include_two_iterations=False,
+        )
+        assert len(result.rows) == 4
+        for row in result.rows:
+            assert row["cnf_clauses"] > 0
+            assert row["ac_size_bytes"] > 0

@@ -1,0 +1,108 @@
+"""Tests for complex-valued factors (the variable-elimination workhorse)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bayesnet import Factor, multiply_all
+
+
+def random_factor(variables, cards, seed):
+    rng = np.random.default_rng(seed)
+    shape = tuple(cards)
+    values = rng.normal(size=shape) + 1j * rng.normal(size=shape)
+    return Factor(variables, cards, values)
+
+
+class TestFactorConstruction:
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            Factor(["a"], [2], np.zeros((3,)))
+
+    def test_duplicate_variables_rejected(self):
+        with pytest.raises(ValueError):
+            Factor(["a", "a"], [2, 2], np.zeros((2, 2)))
+
+    def test_scalar_factor(self):
+        scalar = Factor.scalar(2.5)
+        assert scalar.variables == []
+        assert complex(scalar.values) == 2.5
+
+
+class TestFactorAlgebra:
+    def test_multiply_disjoint_is_outer_product(self):
+        a = Factor(["x"], [2], np.array([1.0, 2.0]))
+        b = Factor(["y"], [2], np.array([3.0, 5.0]))
+        product = a.multiply(b)
+        assert set(product.variables) == {"x", "y"}
+        assert product.value_at({"x": 1, "y": 1}) == pytest.approx(10.0)
+
+    def test_multiply_shared_variable(self):
+        a = Factor(["x", "y"], [2, 2], np.arange(4).reshape(2, 2).astype(complex))
+        b = Factor(["y"], [2], np.array([10.0, 100.0]))
+        product = a.multiply(b)
+        assert product.value_at({"x": 1, "y": 0}) == pytest.approx(20.0)
+        assert product.value_at({"x": 1, "y": 1}) == pytest.approx(300.0)
+
+    def test_multiply_respects_axis_alignment(self):
+        a = random_factor(["b", "a"], [2, 3], seed=1)
+        b = random_factor(["a", "c"], [3, 2], seed=2)
+        product = a.multiply(b)
+        for ai in range(3):
+            for bi in range(2):
+                for ci in range(2):
+                    expected = a.value_at({"b": bi, "a": ai}) * b.value_at({"a": ai, "c": ci})
+                    assert product.value_at({"a": ai, "b": bi, "c": ci}) == pytest.approx(expected)
+
+    def test_cardinality_mismatch_rejected(self):
+        a = Factor(["x"], [2], np.zeros(2))
+        b = Factor(["x"], [3], np.zeros(3))
+        with pytest.raises(ValueError):
+            a.multiply(b)
+
+    def test_sum_out(self):
+        factor = Factor(["x", "y"], [2, 2], np.array([[1, 2], [3, 4]], dtype=complex))
+        reduced = factor.sum_out("x")
+        assert reduced.variables == ["y"]
+        assert np.allclose(reduced.values, [4, 6])
+
+    def test_sum_out_missing_variable_is_noop(self):
+        factor = Factor(["x"], [2], np.array([1.0, 2.0]))
+        assert np.allclose(factor.sum_out("z").values, factor.values)
+
+    def test_reduce_evidence(self):
+        factor = Factor(["x", "y"], [2, 2], np.array([[1, 2], [3, 4]], dtype=complex))
+        reduced = factor.reduce({"x": 1})
+        assert reduced.variables == ["y"]
+        assert np.allclose(reduced.values, [3, 4])
+
+    def test_max_out_by_magnitude(self):
+        factor = Factor(["x"], [2], np.array([1.0, -3.0]))
+        assert complex(factor.max_out("x").values) == pytest.approx(-3.0)
+
+    def test_multiply_all_empty(self):
+        assert complex(multiply_all([]).values) == 1.0
+
+
+class TestFactorProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_multiplication_commutative(self, seed):
+        a = random_factor(["x", "y"], [2, 2], seed)
+        b = random_factor(["y", "z"], [2, 2], seed + 1)
+        ab = a.multiply(b)
+        ba = b.multiply(a)
+        for xi in range(2):
+            for yi in range(2):
+                for zi in range(2):
+                    assignment = {"x": xi, "y": yi, "z": zi}
+                    assert ab.value_at(assignment) == pytest.approx(ba.value_at(assignment))
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_sum_out_then_multiply_scalar(self, seed):
+        """Summing out all variables equals the sum of all entries."""
+        factor = random_factor(["x", "y"], [2, 2], seed)
+        total = factor.sum_out("x").sum_out("y")
+        assert complex(total.values) == pytest.approx(factor.values.sum())

@@ -1,0 +1,201 @@
+"""Tests for gate definitions: unitarity, monomial structure, operations."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    CCZ,
+    CNOT,
+    CZ,
+    FREDKIN,
+    H,
+    I,
+    ISWAP,
+    SWAP,
+    TOFFOLI,
+    X,
+    Y,
+    Z,
+    S,
+    T,
+    ControlledGate,
+    CPhase,
+    LineQubit,
+    MatrixGate,
+    ParamResolver,
+    PermutationGate,
+    PhaseShift,
+    Rx,
+    Ry,
+    Rz,
+    Symbol,
+    XX,
+    ZZ,
+    is_monomial_matrix,
+    measure,
+    monomial_action,
+    standard_gate_by_name,
+)
+
+ALL_CONSTANT_GATES = [I, X, Y, Z, H, S, T, CNOT, CZ, SWAP, ISWAP, TOFFOLI, CCZ, FREDKIN]
+
+
+class TestUnitarity:
+    @pytest.mark.parametrize("gate", ALL_CONSTANT_GATES, ids=lambda g: g.name)
+    def test_constant_gates_are_unitary(self, gate):
+        unitary = gate.unitary()
+        dim = unitary.shape[0]
+        assert np.allclose(unitary @ unitary.conj().T, np.eye(dim), atol=1e-9)
+
+    @pytest.mark.parametrize("angle", [0.0, 0.3, math.pi / 2, math.pi, 2.2])
+    @pytest.mark.parametrize("gate_type", [Rx, Ry, Rz, PhaseShift, CPhase, ZZ, XX])
+    def test_rotation_gates_are_unitary(self, gate_type, angle):
+        unitary = gate_type(angle).unitary()
+        dim = unitary.shape[0]
+        assert np.allclose(unitary @ unitary.conj().T, np.eye(dim), atol=1e-9)
+
+
+class TestGateSemantics:
+    def test_hadamard_squares_to_identity(self):
+        assert np.allclose(H.unitary() @ H.unitary(), np.eye(2), atol=1e-9)
+
+    def test_x_flips_basis_state(self):
+        assert np.allclose(X.unitary() @ np.array([1, 0]), np.array([0, 1]))
+
+    def test_cnot_action(self):
+        unitary = CNOT.unitary()
+        # |10> -> |11>
+        state = np.zeros(4)
+        state[2] = 1.0
+        assert np.allclose(unitary @ state, np.eye(4)[3])
+
+    def test_rz_is_diagonal(self):
+        unitary = Rz(0.7).unitary()
+        assert np.allclose(unitary, np.diag(np.diag(unitary)))
+
+    def test_rx_at_pi_equals_minus_i_x(self):
+        assert np.allclose(Rx(math.pi).unitary(), -1j * X.unitary(), atol=1e-9)
+
+    def test_zz_diagonal_phases(self):
+        theta = 0.9
+        unitary = ZZ(theta).unitary()
+        assert np.allclose(np.abs(np.diag(unitary)), np.ones(4))
+        assert unitary[0, 0] == pytest.approx(np.exp(-1j * theta / 2))
+        assert unitary[1, 1] == pytest.approx(np.exp(1j * theta / 2))
+
+    def test_toffoli_flips_target_only_when_both_controls_set(self):
+        unitary = TOFFOLI.unitary()
+        state = np.zeros(8)
+        state[6] = 1.0  # |110>
+        assert np.allclose(unitary @ state, np.eye(8)[7])
+        state = np.zeros(8)
+        state[4] = 1.0  # |100>
+        assert np.allclose(unitary @ state, np.eye(8)[4])
+
+
+class TestMonomialStructure:
+    @pytest.mark.parametrize("gate", [X, Z, S, T, CNOT, CZ, SWAP, TOFFOLI, CCZ, ISWAP])
+    def test_monomial_gates_detected(self, gate):
+        assert gate.is_monomial()
+
+    @pytest.mark.parametrize("gate", [H, Rx(0.3), Ry(0.4), XX(0.5)])
+    def test_non_monomial_gates_detected(self, gate):
+        assert not gate.is_monomial()
+
+    def test_parameterized_rz_structurally_monomial(self):
+        assert Rz(Symbol("t")).is_monomial()
+        assert ZZ(Symbol("t")).is_monomial()
+        assert not Rx(Symbol("t")).is_monomial()
+
+    def test_monomial_action_of_cnot(self):
+        perm, phases = monomial_action(CNOT.unitary())
+        assert perm == [0, 1, 3, 2]
+        assert all(p == pytest.approx(1.0) for p in phases)
+
+    def test_monomial_action_rejects_hadamard(self):
+        assert not is_monomial_matrix(H.unitary())
+        with pytest.raises(ValueError):
+            monomial_action(H.unitary())
+
+
+class TestParameterizedGates:
+    def test_parameters_reported(self):
+        gamma = Symbol("gamma")
+        gate = Rz(2 * gamma)
+        assert gate.is_parameterized
+        assert gamma in gate.parameters
+
+    def test_resolve_produces_concrete_gate(self):
+        gate = Rx(Symbol("t"))
+        resolved = gate.resolve(ParamResolver({"t": 0.4}))
+        assert not resolved.is_parameterized
+        assert np.allclose(resolved.unitary(), Rx(0.4).unitary())
+
+    def test_unitary_with_resolver(self):
+        gate = ZZ(2 * Symbol("g"))
+        unitary = gate.unitary(ParamResolver({"g": 0.25}))
+        assert np.allclose(unitary, ZZ(0.5).unitary())
+
+
+class TestControlledAndPermutationGates:
+    def test_controlled_x_is_cnot(self):
+        assert np.allclose(ControlledGate(X).unitary(), CNOT.unitary())
+
+    def test_controlled_gate_parameter_passthrough(self):
+        gate = ControlledGate(Rz(Symbol("t")))
+        assert gate.is_parameterized
+        resolved = gate.resolve(ParamResolver({"t": 0.3}))
+        assert not resolved.is_parameterized
+
+    def test_permutation_gate_unitary(self):
+        gate = PermutationGate("cycle", 2, [1, 2, 3, 0])
+        unitary = gate.unitary()
+        state = np.zeros(4)
+        state[0] = 1.0
+        assert np.allclose(unitary @ state, np.eye(4)[1])
+        assert gate.is_monomial()
+
+    def test_permutation_gate_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            PermutationGate("bad", 1, [0, 0])
+
+    def test_matrix_gate_rejects_non_unitary(self):
+        with pytest.raises(ValueError):
+            MatrixGate("bad", np.array([[1, 1], [0, 1]]))
+
+
+class TestOperations:
+    def test_operation_qubit_count_checked(self):
+        q = LineQubit.range(3)
+        with pytest.raises(ValueError):
+            CNOT(q[0])
+        with pytest.raises(ValueError):
+            H(q[0], q[1])
+
+    def test_operation_distinct_qubits(self):
+        q = LineQubit(0)
+        with pytest.raises(ValueError):
+            CNOT(q, q)
+
+    def test_measure_helper(self):
+        q = LineQubit.range(2)
+        op = measure(*q, key="result")
+        assert op.is_measurement
+        assert op.qubits == tuple(q)
+
+    def test_measure_requires_qubits(self):
+        with pytest.raises(ValueError):
+            measure()
+
+    def test_with_qubits(self):
+        q = LineQubit.range(4)
+        op = CNOT(q[0], q[1]).with_qubits(q[2], q[3])
+        assert op.qubits == (q[2], q[3])
+
+    def test_standard_gate_lookup(self):
+        assert standard_gate_by_name("cx") is CNOT
+        assert standard_gate_by_name("H") is H
+        with pytest.raises(KeyError):
+            standard_gate_by_name("nope")

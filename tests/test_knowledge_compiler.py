@@ -1,0 +1,161 @@
+"""Tests for the DPLL knowledge compiler (CNF -> d-DNNF)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnf import CNF
+from repro.knowledge import (
+    KnowledgeCompiler,
+    NNFManager,
+    check_decomposability,
+    count_nodes_and_edges,
+    evaluate_boolean,
+    split_components,
+    unit_propagate,
+)
+
+
+def brute_force_models(cnf):
+    variables = sorted(set(range(1, cnf.num_vars + 1)))
+    models = []
+    for bits in itertools.product([False, True], repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        if cnf.is_satisfied_by(assignment):
+            models.append(assignment)
+    return models
+
+
+def compiled_agrees_with_cnf(cnf, order_method="min_fill"):
+    compiler = KnowledgeCompiler(order_method=order_method)
+    root, manager, stats = compiler.compile(cnf)
+    variables = sorted(set(range(1, cnf.num_vars + 1)))
+    for bits in itertools.product([False, True], repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        expected = cnf.is_satisfied_by(assignment)
+        compiled = evaluate_boolean(root, assignment)
+        if expected != compiled:
+            return False
+    return True
+
+
+def random_cnf(num_vars, num_clauses, seed, max_width=3):
+    rng = np.random.default_rng(seed)
+    cnf = CNF(num_vars)
+    for _ in range(num_clauses):
+        width = int(rng.integers(1, max_width + 1))
+        variables = rng.choice(np.arange(1, num_vars + 1), size=min(width, num_vars), replace=False)
+        literals = [int(v) if rng.random() < 0.5 else -int(v) for v in variables]
+        cnf.add_clause(literals)
+    return cnf
+
+
+class TestUnitPropagate:
+    def test_propagates_chains(self):
+        residual, implied, conflict = unit_propagate([(1,), (-1, 2), (-2, 3)])
+        assert not conflict
+        assert implied == {1, 2, 3}
+        assert residual == frozenset()
+
+    def test_detects_conflict(self):
+        _, _, conflict = unit_propagate([(1,), (-1,)])
+        assert conflict
+
+    def test_leaves_non_units_alone(self):
+        residual, implied, conflict = unit_propagate([(1, 2), (2, 3)])
+        assert not conflict
+        assert implied == set()
+        assert len(residual) == 2
+
+
+class TestSplitComponents:
+    def test_disconnected_clauses_split(self):
+        components = split_components(frozenset({(1, 2), (3, 4), (2, -1)}))
+        assert len(components) == 2
+
+    def test_connected_clauses_stay_together(self):
+        components = split_components(frozenset({(1, 2), (2, 3), (3, 4)}))
+        assert len(components) == 1
+
+
+class TestCompilerCorrectness:
+    def test_single_clause(self):
+        cnf = CNF(2)
+        cnf.add_clause([1, 2])
+        assert compiled_agrees_with_cnf(cnf)
+
+    def test_exactly_one_constraint(self):
+        cnf = CNF(3)
+        cnf.add_exactly_one([1, 2, 3])
+        assert compiled_agrees_with_cnf(cnf)
+
+    def test_unsatisfiable_formula(self):
+        cnf = CNF(2)
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        compiler = KnowledgeCompiler()
+        root, _, _ = compiler.compile(cnf)
+        assert not evaluate_boolean(root, {1: True, 2: True})
+        assert not evaluate_boolean(root, {1: False, 2: False})
+
+    @pytest.mark.parametrize("order_method", ["min_fill", "min_degree", "lexicographic", "hypergraph"])
+    def test_order_methods_all_correct(self, order_method):
+        cnf = random_cnf(num_vars=6, num_clauses=9, seed=42)
+        assert compiled_agrees_with_cnf(cnf, order_method)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_formulas_property(self, seed):
+        cnf = random_cnf(num_vars=5, num_clauses=7, seed=seed)
+        assert compiled_agrees_with_cnf(cnf)
+
+    def test_decision_variable_restriction_preserves_semantics(self):
+        cnf = CNF(4)
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-2, 3])
+        cnf.add_clause([3, 4])
+        compiler = KnowledgeCompiler()
+        unrestricted_root, _, _ = compiler.compile(cnf)
+        restricted_root, _, _ = compiler.compile(cnf, decision_variables=[1, 2, 3, 4])
+        for bits in itertools.product([False, True], repeat=4):
+            assignment = dict(zip([1, 2, 3, 4], bits))
+            assert evaluate_boolean(unrestricted_root, assignment) == evaluate_boolean(
+                restricted_root, assignment
+            )
+
+
+class TestCompilerStructure:
+    def test_decomposability(self):
+        cnf = random_cnf(num_vars=6, num_clauses=8, seed=3)
+        root, _, _ = KnowledgeCompiler().compile(cnf)
+        assert check_decomposability(root)
+
+    def test_caching_reduces_work(self):
+        # Two independent copies of the same sub-formula should hit the cache.
+        cnf = CNF(6)
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1, 2])
+        cnf.add_clause([3, 4])
+        cnf.add_clause([-3, 4])
+        cnf.add_clause([5, 6])
+        cnf.add_clause([-5, 6])
+        _, _, stats = KnowledgeCompiler().compile(cnf)
+        assert stats.component_splits >= 1
+
+    def test_node_and_edge_counts(self):
+        cnf = CNF(2)
+        cnf.add_clause([1, 2])
+        root, _, _ = KnowledgeCompiler().compile(cnf)
+        nodes, edges = count_nodes_and_edges(root)
+        assert nodes >= 3
+        assert edges >= 2
+
+    def test_stats_dict(self):
+        cnf = random_cnf(num_vars=5, num_clauses=6, seed=9)
+        _, _, stats = KnowledgeCompiler().compile(cnf)
+        summary = stats.as_dict()
+        assert set(summary) == {"decisions", "cache_hits", "component_splits"}
+        assert summary["decisions"] >= 1

@@ -1,0 +1,132 @@
+"""Tests for NNF node structures and the forget/condition/smooth transforms."""
+
+import itertools
+
+import pytest
+
+from repro.knowledge import (
+    NNFManager,
+    check_decomposability,
+    check_smoothness,
+    condition,
+    evaluate_boolean,
+    forget,
+    smooth,
+    topological_nodes,
+    variables_of,
+)
+
+
+@pytest.fixture
+def manager():
+    return NNFManager()
+
+
+def all_assignments(variables):
+    for bits in itertools.product([False, True], repeat=len(variables)):
+        yield dict(zip(variables, bits))
+
+
+class TestManager:
+    def test_literals_are_shared(self, manager):
+        assert manager.literal(3) is manager.literal(3)
+        assert manager.literal(3) is not manager.literal(-3)
+
+    def test_zero_literal_rejected(self, manager):
+        with pytest.raises(ValueError):
+            manager.literal(0)
+
+    def test_conjoin_simplifications(self, manager):
+        a = manager.literal(1)
+        assert manager.conjoin([a, manager.true()]) is a
+        assert isinstance(manager.conjoin([a, manager.false()]), type(manager.false()))
+        assert isinstance(manager.conjoin([]), type(manager.true()))
+
+    def test_disjoin_simplifications(self, manager):
+        a = manager.literal(1)
+        assert manager.disjoin([a, manager.false()]) is a
+        assert isinstance(manager.disjoin([a, manager.true()]), type(manager.true()))
+        assert isinstance(manager.disjoin([]), type(manager.false()))
+
+    def test_structural_sharing_of_and_nodes(self, manager):
+        a, b = manager.literal(1), manager.literal(2)
+        node_one = manager.conjoin([a, b])
+        node_two = manager.conjoin([b, a])
+        assert node_one is node_two
+
+    def test_nested_and_flattened(self, manager):
+        a, b, c = (manager.literal(i) for i in (1, 2, 3))
+        nested = manager.conjoin([a, manager.conjoin([b, c])])
+        assert len(nested.children()) == 3
+
+
+class TestTraversal:
+    def test_topological_children_before_parents(self, manager):
+        a, b = manager.literal(1), manager.literal(2)
+        root = manager.disjoin([manager.conjoin([a, b]), manager.literal(-1)])
+        order = topological_nodes(root)
+        positions = {node.node_id: i for i, node in enumerate(order)}
+        for node in order:
+            for child in node.children():
+                assert positions[child.node_id] < positions[node.node_id]
+
+    def test_variables_of(self, manager):
+        root = manager.conjoin([manager.literal(1), manager.literal(-3)])
+        assert variables_of(root) == {1, 3}
+
+
+class TestCondition:
+    def test_condition_fixes_literal(self, manager):
+        a, b = manager.literal(1), manager.literal(2)
+        root = manager.conjoin([a, b])
+        conditioned = condition(manager, root, [1])
+        for assignment in all_assignments([1, 2]):
+            expected = assignment[2]  # var 1 already satisfied
+            assert evaluate_boolean(conditioned, assignment) == expected
+
+    def test_condition_can_kill_branch(self, manager):
+        root = manager.disjoin([manager.literal(1), manager.literal(2)])
+        conditioned = condition(manager, root, [-1])
+        assert evaluate_boolean(conditioned, {1: False, 2: True})
+        assert not evaluate_boolean(conditioned, {1: False, 2: False})
+
+
+class TestForget:
+    def test_forget_is_existential_quantification(self, manager):
+        # f = (x AND y) OR (NOT x AND z); exists x. f = y OR z.
+        x, y, z = manager.literal(1), manager.literal(2), manager.literal(3)
+        not_x = manager.literal(-1)
+        root = manager.disjoin([manager.conjoin([x, y]), manager.conjoin([not_x, z])])
+        forgotten = forget(manager, root, [1])
+        for assignment in all_assignments([1, 2, 3]):
+            expected = assignment[2] or assignment[3]
+            assert evaluate_boolean(forgotten, assignment) == expected
+
+    def test_forget_unrelated_variable_is_noop(self, manager):
+        root = manager.conjoin([manager.literal(1), manager.literal(2)])
+        assert forget(manager, root, [9]) is root
+
+
+class TestSmooth:
+    def test_smooth_adds_missing_variables(self, manager):
+        # OR of a literal over var 1 and a literal over var 2 is not smooth.
+        root = manager.disjoin([manager.literal(1), manager.literal(2)])
+        assert not check_smoothness(root)
+        smoothed = smooth(manager, root, [1, 2])
+        assert check_smoothness(smoothed)
+        # Smoothing must preserve the Boolean function.
+        for assignment in all_assignments([1, 2]):
+            assert evaluate_boolean(root, assignment) == evaluate_boolean(smoothed, assignment)
+
+    def test_smooth_covers_root_level_variables(self, manager):
+        root = manager.literal(1)
+        smoothed = smooth(manager, root, [1, 2, 3])
+        assert variables_of(smoothed) == {1, 2, 3}
+
+    def test_smooth_preserves_decomposability(self, manager):
+        root = manager.disjoin(
+            [manager.conjoin([manager.literal(1), manager.literal(2)]), manager.literal(3)]
+        )
+        smoothed = smooth(manager, root, [1, 2, 3])
+        assert check_decomposability(smoothed)
+        assert check_smoothness(smoothed)

@@ -1,0 +1,122 @@
+"""Tests for noise channels: Kraus completeness and channel semantics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    AmplitudeDampingChannel,
+    AsymmetricDepolarizingChannel,
+    BitFlipChannel,
+    DepolarizingChannel,
+    GeneralizedAmplitudeDampingChannel,
+    KrausChannel,
+    LineQubit,
+    MixtureChannel,
+    ParamResolver,
+    PhaseDampingChannel,
+    PhaseFlipChannel,
+    Symbol,
+    X,
+    Z,
+)
+
+ALL_CHANNELS = [
+    BitFlipChannel(0.1),
+    PhaseFlipChannel(0.2),
+    DepolarizingChannel(0.15),
+    AsymmetricDepolarizingChannel(0.05, 0.1, 0.02),
+    AmplitudeDampingChannel(0.3),
+    PhaseDampingChannel(0.36),
+    GeneralizedAmplitudeDampingChannel(0.7, 0.2),
+]
+
+
+class TestKrausCompleteness:
+    @pytest.mark.parametrize("channel", ALL_CHANNELS, ids=lambda c: c.name)
+    def test_completeness_relation(self, channel):
+        channel.validate()
+
+    def test_kraus_channel_validates_on_construction(self):
+        with pytest.raises(ValueError):
+            KrausChannel([np.array([[1.0, 0.0], [0.0, 0.5]])])
+
+
+class TestMixtures:
+    def test_bit_flip_mixture_probabilities(self):
+        mixture = BitFlipChannel(0.25).mixture()
+        probabilities = [p for p, _ in mixture]
+        assert probabilities == pytest.approx([0.75, 0.25])
+        assert np.allclose(mixture[1][1], X.unitary())
+
+    def test_depolarizing_mixture_sums_to_one(self):
+        mixture = DepolarizingChannel(0.3).mixture()
+        assert sum(p for p, _ in mixture) == pytest.approx(1.0)
+        assert len(mixture) == 4
+
+    def test_phase_damping_is_not_a_mixture(self):
+        channel = PhaseDampingChannel(0.36)
+        assert not channel.is_mixture
+        with pytest.raises(TypeError):
+            channel.mixture()
+
+    def test_explicit_mixture_channel(self):
+        channel = MixtureChannel([(0.5, np.eye(2)), (0.5, Z.unitary())])
+        channel.validate()
+        assert channel.is_mixture
+
+    def test_mixture_channel_probability_check(self):
+        with pytest.raises(ValueError):
+            MixtureChannel([(0.5, np.eye(2)), (0.3, Z.unitary())])
+
+
+class TestPhaseDamping:
+    def test_kraus_operators_match_paper(self):
+        """The paper's running example uses gamma = 0.36 -> entries 0.8 and 0.6."""
+        operators = PhaseDampingChannel(0.36).kraus_operators()
+        assert operators[0][1, 1] == pytest.approx(0.8)
+        assert abs(operators[1][1, 1]) == pytest.approx(0.6)
+        assert operators[1][0, 0] == pytest.approx(0.0)
+
+
+class TestParameterValidation:
+    def test_out_of_range_probability_rejected(self):
+        with pytest.raises(ValueError):
+            BitFlipChannel(1.5).kraus_operators()
+
+    def test_symbolic_channel_parameters(self):
+        channel = DepolarizingChannel(Symbol("p"))
+        assert channel.is_parameterized
+        operators = channel.kraus_operators(ParamResolver({"p": 0.06}))
+        total = sum(op.conj().T @ op for op in operators)
+        assert np.allclose(total, np.eye(2), atol=1e-9)
+
+    def test_asymmetric_depolarizing_probability_bound(self):
+        with pytest.raises(ValueError):
+            AsymmetricDepolarizingChannel(0.5, 0.4, 0.3).mixture()
+
+
+class TestNoiseOperations:
+    def test_on_builds_noise_operation(self):
+        q = LineQubit(0)
+        op = DepolarizingChannel(0.1).on(q)
+        assert op.is_noise
+        assert not op.is_measurement
+        assert op.qubits == (q,)
+        assert len(op.kraus_operators()) == 4
+
+    def test_wrong_qubit_count_rejected(self):
+        q = LineQubit.range(2)
+        with pytest.raises(ValueError):
+            DepolarizingChannel(0.1).on(*q)
+
+    def test_unitary_raises(self):
+        op = BitFlipChannel(0.1).on(LineQubit(0))
+        with pytest.raises(TypeError):
+            op.unitary()
+
+    def test_with_qubits(self):
+        q = LineQubit.range(2)
+        op = BitFlipChannel(0.1).on(q[0]).with_qubits(q[1])
+        assert op.qubits == (q[1],)

@@ -1,0 +1,91 @@
+"""Tests for circuit-level noise models."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import CNOT, Circuit, H, LineQubit, X, measure
+from repro.circuits.noise import DepolarizingChannel, NoiseOperation
+from repro.circuits.noise_model import NoiseModel
+from repro.densitymatrix import DensityMatrixSimulator
+from repro.simulator.kc_simulator import KnowledgeCompilationSimulator
+
+
+@pytest.fixture
+def bell_with_measurement():
+    q = LineQubit.range(2)
+    return Circuit([H(q[0]), CNOT(q[0], q[1]), measure(q[0], q[1])])
+
+
+class TestGateClassNoise:
+    def test_two_qubit_gates_get_noisier_channels(self, bell_with_measurement):
+        model = NoiseModel.depolarizing(single_qubit_probability=0.001, two_qubit_probability=0.02)
+        noisy = model.apply(bell_with_measurement)
+        channels = [op.channel for op in noisy.noise_operations()]
+        # 1 channel after H + 2 channels after CNOT.
+        assert len(channels) == 3
+        probabilities = sorted(c.value for c in channels)
+        assert probabilities == [0.001, 0.02, 0.02]
+
+    def test_gate_count_preserved(self, bell_with_measurement):
+        model = NoiseModel.depolarizing()
+        noisy = model.apply(bell_with_measurement)
+        assert noisy.gate_count() == bell_with_measurement.gate_count()
+        assert len(noisy.measurement_operations()) == 1
+
+    def test_disabled_classes_add_nothing(self, bell_with_measurement):
+        model = NoiseModel(single_qubit_noise=lambda: DepolarizingChannel(0.01))
+        noisy = model.apply(bell_with_measurement)
+        # Only the H gate gets a channel; the CNOT class is disabled.
+        assert len(noisy.noise_operations()) == 1
+
+    def test_callable_shorthand(self, bell_with_measurement):
+        model = NoiseModel.depolarizing()
+        assert model(bell_with_measurement).has_noise
+
+
+class TestMeasurementAndIdleNoise:
+    def test_measurement_noise_precedes_measurement(self, bell_with_measurement):
+        model = NoiseModel.depolarizing(measurement_probability=0.03)
+        noisy = model.apply(bell_with_measurement)
+        operations = noisy.all_operations()
+        measurement_index = next(i for i, op in enumerate(operations) if op.is_measurement)
+        preceding_noise = [
+            op for op in operations[:measurement_index] if isinstance(op, NoiseOperation)
+        ]
+        assert any(op.channel.name == "bit_flip" for op in preceding_noise)
+
+    def test_readout_error_changes_distribution(self):
+        q = LineQubit(0)
+        circuit = Circuit([X(q), measure(q)])
+        model = NoiseModel(measurement_noise=lambda: __import__("repro.circuits", fromlist=["bit_flip"]).bit_flip(0.2))
+        noisy = model.apply(circuit)
+        probabilities = DensityMatrixSimulator().simulate(noisy).probabilities()
+        assert probabilities[0] == pytest.approx(0.2)
+
+    def test_idle_noise_applied_to_waiting_qubits(self):
+        q = LineQubit.range(3)
+        # Moment 0: H(q0) and X(q2) in parallel while q1 idles;
+        # moment 1: CNOT(q0, q1) while q2 idles.
+        circuit = Circuit([H(q[0]), X(q[2]), CNOT(q[0], q[1])])
+        model = NoiseModel.thermal_relaxation(amplitude_damping=0.01, phase_damping=0.02)
+        noisy = model.apply(circuit)
+        idle_targets = [op.qubits[0] for op in noisy.noise_operations()]
+        assert q[2] in idle_targets and q[1] in idle_targets
+        # One idle moment each for q1 and q2, two damping channels per idle moment.
+        assert len([t for t in idle_targets if t == q[2]]) == 2
+        assert len([t for t in idle_targets if t == q[1]]) == 2
+
+
+class TestNoiseModelEndToEnd:
+    def test_kc_simulator_matches_density_matrix_under_model(self):
+        q = LineQubit.range(2)
+        circuit = Circuit([H(q[0]), CNOT(q[0], q[1])])
+        model = NoiseModel.depolarizing(single_qubit_probability=0.01, two_qubit_probability=0.05)
+        noisy = model.apply(circuit)
+        kc_rho = KnowledgeCompilationSimulator(seed=1).simulate_density_matrix(noisy).density_matrix
+        dm_rho = DensityMatrixSimulator().simulate(noisy).density_matrix
+        assert np.allclose(kc_rho, dm_rho, atol=1e-9)
+
+    def test_repr(self):
+        assert "1q" in repr(NoiseModel.depolarizing())
+        assert "idle" in repr(NoiseModel.thermal_relaxation())

@@ -1,0 +1,61 @@
+"""Tests for the classical optimizers used in the variational loop."""
+
+import numpy as np
+import pytest
+
+from repro.variational import NelderMeadOptimizer, OptimizationResult, RandomSearchOptimizer
+
+
+def quadratic(x):
+    return float(np.sum((np.asarray(x) - np.array([1.0, -2.0])[: len(x)]) ** 2))
+
+
+def rosenbrock(x):
+    x = np.asarray(x)
+    return float((1 - x[0]) ** 2 + 100 * (x[1] - x[0] ** 2) ** 2)
+
+
+class TestNelderMead:
+    def test_minimizes_quadratic(self):
+        optimizer = NelderMeadOptimizer(max_iterations=300, tolerance=1e-10, initial_step=0.5)
+        result = optimizer.minimize(quadratic, [0.0, 0.0])
+        assert result.best_value < 1e-4
+        assert np.allclose(result.best_parameters, [1.0, -2.0], atol=0.05)
+
+    def test_minimizes_rosenbrock_reasonably(self):
+        optimizer = NelderMeadOptimizer(max_iterations=600, tolerance=1e-12, initial_step=0.4)
+        result = optimizer.minimize(rosenbrock, [-0.5, 0.5])
+        assert result.best_value < 0.05
+
+    def test_one_dimensional(self):
+        optimizer = NelderMeadOptimizer(max_iterations=200)
+        result = optimizer.minimize(lambda x: float((x[0] - 3.0) ** 2), [0.0])
+        assert result.best_parameters[0] == pytest.approx(3.0, abs=0.05)
+
+    def test_history_and_evaluation_count(self):
+        optimizer = NelderMeadOptimizer(max_iterations=50)
+        result = optimizer.minimize(quadratic, [0.0, 0.0])
+        assert result.num_evaluations == len(result.history)
+        assert result.num_evaluations >= 3
+
+    def test_convergence_flag_on_flat_function(self):
+        optimizer = NelderMeadOptimizer(max_iterations=50, tolerance=1e-3)
+        result = optimizer.minimize(lambda x: 1.0, [0.0, 0.0])
+        assert result.converged
+
+    def test_result_repr(self):
+        result = OptimizationResult(np.array([1.0]), 0.5, 10, [], True)
+        assert "0.5" in repr(result)
+
+
+class TestRandomSearch:
+    def test_improves_over_initial(self):
+        optimizer = RandomSearchOptimizer(num_samples=200, bounds=(-4.0, 4.0), seed=3)
+        result = optimizer.minimize(quadratic, [4.0, 4.0])
+        assert result.best_value < quadratic([4.0, 4.0])
+
+    def test_respects_bounds(self):
+        optimizer = RandomSearchOptimizer(num_samples=50, bounds=(0.0, 1.0), seed=5)
+        result = optimizer.minimize(quadratic, [0.5, 0.5])
+        for point, _ in result.history[1:]:
+            assert np.all(point >= 0.0) and np.all(point <= 1.0)

@@ -1,0 +1,86 @@
+"""Tests for symbolic parameters and resolvers."""
+
+import pytest
+
+from repro.circuits import ParameterExpression, ParamResolver, Symbol, is_parameterized, resolve
+from repro.circuits.parameters import parameter_symbols
+
+
+class TestSymbol:
+    def test_equality_by_name(self):
+        assert Symbol("gamma") == Symbol("gamma")
+        assert Symbol("gamma") != Symbol("beta")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Symbol("")
+
+    def test_scalar_multiplication_creates_expression(self):
+        expression = 2 * Symbol("gamma")
+        assert isinstance(expression, ParameterExpression)
+        assert expression.coefficient == 2.0
+        assert expression.evaluate(0.5) == 1.0
+
+    def test_addition_and_negation(self):
+        expression = Symbol("x") + 1.5
+        assert expression.evaluate(2.0) == 3.5
+        negated = -Symbol("x")
+        assert negated.evaluate(2.0) == -2.0
+
+
+class TestParameterExpression:
+    def test_chained_arithmetic(self):
+        expression = (Symbol("t") * 3) + 1
+        assert expression.evaluate(2.0) == 7.0
+        doubled = expression * 2
+        assert doubled.evaluate(2.0) == 14.0
+
+    def test_parameter_symbols(self):
+        expression = 2 * Symbol("a")
+        assert parameter_symbols(expression) == frozenset({Symbol("a")})
+        assert parameter_symbols(1.5) == frozenset()
+
+
+class TestParamResolver:
+    def test_value_of_symbol(self):
+        resolver = ParamResolver({"gamma": 0.7})
+        assert resolver.value_of(Symbol("gamma")) == pytest.approx(0.7)
+
+    def test_value_of_expression(self):
+        resolver = ParamResolver({Symbol("gamma"): 0.5})
+        assert resolver.value_of(2 * Symbol("gamma")) == pytest.approx(1.0)
+
+    def test_unbound_symbol_raises(self):
+        resolver = ParamResolver({})
+        with pytest.raises(KeyError):
+            resolver.value_of(Symbol("missing"))
+
+    def test_numbers_pass_through(self):
+        resolver = ParamResolver({})
+        assert resolver.value_of(1.25) == 1.25
+
+    def test_updated_returns_new_resolver(self):
+        resolver = ParamResolver({"a": 1.0})
+        updated = resolver.updated({"b": 2.0})
+        assert "b" not in resolver
+        assert updated.value_of(Symbol("a")) == 1.0
+        assert updated.value_of(Symbol("b")) == 2.0
+
+    def test_contains(self):
+        resolver = ParamResolver({"a": 1.0})
+        assert Symbol("a") in resolver
+        assert "a" in resolver
+        assert Symbol("b") not in resolver
+
+
+class TestResolveHelpers:
+    def test_is_parameterized(self):
+        assert is_parameterized(Symbol("x"))
+        assert is_parameterized(2 * Symbol("x"))
+        assert not is_parameterized(3.0)
+
+    def test_resolve_requires_resolver_for_symbols(self):
+        with pytest.raises(ValueError):
+            resolve(Symbol("x"), None)
+        assert resolve(1.0, None) == 1.0
+        assert resolve(Symbol("x"), ParamResolver({"x": 2.0})) == 2.0

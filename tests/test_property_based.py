@@ -1,0 +1,139 @@
+"""Cross-backend property-based tests on randomly generated circuits.
+
+The key invariant of the whole reproduction: for any circuit the pipeline can
+express, the knowledge-compilation simulator must agree exactly with the
+dense reference simulators — state vectors for ideal circuits, density
+matrices for noisy ones — and all backends must produce normalised
+distributions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    CNOT,
+    CZ,
+    Circuit,
+    H,
+    LineQubit,
+    Rx,
+    Ry,
+    Rz,
+    S,
+    SWAP,
+    T,
+    X,
+    Y,
+    Z,
+    ZZ,
+    amplitude_damp,
+    bit_flip,
+    depolarize,
+    phase_damp,
+    phase_flip,
+)
+from repro.densitymatrix import DensityMatrixSimulator
+from repro.simulator.kc_simulator import KnowledgeCompilationSimulator
+from repro.statevector import StateVectorSimulator
+from repro.tensornetwork import TensorNetworkSimulator
+
+KC = KnowledgeCompilationSimulator(seed=0)
+SV = StateVectorSimulator(seed=0)
+DM = DensityMatrixSimulator(seed=0)
+TN = TensorNetworkSimulator(seed=0)
+
+SINGLE_QUBIT_GATES = [H, X, Y, Z, S, T, Rx(0.37), Ry(0.91), Rz(1.23)]
+TWO_QUBIT_GATES = [CNOT, CZ, SWAP, ZZ(0.7)]
+NOISE_FACTORIES = [
+    lambda: bit_flip(0.12),
+    lambda: phase_flip(0.2),
+    lambda: depolarize(0.08),
+    lambda: amplitude_damp(0.25),
+    lambda: phase_damp(0.3),
+]
+
+
+def random_ideal_circuit(rng: np.random.Generator, num_qubits: int, num_gates: int) -> Circuit:
+    qubits = LineQubit.range(num_qubits)
+    circuit = Circuit()
+    for _ in range(num_gates):
+        if num_qubits >= 2 and rng.random() < 0.4:
+            gate = TWO_QUBIT_GATES[rng.integers(0, len(TWO_QUBIT_GATES))]
+            targets = rng.choice(num_qubits, size=2, replace=False)
+            circuit.append(gate(qubits[targets[0]], qubits[targets[1]]))
+        else:
+            gate = SINGLE_QUBIT_GATES[rng.integers(0, len(SINGLE_QUBIT_GATES))]
+            circuit.append(gate(qubits[rng.integers(0, num_qubits)]))
+    return circuit
+
+
+def random_noisy_circuit(rng: np.random.Generator, num_qubits: int, num_gates: int, num_channels: int) -> Circuit:
+    circuit = random_ideal_circuit(rng, num_qubits, num_gates)
+    qubits = LineQubit.range(num_qubits)
+    for _ in range(num_channels):
+        factory = NOISE_FACTORIES[rng.integers(0, len(NOISE_FACTORIES))]
+        circuit.append(factory().on(qubits[rng.integers(0, num_qubits)]))
+    return circuit
+
+
+class TestIdealCircuitEquivalence:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_kc_matches_state_vector(self, seed):
+        rng = np.random.default_rng(seed)
+        num_qubits = int(rng.integers(1, 4))
+        circuit = random_ideal_circuit(rng, num_qubits, int(rng.integers(1, 7)))
+        kc_state = KC.simulate(circuit).state_vector
+        sv_state = SV.simulate(circuit).state_vector
+        assert np.allclose(kc_state, sv_state, atol=1e-8)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_tensor_network_matches_state_vector(self, seed):
+        rng = np.random.default_rng(seed)
+        num_qubits = int(rng.integers(2, 4))
+        circuit = random_ideal_circuit(rng, num_qubits, int(rng.integers(1, 6)))
+        tn_state = TN.simulate(circuit).state_vector
+        sv_state = SV.simulate(circuit).state_vector
+        assert np.allclose(tn_state, sv_state, atol=1e-8)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_state_norm_preserved(self, seed):
+        rng = np.random.default_rng(seed)
+        circuit = random_ideal_circuit(rng, int(rng.integers(1, 5)), int(rng.integers(1, 8)))
+        state = SV.simulate(circuit).state_vector
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+
+
+class TestNoisyCircuitEquivalence:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_kc_matches_density_matrix(self, seed):
+        rng = np.random.default_rng(seed)
+        num_qubits = int(rng.integers(1, 3))
+        circuit = random_noisy_circuit(rng, num_qubits, int(rng.integers(1, 5)), int(rng.integers(1, 3)))
+        kc_rho = KC.simulate_density_matrix(circuit).density_matrix
+        dm_rho = DM.simulate(circuit).density_matrix
+        assert np.allclose(kc_rho, dm_rho, atol=1e-8)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_density_matrix_is_physical(self, seed):
+        rng = np.random.default_rng(seed)
+        circuit = random_noisy_circuit(rng, int(rng.integers(1, 4)), int(rng.integers(1, 6)), int(rng.integers(1, 4)))
+        rho = DM.simulate(circuit).density_matrix
+        assert np.trace(rho).real == pytest.approx(1.0)
+        eigenvalues = np.linalg.eigvalsh(rho)
+        assert eigenvalues.min() > -1e-9
+        assert np.allclose(rho, rho.conj().T, atol=1e-10)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_kc_probabilities_normalised(self, seed):
+        rng = np.random.default_rng(seed)
+        circuit = random_noisy_circuit(rng, int(rng.integers(1, 3)), int(rng.integers(1, 4)), 1)
+        probabilities = KC.compile_circuit(circuit).probabilities()
+        assert probabilities.sum() == pytest.approx(1.0, abs=1e-8)

@@ -1,0 +1,110 @@
+"""Tests for the QAOA and VQE ansatz builders."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import ParamResolver
+from repro.simulator import SampleResult
+from repro.statevector import StateVectorSimulator
+from repro.variational import (
+    IsingModel2D,
+    QAOACircuit,
+    VQECircuit,
+    qaoa_maxcut_circuit,
+    ring_maxcut,
+    square_grid_ising,
+)
+
+
+class TestQAOACircuit:
+    def test_structure(self):
+        problem = ring_maxcut(4)
+        ansatz = QAOACircuit(problem, iterations=1)
+        # 4 H + 4 ZZ (ring edges) + 4 Rx.
+        assert ansatz.circuit.gate_count() == 12
+        assert ansatz.num_parameters == 2
+        assert len(ansatz.circuit.parameters) == 2
+
+    def test_two_iterations_doubles_layers(self):
+        problem = ring_maxcut(4)
+        one = QAOACircuit(problem, iterations=1).circuit.gate_count()
+        two = QAOACircuit(problem, iterations=2).circuit.gate_count()
+        assert two == one + 8  # one extra ZZ layer + one extra Rx layer
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            QAOACircuit(ring_maxcut(4), iterations=0)
+
+    def test_resolver_layout(self):
+        ansatz = QAOACircuit(ring_maxcut(4), iterations=2)
+        resolver = ansatz.resolver([0.1, 0.2, 0.3, 0.4])
+        assert resolver.value_of(ansatz.gammas[0]) == pytest.approx(0.1)
+        assert resolver.value_of(ansatz.gammas[1]) == pytest.approx(0.2)
+        assert resolver.value_of(ansatz.betas[0]) == pytest.approx(0.3)
+        with pytest.raises(ValueError):
+            ansatz.resolver([0.1])
+
+    def test_known_optimal_angles_for_ring(self):
+        """For even rings, QAOA p=1 reaches an expected cut of 3/4 per edge.
+
+        With this library's convention (U_C edge term = exp(-i gamma Z Z),
+        mixer = exp(-i beta X)), the p=1 optimum for a ring sits at
+        gamma = 7 pi / 8, beta = pi / 8.
+        """
+        problem = ring_maxcut(4)
+        circuit = qaoa_maxcut_circuit(problem, [7 * np.pi / 8], [np.pi / 8])
+        probabilities = np.abs(StateVectorSimulator().simulate(circuit).state_vector) ** 2
+        expected_cut = problem.expected_cut(probabilities)
+        assert expected_cut == pytest.approx(3.0, abs=1e-6)
+
+    def test_objective_from_samples(self):
+        problem = ring_maxcut(4)
+        ansatz = QAOACircuit(problem, iterations=1)
+        samples = SampleResult(ansatz.qubits, [(0, 1, 0, 1), (0, 0, 0, 0)])
+        assert ansatz.objective_from_samples(samples) == pytest.approx(-2.0)
+
+    def test_objective_from_distribution(self):
+        problem = ring_maxcut(4)
+        ansatz = QAOACircuit(problem, iterations=1)
+        distribution = np.zeros(16)
+        distribution[0b0101] = 1.0
+        assert ansatz.objective_from_distribution(distribution) == pytest.approx(-4.0)
+
+
+class TestVQECircuit:
+    def test_structure(self):
+        model = square_grid_ising(4)
+        ansatz = VQECircuit(model, iterations=1)
+        # Initial Ry layer (4) + ZZ per edge (4 for 2x2 grid) + final Ry layer (4).
+        assert ansatz.circuit.gate_count() == 12
+        assert ansatz.num_parameters == 2 * 4 + 1
+
+    def test_resolver_round_trip(self):
+        model = square_grid_ising(4)
+        ansatz = VQECircuit(model, iterations=1)
+        values = np.linspace(0.1, 0.9, ansatz.num_parameters)
+        resolver = ansatz.resolver(values)
+        assert resolver.value_of(ansatz.thetas[0][0]) == pytest.approx(values[0])
+        assert resolver.value_of(ansatz.coupling_angles[0]) == pytest.approx(values[-1])
+
+    def test_ansatz_can_express_ground_state(self):
+        """With rotation angles 0 or pi the ansatz prepares classical spin states."""
+        model = IsingModel2D(1, 2, coupling=1.0, field=0.0)
+        ansatz = VQECircuit(model, iterations=1)
+        # Ry(pi) on site 0, Ry(0) on site 1, no entangling angle, no final rotation.
+        parameters = [np.pi, 0.0, 0.0, 0.0, 0.0]
+        resolver = ansatz.resolver(parameters)
+        state = StateVectorSimulator().simulate(ansatz.circuit, resolver).state_vector
+        probabilities = np.abs(state) ** 2
+        assert probabilities[2] == pytest.approx(1.0, abs=1e-9)  # |10>
+        assert model.expected_energy(probabilities) == pytest.approx(-1.0)
+
+    def test_objective_from_samples(self):
+        model = IsingModel2D(1, 2, coupling=1.0, field=0.0)
+        ansatz = VQECircuit(model, iterations=1)
+        samples = SampleResult(ansatz.qubits, [(0, 1), (1, 0)])
+        assert ansatz.objective_from_samples(samples) == pytest.approx(-1.0)
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            VQECircuit(square_grid_ising(4), iterations=0)

@@ -1,0 +1,64 @@
+"""Tests for qubit identifier types."""
+
+import pytest
+
+from repro.circuits import GridQubit, LineQubit, NamedQubit, sorted_qubits
+
+
+class TestLineQubit:
+    def test_equality_and_hash(self):
+        assert LineQubit(3) == LineQubit(3)
+        assert LineQubit(3) != LineQubit(4)
+        assert hash(LineQubit(3)) == hash(LineQubit(3))
+
+    def test_ordering(self):
+        assert LineQubit(1) < LineQubit(2)
+        assert sorted([LineQubit(5), LineQubit(2)]) == [LineQubit(2), LineQubit(5)]
+
+    def test_range(self):
+        qubits = LineQubit.range(4)
+        assert len(qubits) == 4
+        assert qubits[0].index == 0
+        assert qubits[-1].index == 3
+
+    def test_range_with_start_and_stop(self):
+        qubits = LineQubit.range(2, 5)
+        assert [q.index for q in qubits] == [2, 3, 4]
+
+    def test_str_and_repr(self):
+        assert str(LineQubit(7)) == "q7"
+        assert "7" in repr(LineQubit(7))
+
+
+class TestGridQubit:
+    def test_rect(self):
+        qubits = GridQubit.rect(2, 3)
+        assert len(qubits) == 6
+        assert qubits[0] == GridQubit(0, 0)
+        assert qubits[-1] == GridQubit(1, 2)
+
+    def test_ordering_row_major(self):
+        assert GridQubit(0, 1) < GridQubit(1, 0)
+        assert GridQubit(1, 0) < GridQubit(1, 1)
+
+    def test_not_equal_to_line_qubit(self):
+        assert GridQubit(0, 0) != LineQubit(0)
+
+
+class TestNamedQubit:
+    def test_equality(self):
+        assert NamedQubit("ancilla") == NamedQubit("ancilla")
+        assert NamedQubit("a") != NamedQubit("b")
+
+    def test_sortable_with_other_kinds(self):
+        qubits = [NamedQubit("z"), LineQubit(0), GridQubit(0, 0)]
+        assert len(sorted(qubits)) == 3
+
+
+class TestSortedQubits:
+    def test_removes_duplicates(self):
+        q = LineQubit(1)
+        assert sorted_qubits([q, q, LineQubit(0)]) == [LineQubit(0), LineQubit(1)]
+
+    def test_empty(self):
+        assert sorted_qubits([]) == []

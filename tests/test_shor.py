@@ -1,0 +1,81 @@
+"""Tests for the Shor order-finding kernel and classical post-processing."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    classical_postprocess,
+    expected_counting_distribution,
+    modular_multiplication_permutation,
+    multiplicative_order,
+    order_finding_circuit,
+    shor_factor,
+)
+from repro.statevector import StateVectorSimulator
+
+
+class TestClassicalPieces:
+    def test_multiplicative_order(self):
+        assert multiplicative_order(2, 15) == 4
+        assert multiplicative_order(7, 15) == 4
+        assert multiplicative_order(2, 5) == 4
+        assert multiplicative_order(4, 5) == 2
+
+    def test_multiplicative_order_requires_coprime(self):
+        with pytest.raises(ValueError):
+            multiplicative_order(3, 15)
+
+    def test_modular_multiplication_permutation(self):
+        permutation = modular_multiplication_permutation(2, 5, 3)
+        assert permutation[1] == 2
+        assert permutation[3] == 1  # 2*3 mod 5
+        assert permutation[5] == 5  # outside the modulus: fixed point
+        assert sorted(permutation) == list(range(8))
+
+    def test_modular_multiplication_rejects_non_coprime(self):
+        with pytest.raises(ValueError):
+            modular_multiplication_permutation(3, 6, 3)
+
+    def test_classical_postprocess_factors_15(self):
+        # With 8 counting qubits, order 4 gives peaks at multiples of 64.
+        factors = classical_postprocess(64, 8, 15, 7)
+        assert factors is not None
+        assert sorted(factors) == [3, 5]
+
+    def test_classical_postprocess_rejects_zero(self):
+        assert classical_postprocess(0, 8, 15, 7) is None
+
+    def test_expected_counting_distribution_peaks(self):
+        distribution = expected_counting_distribution(order=2, num_counting_qubits=3)
+        assert distribution.sum() == pytest.approx(1.0)
+        # Peaks at 0 and 4 (multiples of 2^3 / 2).
+        assert distribution[0] == pytest.approx(0.5)
+        assert distribution[4] == pytest.approx(0.5)
+
+
+class TestOrderFindingCircuit:
+    def test_counting_distribution_matches_analytic(self):
+        instance = order_finding_circuit(4, 5, num_counting_qubits=4)
+        state = StateVectorSimulator().simulate(instance.circuit).state_vector
+        probabilities = np.abs(state) ** 2
+        t = instance.metadata["num_counting_qubits"]
+        work = instance.metadata["num_work_qubits"]
+        counting_marginal = probabilities.reshape(2 ** t, 2 ** work).sum(axis=1)
+        expected = instance.metadata["counting_distribution"]
+        assert np.allclose(counting_marginal, expected, atol=1e-8)
+
+    def test_order_two_case(self):
+        # a = 4, N = 5 has order 2: peaks at 0 and 2^(t-1).
+        instance = order_finding_circuit(4, 5, num_counting_qubits=3)
+        state = StateVectorSimulator().simulate(instance.circuit).state_vector
+        probabilities = np.abs(state) ** 2
+        t = 3
+        work = instance.metadata["num_work_qubits"]
+        counting = probabilities.reshape(2 ** t, 2 ** work).sum(axis=1)
+        assert counting[0] == pytest.approx(0.5, abs=1e-6)
+        assert counting[4] == pytest.approx(0.5, abs=1e-6)
+
+    def test_end_to_end_factoring_of_15(self):
+        factors = shor_factor(15, 7, StateVectorSimulator(seed=3), num_counting_qubits=5, repetitions=48, seed=3)
+        assert factors is not None
+        assert sorted(factors) == [3, 5]

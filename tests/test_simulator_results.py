@@ -1,0 +1,94 @@
+"""Tests for the shared simulator result containers."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import LineQubit
+from repro.simulator import DensityMatrixResult, SampleResult, StateVectorResult
+
+
+class TestSampleResult:
+    def test_counts_and_histogram(self):
+        qubits = LineQubit.range(2)
+        result = SampleResult(qubits, [(0, 0), (1, 1), (1, 1)])
+        assert result.counts()[(1, 1)] == 2
+        assert result.bitstring_counts() == {"00": 1, "11": 2}
+        assert result.most_common(1)[0][0] == (1, 1)
+
+    def test_empirical_distribution(self):
+        qubits = LineQubit.range(2)
+        result = SampleResult(qubits, [(0, 1), (0, 1), (1, 0), (1, 1)])
+        distribution = result.empirical_distribution()
+        assert distribution[1] == pytest.approx(0.5)
+        assert distribution.sum() == pytest.approx(1.0)
+
+    def test_expectation_of_bit(self):
+        qubits = LineQubit.range(1)
+        result = SampleResult(qubits, [(0,), (1,), (1,), (1,)])
+        assert result.expectation_of_bit(0) == pytest.approx(0.75)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            SampleResult(LineQubit.range(2), [(0,)])
+
+    def test_empty_expectation_raises(self):
+        result = SampleResult(LineQubit.range(1), [])
+        with pytest.raises(ValueError):
+            result.expectation_of_bit(0)
+
+
+class TestStateVectorResult:
+    def test_probabilities_and_amplitude(self):
+        qubits = LineQubit.range(1)
+        result = StateVectorResult(qubits, np.array([1, 1j]) / np.sqrt(2))
+        assert np.allclose(result.probabilities(), [0.5, 0.5])
+        assert result.amplitude([1]) == pytest.approx(1j / np.sqrt(2))
+
+    def test_density_matrix(self):
+        qubits = LineQubit.range(1)
+        result = StateVectorResult(qubits, np.array([1, 0], dtype=complex))
+        assert np.allclose(result.density_matrix(), [[1, 0], [0, 0]])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            StateVectorResult(LineQubit.range(2), np.zeros(3))
+
+    def test_sampling(self):
+        qubits = LineQubit.range(1)
+        result = StateVectorResult(qubits, np.array([0, 1], dtype=complex))
+        samples = result.sample(10, np.random.default_rng(0))
+        assert samples.bitstring_counts() == {"1": 10}
+
+    def test_dirac_notation_skips_zero_terms(self):
+        qubits = LineQubit.range(2)
+        result = StateVectorResult(qubits, np.array([1, 0, 0, 0], dtype=complex))
+        notation = result.dirac_notation()
+        assert "|00>" in notation and "|01>" not in notation
+
+
+class TestDensityMatrixResult:
+    def test_probabilities_and_purity(self):
+        qubits = LineQubit.range(1)
+        rho = np.array([[0.5, 0], [0, 0.5]], dtype=complex)
+        result = DensityMatrixResult(qubits, rho)
+        assert np.allclose(result.probabilities(), [0.5, 0.5])
+        assert result.purity() == pytest.approx(0.5)
+
+    def test_probability_of(self):
+        qubits = LineQubit.range(2)
+        rho = np.zeros((4, 4), dtype=complex)
+        rho[2, 2] = 1.0
+        result = DensityMatrixResult(qubits, rho)
+        assert result.probability_of([1, 0]) == pytest.approx(1.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            DensityMatrixResult(LineQubit.range(1), np.zeros((3, 3)))
+
+    def test_sampling_from_diagonal(self):
+        qubits = LineQubit.range(1)
+        rho = np.array([[0.2, 0], [0, 0.8]], dtype=complex)
+        result = DensityMatrixResult(qubits, rho)
+        samples = result.sample(2000, np.random.default_rng(1))
+        ones = samples.bitstring_counts().get("1", 0) / 2000
+        assert 0.74 < ones < 0.86

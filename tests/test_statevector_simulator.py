@@ -1,0 +1,112 @@
+"""Tests for the state-vector simulator backend."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    CNOT,
+    Circuit,
+    H,
+    LineQubit,
+    Rx,
+    Ry,
+    X,
+    Z,
+    amplitude_damp,
+    bit_flip,
+    depolarize,
+)
+from repro.densitymatrix import DensityMatrixSimulator
+from repro.statevector import StateVectorSimulator
+
+
+class TestIdealSimulation:
+    def test_bell_state(self, bell_circuit, state_vector_simulator):
+        result = state_vector_simulator.simulate(bell_circuit)
+        expected = np.array([1, 0, 0, 1]) / np.sqrt(2)
+        assert np.allclose(result.state_vector, expected)
+
+    def test_ghz_state(self, state_vector_simulator):
+        q = LineQubit.range(3)
+        circuit = Circuit([H(q[0]), CNOT(q[0], q[1]), CNOT(q[1], q[2])])
+        probabilities = state_vector_simulator.simulate(circuit).probabilities()
+        assert probabilities[0] == pytest.approx(0.5)
+        assert probabilities[7] == pytest.approx(0.5)
+
+    def test_matches_circuit_unitary(self, qaoa_like_circuit, qaoa_resolver, state_vector_simulator):
+        result = state_vector_simulator.simulate(qaoa_like_circuit, qaoa_resolver)
+        unitary = qaoa_like_circuit.unitary(resolver=qaoa_resolver)
+        assert np.allclose(result.state_vector, unitary[:, 0])
+
+    def test_initial_state(self, state_vector_simulator):
+        q = LineQubit.range(2)
+        circuit = Circuit([CNOT(q[0], q[1])])
+        result = state_vector_simulator.simulate(circuit, initial_state=2)  # |10>
+        assert result.probabilities()[3] == pytest.approx(1.0)
+
+    def test_measurements_are_ignored_for_state(self, state_vector_simulator):
+        from repro.circuits import measure
+
+        q = LineQubit.range(1)
+        circuit = Circuit([H(q[0]), measure(q[0])])
+        result = state_vector_simulator.simulate(circuit)
+        assert np.allclose(result.probabilities(), [0.5, 0.5])
+
+    def test_noise_rejected_in_ideal_mode(self, noisy_bell_circuit, state_vector_simulator):
+        with pytest.raises(ValueError):
+            state_vector_simulator.simulate(noisy_bell_circuit)
+
+    def test_amplitude_and_dirac_notation(self, bell_circuit, state_vector_simulator):
+        result = state_vector_simulator.simulate(bell_circuit)
+        assert result.amplitude([1, 1]) == pytest.approx(1 / np.sqrt(2))
+        assert result.amplitude([0, 1]) == pytest.approx(0.0)
+        assert "|00>" in result.dirac_notation()
+
+
+class TestSampling:
+    def test_bell_sampling_only_00_and_11(self, bell_circuit, state_vector_simulator):
+        samples = state_vector_simulator.sample(bell_circuit, 500, seed=1)
+        observed = set(samples.bitstring_counts())
+        assert observed <= {"00", "11"}
+        assert len(samples) == 500
+
+    def test_sampling_frequencies(self, state_vector_simulator):
+        q = LineQubit(0)
+        circuit = Circuit([Ry(2 * np.arcsin(np.sqrt(0.2)))(q)])
+        samples = state_vector_simulator.sample(circuit, 4000, seed=2)
+        ones = samples.bitstring_counts().get("1", 0)
+        assert 0.15 < ones / 4000 < 0.26
+
+    def test_seeded_sampling_reproducible(self, bell_circuit):
+        simulator = StateVectorSimulator()
+        first = simulator.sample(bell_circuit, 100, seed=11).samples
+        second = simulator.sample(bell_circuit, 100, seed=11).samples
+        assert first == second
+
+
+class TestTrajectories:
+    def test_trajectory_preserves_norm(self, noisy_bell_circuit, state_vector_simulator):
+        result = state_vector_simulator.simulate_trajectory(noisy_bell_circuit, seed=3)
+        assert np.linalg.norm(result.state_vector) == pytest.approx(1.0)
+
+    def test_trajectory_average_matches_density_matrix(self):
+        q = LineQubit(0)
+        circuit = Circuit([H(q)])
+        circuit.append(amplitude_damp(0.4).on(q))
+        simulator = StateVectorSimulator(seed=5)
+        average = np.zeros((2, 2), dtype=complex)
+        num_trajectories = 800
+        for index in range(num_trajectories):
+            state = simulator.simulate_trajectory(circuit, seed=index).state_vector
+            average += np.outer(state, state.conj()) / num_trajectories
+        expected = DensityMatrixSimulator().simulate(circuit).density_matrix
+        assert np.allclose(average, expected, atol=0.06)
+
+    def test_noisy_sampling_distribution(self):
+        q = LineQubit(0)
+        circuit = Circuit([X(q)])
+        circuit.append(bit_flip(0.25).on(q))
+        simulator = StateVectorSimulator(seed=7)
+        samples = simulator.sample(circuit, 2000, seed=9)
+        zeros = samples.bitstring_counts().get("0", 0)
+        assert 0.18 < zeros / 2000 < 0.32

@@ -1,0 +1,167 @@
+"""Tests for the dense linear-algebra helpers (including property-based tests)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import CNOT, H, X, Z
+from repro.linalg import (
+    apply_kraus_to_density,
+    apply_unitary_to_density,
+    apply_unitary_to_state,
+    basis_state,
+    bits_to_index,
+    density_from_state,
+    expand_operator,
+    index_to_bits,
+    kron_all,
+    measurement_probabilities,
+    partial_trace,
+    state_fidelity,
+    trace_distance,
+)
+
+
+def random_state(num_qubits: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    state = rng.normal(size=2 ** num_qubits) + 1j * rng.normal(size=2 ** num_qubits)
+    return state / np.linalg.norm(state)
+
+
+def random_unitary(num_qubits: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    dim = 2 ** num_qubits
+    matrix = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, _ = np.linalg.qr(matrix)
+    return q
+
+
+class TestIndexHelpers:
+    def test_round_trip(self):
+        for index in range(16):
+            assert bits_to_index(index_to_bits(index, 4)) == index
+
+    def test_qubit_zero_is_most_significant(self):
+        assert index_to_bits(8, 4) == (1, 0, 0, 0)
+        assert bits_to_index([1, 0]) == 2
+
+    @given(st.integers(min_value=1, max_value=8), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_property(self, num_qubits, data):
+        index = data.draw(st.integers(min_value=0, max_value=2 ** num_qubits - 1))
+        assert bits_to_index(index_to_bits(index, num_qubits)) == index
+
+
+class TestBasisAndKron:
+    def test_basis_state(self):
+        state = basis_state(2, 2)
+        assert state[2] == 1.0 and np.count_nonzero(state) == 1
+
+    def test_basis_state_out_of_range(self):
+        with pytest.raises(ValueError):
+            basis_state(4, 2)
+
+    def test_kron_all(self):
+        result = kron_all([np.eye(2), X.unitary()])
+        assert result.shape == (4, 4)
+        assert np.allclose(result, np.kron(np.eye(2), X.unitary()))
+
+
+class TestExpandOperator:
+    def test_single_qubit_on_first_of_two(self):
+        expanded = expand_operator(X.unitary(), [0], 2)
+        assert np.allclose(expanded, np.kron(X.unitary(), np.eye(2)))
+
+    def test_single_qubit_on_second_of_two(self):
+        expanded = expand_operator(X.unitary(), [1], 2)
+        assert np.allclose(expanded, np.kron(np.eye(2), X.unitary()))
+
+    def test_two_qubit_reversed_targets(self):
+        # CNOT with control q1 and target q0.
+        expanded = expand_operator(CNOT.unitary(), [1, 0], 2)
+        state = basis_state(1, 2)  # |01>: control (q1) is 1
+        result = expanded @ state
+        assert np.allclose(result, basis_state(3, 2))
+
+    def test_mismatched_shape_rejected(self):
+        with pytest.raises(ValueError):
+            expand_operator(X.unitary(), [0, 1], 2)
+
+
+class TestStateApplication:
+    @pytest.mark.parametrize("targets", [[0], [1], [2]])
+    def test_single_qubit_matches_expand(self, targets):
+        state = random_state(3, seed=1)
+        direct = apply_unitary_to_state(state, H.unitary(), targets, 3)
+        expected = expand_operator(H.unitary(), targets, 3) @ state
+        assert np.allclose(direct, expected)
+
+    @pytest.mark.parametrize("targets", [[0, 1], [1, 2], [2, 0]])
+    def test_two_qubit_matches_expand(self, targets):
+        state = random_state(3, seed=2)
+        unitary = random_unitary(2, seed=3)
+        direct = apply_unitary_to_state(state, unitary, targets, 3)
+        expected = expand_operator(unitary, targets, 3) @ state
+        assert np.allclose(direct, expected)
+
+    def test_norm_preserved(self):
+        state = random_state(4, seed=5)
+        result = apply_unitary_to_state(state, random_unitary(2, seed=6), [1, 3], 4)
+        assert np.linalg.norm(result) == pytest.approx(1.0)
+
+
+class TestDensityApplication:
+    def test_unitary_on_density_matches_state(self):
+        state = random_state(3, seed=7)
+        rho = density_from_state(state)
+        unitary = random_unitary(2, seed=8)
+        rho_after = apply_unitary_to_density(rho, unitary, [0, 2], 3)
+        state_after = apply_unitary_to_state(state, unitary, [0, 2], 3)
+        assert np.allclose(rho_after, density_from_state(state_after))
+
+    def test_kraus_preserves_trace(self):
+        rho = density_from_state(random_state(2, seed=9))
+        gamma = 0.3
+        kraus = [
+            np.array([[1, 0], [0, np.sqrt(1 - gamma)]]),
+            np.array([[0, np.sqrt(gamma)], [0, 0]]),
+        ]
+        rho_after = apply_kraus_to_density(rho, kraus, [1], 2)
+        assert np.trace(rho_after) == pytest.approx(1.0)
+
+    def test_partial_trace_of_product_state(self):
+        state_a = random_state(1, seed=10)
+        state_b = random_state(1, seed=11)
+        rho = density_from_state(np.kron(state_a, state_b))
+        reduced = partial_trace(rho, keep=[0], num_qubits=2)
+        assert np.allclose(reduced, density_from_state(state_a), atol=1e-9)
+
+    def test_partial_trace_of_bell_state_is_maximally_mixed(self):
+        bell = np.array([1, 0, 0, 1]) / np.sqrt(2)
+        reduced = partial_trace(density_from_state(bell), keep=[0], num_qubits=2)
+        assert np.allclose(reduced, np.eye(2) / 2)
+
+
+class TestMetrics:
+    def test_measurement_probabilities(self):
+        state = np.array([1, 1j]) / np.sqrt(2)
+        assert np.allclose(measurement_probabilities(state), [0.5, 0.5])
+
+    def test_state_fidelity(self):
+        a = basis_state(0, 1)
+        b = np.array([1, 1]) / np.sqrt(2)
+        assert state_fidelity(a, a) == pytest.approx(1.0)
+        assert state_fidelity(a, b) == pytest.approx(0.5)
+
+    def test_trace_distance(self):
+        rho_a = density_from_state(basis_state(0, 1))
+        rho_b = density_from_state(basis_state(1, 1))
+        assert trace_distance(rho_a, rho_b) == pytest.approx(1.0)
+        assert trace_distance(rho_a, rho_a) == pytest.approx(0.0)
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_probabilities_sum_to_one(self, seed):
+        state = random_state(3, seed=seed)
+        assert measurement_probabilities(state).sum() == pytest.approx(1.0)

@@ -1,0 +1,104 @@
+"""Tests for the tensor-network contraction simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import CNOT, Circuit, H, LineQubit, Rx, X, ZZ, depolarize
+from repro.statevector import StateVectorSimulator
+from repro.tensornetwork import (
+    Tensor,
+    TensorNetworkSimulator,
+    circuit_to_network,
+    contract_network,
+    contract_pair,
+    contraction_cost,
+    interaction_graph,
+    min_degree_index_order,
+)
+
+
+class TestTensorPrimitives:
+    def test_contract_pair_matrix_vector(self):
+        matrix = Tensor(np.array([[1, 2], [3, 4]], dtype=complex), ["out", "in"])
+        vector = Tensor(np.array([1, 1], dtype=complex), ["in"])
+        result = contract_pair(matrix, vector)
+        assert result.indices == ["out"]
+        assert np.allclose(result.data, [3, 7])
+
+    def test_contraction_cost(self):
+        a = Tensor(np.zeros((2, 2)), ["i", "j"])
+        b = Tensor(np.zeros((2, 2)), ["j", "k"])
+        assert contraction_cost(a, b) == 4
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Tensor(np.zeros((2, 2)), ["i"])
+
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(ValueError):
+            Tensor(np.zeros((2, 2)), ["i", "i"])
+
+
+class TestNetworkConstruction:
+    def test_bell_network_structure(self, bell_circuit):
+        network = circuit_to_network(bell_circuit, output_bits=[0, 0])
+        # 2 initial states + 2 gate tensors (H and CNOT) + 2 output projectors.
+        assert network.num_tensors == 6
+        assert network.open_indices == []
+
+    def test_open_outputs(self, bell_circuit):
+        network = circuit_to_network(bell_circuit)
+        assert len(network.open_indices) == 2
+
+    def test_noise_rejected(self, noisy_bell_circuit):
+        with pytest.raises(ValueError):
+            circuit_to_network(noisy_bell_circuit)
+
+
+class TestContraction:
+    @pytest.mark.parametrize("method", ["greedy", "min_degree"])
+    def test_bell_amplitudes(self, bell_circuit, method):
+        simulator = TensorNetworkSimulator(contraction_method=method)
+        assert simulator.amplitude(bell_circuit, [0, 0]) == pytest.approx(1 / np.sqrt(2))
+        assert simulator.amplitude(bell_circuit, [1, 1]) == pytest.approx(1 / np.sqrt(2))
+        assert simulator.amplitude(bell_circuit, [0, 1]) == pytest.approx(0.0)
+
+    def test_unknown_method_rejected(self, bell_circuit):
+        network = circuit_to_network(bell_circuit, output_bits=[0, 0])
+        with pytest.raises(ValueError):
+            contract_network(network, method="nope")
+
+    def test_amplitudes_match_state_vector(self, qaoa_like_circuit, qaoa_resolver):
+        resolved = qaoa_like_circuit.resolve_parameters(qaoa_resolver)
+        state = StateVectorSimulator().simulate(resolved).state_vector
+        simulator = TensorNetworkSimulator()
+        for index in [0, 3, 7, 12, 15]:
+            bits = [(index >> (3 - i)) & 1 for i in range(4)]
+            assert simulator.amplitude(resolved, bits) == pytest.approx(state[index], abs=1e-9)
+
+    def test_full_state_simulation(self, bell_circuit):
+        result = TensorNetworkSimulator().simulate(bell_circuit)
+        expected = np.array([1, 0, 0, 1]) / np.sqrt(2)
+        assert np.allclose(result.state_vector, expected)
+
+    def test_interaction_graph_and_order(self, bell_circuit):
+        network = circuit_to_network(bell_circuit, output_bits=[0, 0])
+        graph = interaction_graph(network)
+        assert graph.number_of_nodes() == len(network.all_indices())
+        order = min_degree_index_order(network)
+        assert set(order) == set(network.all_indices())
+
+
+class TestTensorNetworkSampling:
+    def test_sampling_bell_support(self, bell_circuit):
+        simulator = TensorNetworkSimulator(seed=3)
+        samples = simulator.sample(bell_circuit, 200, seed=3)
+        assert set(samples.bitstring_counts()) <= {"00", "11"}
+
+    def test_sampling_distribution_on_biased_circuit(self):
+        q = LineQubit(0)
+        circuit = Circuit([Rx(2 * np.arcsin(np.sqrt(0.15)))(q)])
+        simulator = TensorNetworkSimulator(seed=5)
+        samples = simulator.sample(circuit, 600, seed=5)
+        ones = samples.bitstring_counts().get("1", 0) / 600
+        assert 0.05 < ones < 0.3
