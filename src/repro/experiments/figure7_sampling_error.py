@@ -46,8 +46,13 @@ def run(
     noise_probability: float = 0.005,
     sample_counts: Optional[Sequence[int]] = None,
     seed: int = 5,
+    num_chains: Optional[int] = None,
 ) -> ExperimentResult:
-    """KL divergence of ideal vs Gibbs sampling as the sample count grows."""
+    """KL divergence of ideal vs Gibbs sampling as the sample count grows.
+
+    ``num_chains`` sets the Gibbs chain-ensemble size (None lets the sampler
+    choose); all samples are drawn with batched many-chain passes.
+    """
     if sample_counts is None:
         sample_counts = [10, 30, 100, 300, 1000, 3000]
     ansatz, circuit = _qaoa_setup(num_qubits, noisy, noise_probability, seed)
@@ -60,7 +65,7 @@ def run(
 
     max_samples = max(sample_counts)
     ideal_samples = ideal_sample_from_distribution(exact, max_samples, ansatz.qubits, rng).samples
-    gibbs_samples = sampler.sample(max_samples, burn_in_sweeps=4).samples
+    gibbs_samples = sampler.sample(max_samples, burn_in_sweeps=4, num_chains=num_chains).samples
 
     rows: List[Dict] = []
     for count in sample_counts:

@@ -16,11 +16,27 @@ real entries of Kraus operators.  Both passes are vectorised: nodes are
 grouped by topological level and evaluated with ``reduceat``/scatter-add
 operations, so repeated queries (the variational-algorithm use case) cost a
 handful of NumPy calls per level rather than a Python loop per node.
+
+Batch axis
+----------
+Both passes additionally accept a *batch* of literal bindings:
+:meth:`ArithmeticCircuit.evaluate_batch` and
+:meth:`ArithmeticCircuit.evaluate_with_derivatives_batch` take literal values
+of shape ``(B, num_vars + 1, 2)`` and run the same level-grouped passes over
+``(num_nodes, B)`` value/gradient arrays — one set of NumPy calls per level
+*regardless of B*.  Amortising the per-level dispatch overhead across many
+simultaneous queries is what makes many-chain Gibbs sampling and full
+state-vector reconstruction cheap (one batched sweep instead of ``B`` scalar
+sweeps).  The scalar :meth:`evaluate` / :meth:`evaluate_with_derivatives`
+API is kept as a ``B = 1`` wrapper.  Node-sized scratch arrays are cached in
+a per-batch-size workspace so repeated calls (the variational loop, Gibbs
+sweeps) do not churn allocations.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -41,10 +57,53 @@ NODE_AND = 3
 NODE_OR = 4
 
 
+class _ScatterPlan:
+    """Duplicate-safe segment-sum accumulation into a target array.
+
+    Replaces ``np.add.at`` (whose unbuffered element-wise scatter costs
+    O(entries * batch) and would swallow the batch-axis win): contributions
+    are permuted so equal target indices are adjacent, summed per target with
+    one ``reduceat``, and added with a plain fancy-indexed ``+=`` — safe
+    because the surviving indices are unique.
+    """
+
+    __slots__ = ("permutation", "unique_targets", "segment_offsets")
+
+    def __init__(self, target_indices: np.ndarray):
+        target_indices = np.asarray(target_indices, dtype=np.int64)
+        self.permutation = np.argsort(target_indices, kind="stable")
+        ordered = target_indices[self.permutation]
+        if len(ordered):
+            boundaries = np.flatnonzero(
+                np.concatenate(([True], ordered[1:] != ordered[:-1]))
+            )
+        else:
+            boundaries = np.zeros(0, dtype=np.int64)
+        self.unique_targets = ordered[boundaries]
+        self.segment_offsets = boundaries
+
+    def add_to(self, target: np.ndarray, contributions: np.ndarray) -> None:
+        """``target[indices] += contributions`` along axis 0, duplicates summed."""
+        if not len(self.unique_targets):
+            return
+        sums = np.add.reduceat(
+            contributions[self.permutation], self.segment_offsets, axis=0
+        )
+        target[self.unique_targets] += sums
+
+
 class _LevelGroup:
     """All AND (or all OR) nodes sharing one topological level."""
 
-    __slots__ = ("is_and", "node_positions", "child_indices", "offsets", "arities")
+    __slots__ = (
+        "is_and",
+        "node_positions",
+        "child_indices",
+        "offsets",
+        "arities",
+        "parent_per_edge",
+        "scatter",
+    )
 
     def __init__(self, is_and: bool, node_positions: List[int], children: List[List[int]]):
         self.is_and = is_and
@@ -59,10 +118,19 @@ class _LevelGroup:
             cursor += len(child_list)
         self.child_indices = np.asarray(flat, dtype=np.int64)
         self.offsets = np.asarray(offsets, dtype=np.int64)
+        # Absolute node position of each edge's parent, for direct gathers in
+        # the downward pass.
+        self.parent_per_edge = np.repeat(self.node_positions, self.arities)
+        self.scatter = _ScatterPlan(self.child_indices)
 
 
 class ArithmeticCircuit:
-    """A flattened, topologically ordered, vectorised arithmetic circuit."""
+    """A flattened, topologically ordered, vectorised arithmetic circuit.
+
+    Evaluation reuses per-batch-size scratch buffers held on the instance,
+    so a circuit object is stateful and not safe for concurrent evaluation
+    from multiple threads.
+    """
 
     def __init__(self, root: NNFNode, num_vars: int):
         self.num_vars = int(num_vars)
@@ -114,6 +182,10 @@ class ArithmeticCircuit:
         self._literal_signs = np.asarray(literal_signs, dtype=np.int64)
         self._true_positions = np.asarray(true_positions, dtype=np.int64)
         self._false_positions = np.asarray(false_positions, dtype=np.int64)
+        # Flattened (var, sign) slot per literal leaf, for the downward scatter.
+        self._literal_scatter = _ScatterPlan(
+            self._literal_vars * 2 + self._literal_signs
+        )
 
         # Group internal nodes by (level, type) for vectorised passes.
         grouped: Dict[Tuple[int, int], Tuple[List[int], List[List[int]]]] = {}
@@ -129,6 +201,9 @@ class ArithmeticCircuit:
             _LevelGroup(node_type == NODE_AND, positions, children)
             for (level, node_type), (positions, children) in sorted(grouped.items())
         ]
+
+        # Per-batch-size scratch arrays (small LRU), managed by _workspace_for.
+        self._workspaces: "OrderedDict[int, Dict[str, np.ndarray]]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # Structural metrics (used by Figure 6 / Table 4 / Table 6 experiments)
@@ -164,33 +239,166 @@ class ArithmeticCircuit:
         """
         return np.ones((self.num_vars + 1, 2), dtype=complex)
 
-    def _upward(self, literal_values: np.ndarray) -> Tuple[np.ndarray, Dict[int, Tuple[np.ndarray, np.ndarray]]]:
-        """Bottom-up pass.  Returns node values plus per-AND-group zero bookkeeping."""
-        values = np.zeros(self.num_nodes, dtype=complex)
+    def _workspace_for(self, batch: int) -> Dict[str, np.ndarray]:
+        """Node-sized scratch arrays for a batch of ``batch`` queries.
+
+        The ``(num_nodes, B)`` value/gradient arrays dominate the allocation
+        cost of a pass; they are cached per batch size (a small LRU, so a
+        chunked query's trailing partial chunk or an interleaved Gibbs batch
+        does not evict the hot buffer) and the hot loops (variational
+        re-binding, Gibbs sweeps, chunked state-vector reconstruction) reuse
+        the same buffers call after call.  The gradients buffer is allocated
+        lazily so upward-only callers (amplitude queries, state-vector
+        chunks) pay for one buffer, not two.
+        """
+        workspace = self._workspaces.get(batch)
+        if workspace is None:
+            workspace = {"values": np.empty((self.num_nodes, batch), dtype=complex)}
+            self._workspaces[batch] = workspace
+            while len(self._workspaces) > 3:
+                self._workspaces.popitem(last=False)
+        else:
+            self._workspaces.move_to_end(batch)
+        return workspace
+
+    def _gradients_buffer(self, batch: int) -> np.ndarray:
+        workspace = self._workspace_for(batch)
+        gradients = workspace.get("gradients")
+        if gradients is None:
+            gradients = np.empty((self.num_nodes, batch), dtype=complex)
+            workspace["gradients"] = gradients
+        return gradients
+
+    @staticmethod
+    def _as_batch(literal_values: np.ndarray) -> np.ndarray:
+        literal_values = np.asarray(literal_values)
+        if literal_values.ndim != 3:
+            raise ValueError(
+                "batched literal values must have shape (B, num_vars + 1, 2); "
+                f"got shape {literal_values.shape}"
+            )
+        return literal_values
+
+    def _upward_batch(
+        self, literal_values: np.ndarray, values: np.ndarray
+    ) -> List[Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]]:
+        """Bottom-up pass over a ``(B, num_vars + 1, 2)`` binding batch.
+
+        Fills the ``(num_nodes, B)`` ``values`` array in place and returns the
+        per-AND-group zero bookkeeping needed by the downward pass: the zero
+        counts and zero-masked products per node, plus the per-edge child zero
+        mask and the gathered child values with zeros replaced by one (reused
+        by the downward pass as a division-safe denominator).
+        """
+        values.fill(0.0)
         if len(self._true_positions):
             values[self._true_positions] = 1.0
         if len(self._literal_positions):
-            values[self._literal_positions] = literal_values[self._literal_vars, self._literal_signs]
+            values[self._literal_positions] = literal_values[
+                :, self._literal_vars, self._literal_signs
+            ].T
 
-        and_bookkeeping: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
-        for group_index, group in enumerate(self._groups):
+        and_bookkeeping: List[
+            Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]
+        ] = []
+        for group in self._groups:
             gathered = values[group.child_indices]
             if group.is_and:
                 zero_mask = gathered == 0
-                zero_counts = np.add.reduceat(zero_mask.astype(np.int64), group.offsets)
-                nonzero_product = np.multiply.reduceat(
-                    np.where(zero_mask, 1.0 + 0j, gathered), group.offsets
+                zero_counts = np.add.reduceat(
+                    zero_mask.astype(np.int32), group.offsets, axis=0
                 )
+                gathered[zero_mask] = 1.0  # fresh gather copy; safe to clean in place
+                nonzero_product = np.multiply.reduceat(gathered, group.offsets, axis=0)
                 values[group.node_positions] = np.where(zero_counts > 0, 0.0 + 0j, nonzero_product)
-                and_bookkeeping[group_index] = (zero_counts, nonzero_product)
+                and_bookkeeping.append((zero_counts, nonzero_product, zero_mask, gathered))
             else:
-                values[group.node_positions] = np.add.reduceat(gathered, group.offsets)
-        return values, and_bookkeeping
+                values[group.node_positions] = np.add.reduceat(gathered, group.offsets, axis=0)
+                and_bookkeeping.append(None)
+        return and_bookkeeping
+
+    def evaluate_batch(self, literal_values: np.ndarray) -> np.ndarray:
+        """Batched upward pass.
+
+        ``literal_values`` has shape ``(B, num_vars + 1, 2)``; returns the
+        ``(B,)`` array of weighted model counts.  Cost is one set of NumPy
+        calls per level regardless of ``B``.
+        """
+        literal_values = self._as_batch(literal_values)
+        batch = literal_values.shape[0]
+        if batch == 0:
+            return np.zeros(0, dtype=complex)
+        values = self._workspace_for(batch)["values"]
+        self._upward_batch(literal_values, values)
+        return values[self.root_index].copy()
+
+    def evaluate_with_derivatives_batch(
+        self, literal_values: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched upward + downward pass.
+
+        Returns ``(root_values, derivatives)`` where ``root_values`` has
+        shape ``(B,)`` and ``derivatives`` has the same shape as
+        ``literal_values`` and holds the partial derivative of each root with
+        respect to each literal leaf value.
+        """
+        literal_values = self._as_batch(literal_values)
+        batch = literal_values.shape[0]
+        if batch == 0:
+            return np.zeros(0, dtype=complex), np.zeros_like(literal_values, dtype=complex)
+        values = self._workspace_for(batch)["values"]
+        gradients = self._gradients_buffer(batch)
+        and_bookkeeping = self._upward_batch(literal_values, values)
+
+        gradients.fill(0.0)
+        gradients[self.root_index] = 1.0
+        for group_index in range(len(self._groups) - 1, -1, -1):
+            group = self._groups[group_index]
+            per_edge_gradient = gradients[group.parent_per_edge]
+            if group.is_and:
+                zero_counts, nonzero_product, zero_mask, cleaned_children = (
+                    and_bookkeeping[group_index]
+                )
+                zero_counts_per_edge = np.repeat(zero_counts, group.arities, axis=0)
+                nonzero_product_per_edge = np.repeat(nonzero_product, group.arities, axis=0)
+                # Product of the node's *other* children:
+                #  - no zero children: nonzero_product / child_value
+                #  - exactly one zero child: nonzero_product for that child, 0 for others
+                #  - two or more zero children: 0 everywhere.
+                # ``cleaned_children`` has the zeros replaced by one, so the
+                # division needs no masking; masked slots are discarded below.
+                ratio = nonzero_product_per_edge / cleaned_children
+                others_product = np.where(
+                    zero_counts_per_edge == 0,
+                    ratio,
+                    np.where(
+                        (zero_counts_per_edge == 1) & zero_mask,
+                        nonzero_product_per_edge,
+                        0.0 + 0j,
+                    ),
+                )
+                contributions = per_edge_gradient * others_product
+            else:
+                contributions = per_edge_gradient
+            group.scatter.add_to(gradients, contributions)
+
+        # Scatter leaf gradients back to (var, sign) slots; duplicate literal
+        # leaves for the same (var, sign) accumulate, matching the scalar path.
+        leaf_derivatives = np.zeros(((self.num_vars + 1) * 2, batch), dtype=complex)
+        if len(self._literal_positions):
+            self._literal_scatter.add_to(leaf_derivatives, gradients[self._literal_positions])
+        derivatives = np.ascontiguousarray(
+            leaf_derivatives.reshape(self.num_vars + 1, 2, batch).transpose(2, 0, 1)
+        )
+        return values[self.root_index].copy(), derivatives
 
     def evaluate(self, literal_values: np.ndarray) -> complex:
-        """Upward pass: the weighted model count under ``literal_values``."""
-        values, _ = self._upward(literal_values)
-        return complex(values[self.root_index])
+        """Upward pass: the weighted model count under ``literal_values``.
+
+        A ``B = 1`` wrapper over :meth:`evaluate_batch`.
+        """
+        roots = self.evaluate_batch(np.asarray(literal_values)[np.newaxis])
+        return complex(roots[0])
 
     def evaluate_with_derivatives(
         self, literal_values: np.ndarray
@@ -199,54 +407,13 @@ class ArithmeticCircuit:
 
         Returns ``(root_value, derivatives)`` where ``derivatives`` has the
         same shape as ``literal_values`` and holds the partial derivative of
-        the root with respect to each literal leaf value.
+        the root with respect to each literal leaf value.  A ``B = 1``
+        wrapper over :meth:`evaluate_with_derivatives_batch`.
         """
-        values, and_bookkeeping = self._upward(literal_values)
-        gradients = np.zeros(self.num_nodes, dtype=complex)
-        gradients[self.root_index] = 1.0
-
-        for group_index in range(len(self._groups) - 1, -1, -1):
-            group = self._groups[group_index]
-            parent_gradients = gradients[group.node_positions]
-            per_edge_gradient = np.repeat(parent_gradients, group.arities)
-            if group.is_and:
-                zero_counts, nonzero_product = and_bookkeeping[group_index]
-                child_values = values[group.child_indices]
-                zero_counts_per_edge = np.repeat(zero_counts, group.arities)
-                nonzero_product_per_edge = np.repeat(nonzero_product, group.arities)
-                child_is_zero = child_values == 0
-                # Product of the node's *other* children:
-                #  - no zero children: nonzero_product / child_value
-                #  - exactly one zero child: nonzero_product for that child, 0 for others
-                #  - two or more zero children: 0 everywhere.
-                safe_ratio = np.divide(
-                    nonzero_product_per_edge,
-                    child_values,
-                    out=np.zeros_like(child_values),
-                    where=~child_is_zero,
-                )
-                others_product = np.where(
-                    zero_counts_per_edge == 0,
-                    safe_ratio,
-                    np.where(
-                        (zero_counts_per_edge == 1) & child_is_zero,
-                        nonzero_product_per_edge,
-                        0.0 + 0j,
-                    ),
-                )
-                contributions = per_edge_gradient * others_product
-            else:
-                contributions = per_edge_gradient
-            np.add.at(gradients, group.child_indices, contributions)
-
-        derivatives = np.zeros_like(literal_values, dtype=complex)
-        if len(self._literal_positions):
-            np.add.at(
-                derivatives,
-                (self._literal_vars, self._literal_signs),
-                gradients[self._literal_positions],
-            )
-        return complex(values[self.root_index]), derivatives
+        roots, derivatives = self.evaluate_with_derivatives_batch(
+            np.asarray(literal_values)[np.newaxis]
+        )
+        return complex(roots[0]), derivatives[0]
 
     # ------------------------------------------------------------------
     # Serialisation (c2d-compatible .nnf text)

@@ -17,7 +17,6 @@ Both are implemented against :class:`repro.simulator.kc_simulator.CompiledCircui
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -73,40 +72,45 @@ def most_probable_explanation(
     channel_names = [variable.node_name for variable in noise_variables]
     cardinalities = [variable.cardinality for variable in noise_variables]
     total_assignments = int(np.prod(cardinalities))
+    bit_row = np.asarray(list(bits), dtype=np.int64)[np.newaxis]
 
-    def joint_probability(branches: Sequence[int]) -> float:
-        amplitude = compiled.amplitude(bits, noise_branches=list(branches), resolver=resolver)
-        return float(abs(amplitude) ** 2)
+    def joint_probabilities(branch_matrix: np.ndarray) -> np.ndarray:
+        """Squared amplitudes of (bits, branches) rows in chunked batched passes."""
+        amplitudes = compiled.amplitudes(
+            np.broadcast_to(bit_row, (branch_matrix.shape[0], bit_row.shape[1])),
+            noise_branches=branch_matrix,
+            resolver=resolver,
+        )
+        return np.abs(amplitudes) ** 2
 
     if total_assignments <= enumeration_limit:
-        best_branches: Tuple[int, ...] = tuple([0] * len(noise_variables))
-        best_probability = -1.0
-        evidence_mass = 0.0
-        for branches in itertools.product(*[range(c) for c in cardinalities]):
-            probability = joint_probability(branches)
-            evidence_mass += probability
-            if probability > best_probability:
-                best_probability = probability
-                best_branches = tuple(branches)
+        # Row order matches itertools.product (last channel varies fastest),
+        # so argmax tie-breaking is unchanged from the scalar enumeration.
+        grids = np.meshgrid(*[np.arange(c) for c in cardinalities], indexing="ij")
+        branch_matrix = np.stack(grids, axis=-1).reshape(-1, len(noise_variables))
+        probabilities = joint_probabilities(branch_matrix)
+        evidence_mass = float(probabilities.sum())
+        best_index = int(np.argmax(probabilities))
+        best_probability = float(probabilities[best_index])
+        best_branches = tuple(int(v) for v in branch_matrix[best_index])
         posterior = best_probability / evidence_mass if evidence_mass > 0 else 0.0
         return NoiseExplanation(best_branches, best_probability, posterior, channel_names, exact=True)
 
-    # Greedy coordinate ascent for large noise spaces.
+    # Greedy coordinate ascent for large noise spaces: each coordinate's
+    # candidate branches are scored in a single batched amplitude query.
     branches = [0] * len(noise_variables)
-    best_probability = joint_probability(branches)
+    best_probability = float(joint_probabilities(np.asarray([branches]))[0])
     for _ in range(max_passes):
         improved = False
         for index, cardinality in enumerate(cardinalities):
-            for candidate in range(cardinality):
-                if candidate == branches[index]:
-                    continue
-                trial = list(branches)
-                trial[index] = candidate
-                probability = joint_probability(trial)
-                if probability > best_probability:
-                    best_probability = probability
-                    branches = trial
-                    improved = True
+            trials = np.tile(np.asarray(branches, dtype=np.int64), (cardinality, 1))
+            trials[:, index] = np.arange(cardinality)
+            probabilities = joint_probabilities(trials)
+            candidate = int(np.argmax(probabilities))
+            if candidate != branches[index] and probabilities[candidate] > best_probability:
+                best_probability = float(probabilities[candidate])
+                branches[index] = candidate
+                improved = True
         if not improved:
             break
     return NoiseExplanation(tuple(branches), best_probability, float("nan"), channel_names, exact=False)

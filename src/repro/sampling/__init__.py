@@ -1,6 +1,6 @@
 """Sampling utilities: Gibbs MCMC over compiled circuits, ideal sampling, metrics."""
 
-from .gibbs import GibbsSampler
+from .gibbs import DEFAULT_MAX_CHAINS, GibbsSampler
 from .ideal import ideal_sample_from_distribution, ideal_sample_from_state_vector
 from .metrics import (
     chi_squared_statistic,
@@ -11,6 +11,7 @@ from .metrics import (
 )
 
 __all__ = [
+    "DEFAULT_MAX_CHAINS",
     "GibbsSampler",
     "ideal_sample_from_distribution",
     "ideal_sample_from_state_vector",

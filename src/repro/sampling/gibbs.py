@@ -13,16 +13,42 @@ cost is linear in the size of the compiled circuit.  An occasional
 independence (full-redraw) Metropolis move keeps the chain ergodic on
 circuits whose amplitude distribution contains exact zeros (Clifford-like
 circuits), without changing the stationary distribution.
+
+Chain ensembles
+---------------
+The sampler runs an *ensemble* of independent chains in lockstep.  Chain
+state lives in a ``(num_chains, num_retained_variables)`` integer matrix,
+and every move is batched through the arithmetic circuit's batch axis:
+
+* the initial-state search redraws all still-zero-amplitude chains together;
+* one batched upward + downward pass resamples one bit per chain — each
+  chain picks its *own* random bit, since the differential pass yields the
+  conditional of every bit simultaneously;
+* independence moves propose a full redraw for every chain at once (noise
+  selectors drawn proportionally to their CAT magnitudes, with the exact
+  Metropolis–Hastings correction) and reuse the cached current-state
+  weights, so only the proposals need a circuit pass;
+* the equilibrated ensemble persists across ``sample()`` calls, so repeated
+  draws — the variational-loop usage — skip burn-in entirely.
+
+``sample(n)`` therefore costs ``O(burn_in + n / num_chains)`` batched passes
+instead of ``O(n)`` scalar ones, while each chain remains a textbook
+random-scan Gibbs chain with the same stationary distribution.  The scalar
+``step`` / ``sweep`` / ``independence_move`` API is kept as a one-chain
+wrapper over the batched machinery.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import warnings
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..circuits.parameters import ParamResolver
 from ..simulator.results import SampleResult
+
+DEFAULT_MAX_CHAINS = 64
 
 
 class RetainedBit:
@@ -39,7 +65,12 @@ class RetainedBit:
 
 
 class GibbsSampler:
-    """Markov-chain Monte Carlo sampler over a compiled circuit's outputs."""
+    """Markov-chain Monte Carlo sampler over a compiled circuit's outputs.
+
+    Runs ``num_chains`` independent chains in lockstep (see the module
+    docstring); the scalar single-chain methods are thin wrappers around the
+    batched ones.
+    """
 
     def __init__(
         self,
@@ -64,97 +95,367 @@ class GibbsSampler:
                         RetainedBit(variable.node_name, bit_index, bit_var, variable.width)
                     )
         self._variable_by_name = {variable.node_name: variable for variable in self.variables}
-        self._base_literal_values, self._constant = compiled.base_literal_values(resolver)
+        self._column_by_name = {
+            variable.node_name: column for column, variable in enumerate(self.variables)
+        }
+        self._cardinalities = np.asarray(
+            [variable.cardinality for variable in self.variables], dtype=np.int64
+        )
+
+        # Bit masks fixing the CNF-forced bits of each variable's value.
+        num_variables = len(self.variables)
+        self._forced_clear = np.zeros(num_variables, dtype=np.int64)
+        self._forced_set = np.zeros(num_variables, dtype=np.int64)
+        for column, variable in enumerate(self.variables):
+            for position, bit_var in enumerate(variable.bit_vars):
+                forced = compiled.encoding.forced_value(bit_var)
+                if forced is None:
+                    continue
+                shift = variable.width - 1 - position
+                self._forced_clear[column] |= 1 << shift
+                if forced:
+                    self._forced_set[column] |= 1 << shift
+
+        # Per-free-bit lookup arrays: CNF variable, state column and bit shift,
+        # so a batched pass can resample a *different* bit on every chain.
+        self._bit_vars = np.asarray([bit.variable for bit in self.bits], dtype=np.int64)
+        self._bit_columns = np.asarray(
+            [self._column_by_name[bit.node_name] for bit in self.bits], dtype=np.int64
+        )
+        self._bit_shifts = np.asarray(
+            [bit.width - 1 - bit.bit_index for bit in self.bits], dtype=np.int64
+        )
+        self._bit_index_by_id = {id(bit): index for index, bit in enumerate(self.bits)}
+        self._transition_count = 0
+        # Warm chain ensemble carried across sample() calls (see sample()).
+        self._ensemble: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+        self._literal_batch: Optional[np.ndarray] = None
+        self._needs_reburn = False
+        self._bind_parameters(resolver)
+
+    def rebind(self, resolver: Optional[ParamResolver]) -> None:
+        """Re-bind numeric parameters without discarding the chain ensemble.
+
+        The warm chains were equilibrated for the *previous* binding; the next
+        ``sample()`` call therefore repeats its burn-in rounds before
+        recording (cheap for the smooth parameter updates of a variational
+        loop, where the old ensemble is already close to the new stationary
+        distribution) instead of paying a full cold start.
+        """
+        self.resolver = resolver
+        self._bind_parameters(resolver)
+        self._needs_reburn = self._ensemble is not None
+
+    def _bind_parameters(self, resolver: Optional[ParamResolver]) -> None:
+        self._base_literal_values, self._constant = self.compiled.base_literal_values(resolver)
+
+        # Independence-move proposal: per-variable categorical weights over the
+        # forced-consistent values.  Final qubits are proposed uniformly; noise
+        # selectors are proposed proportionally to their mean squared CAT
+        # magnitude (mixed with a uniform floor for ergodicity).  A uniform
+        # joint proposal would need ~|support| moves to first visit the
+        # dominant noise branch, which is what makes naive restarts mix slowly;
+        # the Metropolis–Hastings ratio below corrects for the bias exactly.
+        compiled = self.compiled
+        self._proposal_weights: List[np.ndarray] = []
+        self._proposal_log_weights: List[np.ndarray] = []
+        self._proposal_cumulative: List[np.ndarray] = []
+        for column, variable in enumerate(self.variables):
+            size = 2 ** variable.width
+            valid = np.zeros(size, dtype=bool)
+            for value in range(variable.cardinality):
+                if (value & self._forced_clear[column]) == self._forced_set[column]:
+                    valid[value] = True
+            weights = np.zeros(size, dtype=float)
+            if variable.kind == "noise":
+                # The selector's own CPT is structural (all ones); the Kraus
+                # branch magnitudes live in the CPTs of its children (the
+                # post-noise qubit-state nodes), along the parent axis that
+                # corresponds to the selector.
+                try:
+                    branch_weights = np.ones(variable.cardinality, dtype=float)
+                    for node in compiled.network.nodes:
+                        if variable.node_name not in node.parents:
+                            continue
+                        axis = node.parents.index(variable.node_name)
+                        table = np.abs(node.table(resolver)) ** 2
+                        other_axes = tuple(
+                            a for a in range(table.ndim) if a != axis
+                        )
+                        branch_weights = branch_weights * table.mean(axis=other_axes)
+                    weights[: variable.cardinality] = branch_weights
+                except (KeyError, TypeError, ValueError) as error:
+                    warnings.warn(
+                        f"could not derive independence-proposal weights for "
+                        f"{variable.node_name!r} ({error}); falling back to a "
+                        "uniform proposal (slower mixing, same distribution)",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+            weights[~valid] = 0.0
+            total = weights.sum()
+            uniform = valid / valid.sum()
+            if total > 0.0:
+                weights = 0.75 * weights / total + 0.25 * uniform
+            else:
+                weights = uniform
+            with np.errstate(divide="ignore"):
+                log_weights = np.log(weights)
+            self._proposal_weights.append(weights)
+            self._proposal_log_weights.append(log_weights)
+            self._proposal_cumulative.append(np.cumsum(weights))
 
     # ------------------------------------------------------------------
+    # Batched state machinery
+    # ------------------------------------------------------------------
+    def _literal_buffer(self, num_chains: int) -> np.ndarray:
+        """Reusable ``(C, num_vars + 1, 2)`` literal-value buffer."""
+        buffer = self._literal_batch
+        if buffer is None or buffer.shape[0] != num_chains:
+            buffer = np.empty(
+                (num_chains,) + self._base_literal_values.shape, dtype=complex
+            )
+            self._literal_batch = buffer
+        buffer[...] = self._base_literal_values
+        return buffer
+
+    def _bind_states(self, states: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Fill the literal buffer with evidence for every chain's state."""
+        buffer = self._literal_buffer(states.shape[0])
+        zero_rows = self.compiled.apply_evidence_batch(buffer, states)
+        return buffer, zero_rows
+
+    def _amplitudes(self, states: np.ndarray) -> np.ndarray:
+        """Amplitude of each chain's full assignment (one batched pass)."""
+        buffer, zero_rows = self._bind_states(states)
+        amplitudes = self.compiled.arithmetic_circuit.evaluate_batch(buffer)
+        amplitudes *= self._constant
+        amplitudes[zero_rows] = 0.0
+        return amplitudes
+
+    def _random_states(self, num_chains: int) -> np.ndarray:
+        """Draw every chain's state from the independence-proposal distribution.
+
+        CNF-forced bits are respected by construction: inconsistent values
+        carry zero proposal weight.
+        """
+        states = np.empty((num_chains, len(self.variables)), dtype=np.int64)
+        for column in range(len(self.variables)):
+            cumulative = self._proposal_cumulative[column]
+            draws = self.rng.random(num_chains) * cumulative[-1]
+            states[:, column] = np.searchsorted(cumulative, draws, side="right")
+        return states
+
+    def _proposal_log_density(self, states: np.ndarray) -> np.ndarray:
+        """log q(state) of the independence proposal, per chain."""
+        log_density = np.zeros(states.shape[0], dtype=float)
+        for column in range(len(self.variables)):
+            log_density += self._proposal_log_weights[column][states[:, column]]
+        return log_density
+
+    def initial_states(self, num_chains: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Find a non-zero-probability starting assignment for every chain.
+
+        Returns ``(states, weights)`` where ``weights`` holds each chain's
+        squared amplitude; zero-probability chains are redrawn together, one
+        batched pass per attempt round.
+        """
+        states = self._random_states(num_chains)
+        weights = np.abs(self._amplitudes(states)) ** 2
+        for _ in range(self.max_restart_attempts):
+            stuck = weights <= 0.0
+            if not stuck.any():
+                return states, weights
+            redrawn = self._random_states(int(stuck.sum()))
+            states[stuck] = redrawn
+            weights[stuck] = np.abs(self._amplitudes(redrawn)) ** 2
+        raise RuntimeError(
+            "could not find a non-zero-probability initial state for Gibbs sampling"
+        )
+
+    def _resample(
+        self,
+        states: np.ndarray,
+        bit_indices: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Resample one (per-chain) bit on every chain in one differential pass.
+
+        ``bit_indices`` selects an entry of :attr:`bits` per chain; the single
+        batched upward + downward pass yields every chain's conditional for
+        *its own* bit, so chains need not resample the same coordinate.
+        Mutates ``states`` (and ``weights``, if given) in place and returns
+        each chain's new squared-amplitude weight.
+        """
+        buffer, zero_rows = self._bind_states(states)
+        _, derivatives = self.compiled.arithmetic_circuit.evaluate_with_derivatives_batch(buffer)
+        rows = np.arange(states.shape[0])
+        variables = self._bit_vars[bit_indices]
+        amplitude_one = derivatives[rows, variables, 1] * self._constant
+        amplitude_zero = derivatives[rows, variables, 0] * self._constant
+        weight_one = np.abs(amplitude_one) ** 2
+        weight_zero = np.abs(amplitude_zero) ** 2
+        weight_one[zero_rows] = 0.0
+        weight_zero[zero_rows] = 0.0
+        total = weight_one + weight_zero
+
+        probability_one = np.divide(
+            weight_one, total, out=np.zeros_like(weight_one), where=total > 0.0
+        )
+        proposed_bits = (self.rng.random(states.shape[0]) < probability_one).astype(np.int64)
+
+        columns = self._bit_columns[bit_indices]
+        shifts = self._bit_shifts[bit_indices]
+        current = states[rows, columns]
+        current_bits = (current >> shifts) & 1
+        candidates = (current & ~(np.int64(1) << shifts)) | (proposed_bits << shifts)
+        # Log-encoded padding values (never satisfiable) keep the old value,
+        # as do chains whose conditional has no mass at all.
+        valid = (total > 0.0) & (candidates < self._cardinalities[columns])
+        states[rows, columns] = np.where(valid, candidates, current)
+
+        effective_bits = np.where(valid, proposed_bits, current_bits)
+        new_weights = np.where(effective_bits == 1, weight_one, weight_zero)
+        if weights is not None:
+            weights[...] = new_weights
+        return new_weights
+
+    def step_batch(
+        self, states: np.ndarray, bit: RetainedBit, weights: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Resample the same ``bit`` across every chain in one batched pass."""
+        index = self._bit_index_by_id.get(id(bit))
+        if index is None:
+            matches = [
+                i
+                for i, candidate in enumerate(self.bits)
+                if candidate.node_name == bit.node_name
+                and candidate.bit_index == bit.bit_index
+            ]
+            if not matches:
+                raise ValueError(f"{bit!r} is not a free retained bit of this sampler")
+            index = matches[0]
+        bit_indices = np.full(states.shape[0], index, dtype=np.int64)
+        return self._resample(states, bit_indices, weights)
+
+    def sweep_batch(self, states: np.ndarray, weights: Optional[np.ndarray] = None) -> np.ndarray:
+        """One systematic-scan sweep over every retained bit, all chains at once."""
+        new_weights = weights
+        for bit in self.bits:
+            new_weights = self.step_batch(states, bit, weights)
+        if new_weights is None:
+            new_weights = np.abs(self._amplitudes(states)) ** 2
+        return new_weights
+
+    def independence_move_batch(self, states: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Metropolis–Hastings full-redraw move for every chain at once.
+
+        Proposals are drawn from the weighted independence distribution (see
+        ``__init__``); the acceptance ratio ``pi(y) q(x) / (pi(x) q(y))``
+        makes the move exact.  ``weights`` must hold the chains' current
+        squared amplitudes (cached by the caller), so only the proposals need
+        a circuit pass.  Mutates ``states``/``weights`` in place.
+        """
+        proposals = self._random_states(states.shape[0])
+        proposal_weights = np.abs(self._amplitudes(proposals)) ** 2
+        hastings = np.exp(
+            self._proposal_log_density(states) - self._proposal_log_density(proposals)
+        )
+        ratio = np.divide(
+            proposal_weights * hastings,
+            weights,
+            out=np.ones_like(proposal_weights),
+            where=weights > 0.0,
+        )
+        accept = (proposal_weights > 0.0) & (
+            (weights <= 0.0) | (self.rng.random(states.shape[0]) < np.minimum(1.0, ratio))
+        )
+        states[accept] = proposals[accept]
+        weights[accept] = proposal_weights[accept]
+        return weights
+
+    def _transition_batch(self, states: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """One lockstep MCMC transition across the whole ensemble.
+
+        Every ``round(1 / restart_probability)``-th transition is an
+        ensemble-wide independence move; every other transition resamples an
+        independently chosen random bit on each chain.  The deterministic
+        interleaving keeps the move schedule identical for every chain (one
+        batched pass per transition) without the shared-coin-flip schedule
+        randomness that would correlate otherwise-independent chains.
+        """
+        self._transition_count += 1
+        if self.restart_probability > 0.0:
+            interval = max(1, int(round(1.0 / self.restart_probability)))
+            if self._transition_count % interval == 0:
+                return self.independence_move_batch(states, weights)
+        if not self.bits:
+            return weights
+        bit_indices = self.rng.integers(0, len(self.bits), size=states.shape[0])
+        return self._resample(states, bit_indices, weights)
+
+    # ------------------------------------------------------------------
+    # Scalar (single-chain) API — one-chain wrappers kept for compatibility
+    # ------------------------------------------------------------------
+    def _encode_state(self, state: Dict[str, int]) -> np.ndarray:
+        row = np.zeros((1, len(self.variables)), dtype=np.int64)
+        for column, variable in enumerate(self.variables):
+            # Unlike the old dict-based path there is no way to leave a
+            # variable unbound (marginalized) in the ensemble state matrix,
+            # so a partial state is an error rather than silent evidence 0.
+            if variable.node_name not in state:
+                raise ValueError(
+                    f"state is missing retained variable {variable.node_name!r}"
+                )
+            row[0, column] = int(state[variable.node_name])
+        return row
+
+    def _decode_state(self, row: np.ndarray) -> Dict[str, int]:
+        return {
+            variable.node_name: int(row[column])
+            for column, variable in enumerate(self.variables)
+        }
+
     def _literal_values_for(self, state: Dict[str, int]) -> np.ndarray:
         literal_values = self._base_literal_values.copy()
         self.compiled.apply_evidence(literal_values, state)
         return literal_values
 
     def _amplitude(self, state: Dict[str, int]) -> complex:
-        literal_values = self._base_literal_values.copy()
-        shortcut = self.compiled.apply_evidence(literal_values, state)
-        if shortcut is not None:
-            return shortcut
-        return self.compiled.arithmetic_circuit.evaluate(literal_values) * self._constant
+        return complex(self._amplitudes(self._encode_state(state))[0])
 
     def _random_state(self) -> Dict[str, int]:
-        state: Dict[str, int] = {}
-        for variable in self.variables:
-            value = int(self.rng.integers(0, variable.cardinality))
-            # Respect any bits the encoding forced (e.g. structurally
-            # impossible outcomes removed by unit resolution).
-            bits = variable.bit_values(value)
-            for position, bit_var in enumerate(variable.bit_vars):
-                forced = self.compiled.encoding.forced_value(bit_var)
-                if forced is not None:
-                    bits[position] = int(forced)
-            state[variable.node_name] = variable.value_from_bits(bits)
-        return state
+        return self._decode_state(self._random_states(1)[0])
 
     def initial_state(self) -> Dict[str, int]:
         """Find a starting assignment with non-zero probability."""
-        state = self._random_state()
-        for _ in range(self.max_restart_attempts):
-            if abs(self._amplitude(state)) > 0:
-                return state
-            state = self._random_state()
-        raise RuntimeError(
-            "could not find a non-zero-probability initial state for Gibbs sampling"
-        )
+        states, _ = self.initial_states(1)
+        return self._decode_state(states[0])
 
-    # ------------------------------------------------------------------
     def step(self, state: Dict[str, int], bit: RetainedBit) -> Dict[str, int]:
         """Resample one retained bit from its conditional distribution."""
-        literal_values = self._literal_values_for(state)
-        _, derivatives = self.compiled.arithmetic_circuit.evaluate_with_derivatives(literal_values)
-
-        amplitude_one = derivatives[bit.variable, 1] * self._constant
-        amplitude_zero = derivatives[bit.variable, 0] * self._constant
-        weight_one = abs(amplitude_one) ** 2
-        weight_zero = abs(amplitude_zero) ** 2
-        total = weight_one + weight_zero
-        if total <= 0.0:
-            return state
-        new_bit = 1 if self.rng.random() < weight_one / total else 0
-
-        variable = self._variable_by_name[bit.node_name]
-        bits = variable.bit_values(state[bit.node_name])
-        bits[bit.bit_index] = new_bit
-        new_value = variable.value_from_bits(bits)
-        if new_value >= variable.cardinality:
-            # Log-encoded padding value (never satisfiable); keep the old value.
-            return state
-        new_state = dict(state)
-        new_state[bit.node_name] = new_value
-        return new_state
+        states = self._encode_state(state)
+        self.step_batch(states, bit)
+        return self._decode_state(states[0])
 
     def sweep(self, state: Dict[str, int]) -> Dict[str, int]:
         """One systematic-scan sweep over every retained bit."""
-        for bit in self.bits:
-            state = self.step(state, bit)
-        return state
+        states = self._encode_state(state)
+        self.sweep_batch(states)
+        return self._decode_state(states[0])
 
     def independence_move(self, state: Dict[str, int]) -> Dict[str, int]:
-        """Metropolis–Hastings move with a uniform full-redraw proposal."""
-        proposal = self._random_state()
-        current_weight = abs(self._amplitude(state)) ** 2
-        proposal_weight = abs(self._amplitude(proposal)) ** 2
-        if proposal_weight <= 0.0:
-            return state
-        if current_weight <= 0.0 or self.rng.random() < min(1.0, proposal_weight / current_weight):
-            return proposal
-        return state
+        """Metropolis–Hastings full-redraw move.
 
-    def _transition(self, state: Dict[str, int]) -> Dict[str, int]:
-        """One MCMC transition: usually a single-bit Gibbs update, occasionally a restart."""
-        if self.restart_probability > 0.0 and self.rng.random() < self.restart_probability:
-            return self.independence_move(state)
-        if not self.bits:
-            return state
-        bit = self.bits[int(self.rng.integers(0, len(self.bits)))]
-        return self.step(state, bit)
+        Proposals come from the weighted independence distribution (noise
+        selectors proportional to their CAT magnitudes, finals uniform); the
+        acceptance ratio includes the corresponding Hastings correction.
+        """
+        states = self._encode_state(state)
+        weights = np.abs(self._amplitudes(states)) ** 2
+        self.independence_move_batch(states, weights)
+        return self._decode_state(states[0])
 
     # ------------------------------------------------------------------
     def sample(
@@ -163,24 +464,95 @@ class GibbsSampler:
         burn_in_sweeps: int = 4,
         steps_per_sample: int = 1,
         initial_state: Optional[Dict[str, int]] = None,
+        num_chains: Optional[int] = None,
     ) -> SampleResult:
-        """Draw ``num_samples`` output bitstrings.
+        """Draw ``num_samples`` output bitstrings from a lockstep chain ensemble.
 
         ``burn_in_sweeps`` full systematic sweeps are discarded first (warm-up
-        / mixing, Section 3.3.3); afterwards ``steps_per_sample`` single-bit
-        transitions separate consecutive recorded samples.  The paper's
-        per-sample cost model corresponds to ``steps_per_sample=1`` — one
-        upward + downward pass over the arithmetic circuit per drawn sample.
+        / mixing, Section 3.3.3); afterwards ``steps_per_sample`` batched
+        transitions separate consecutive recording rounds, and every round
+        records one sample per chain.  The default ensemble size is
+        ``min(num_samples, DEFAULT_MAX_CHAINS)``; ``num_chains=1`` recovers
+        the paper's single-chain cost model of one upward + downward pass per
+        drawn sample.
+
+        The equilibrated ensemble persists on the sampler: a later
+        ``sample()`` call with the same ``num_chains`` continues the chains
+        where they left off (exactly like extending one long MCMC run) and
+        skips the initial-state search and burn-in, so repeated calls — the
+        variational loop's usage — pay only the recording passes.
         """
-        state = dict(initial_state) if initial_state is not None else self.initial_state()
-
-        for _ in range(burn_in_sweeps):
-            state = self.sweep(state)
-
-        samples: List[Tuple[int, ...]] = []
         final_names = [variable.node_name for variable in self.compiled.final_variables]
-        for _ in range(num_samples):
+        if num_samples <= 0:
+            return SampleResult(self.compiled.qubits, [])
+        if num_chains is None:
+            num_chains = min(num_samples, DEFAULT_MAX_CHAINS)
+        num_chains = max(1, min(int(num_chains), num_samples))
+
+        warm = (
+            initial_state is None
+            and self._ensemble is not None
+            and self._ensemble[0].shape[0] == num_chains
+        )
+        if warm:
+            states, weights = self._ensemble
+            if self._needs_reburn:
+                # Parameters were re-bound (rebind()): the chains are close
+                # to, but not at, the new stationary distribution — repeat
+                # the burn-in rounds before recording.
+                weights = np.abs(self._amplitudes(states)) ** 2
+                for _ in range(burn_in_sweeps):
+                    weights = self.sweep_batch(states, weights)
+                    if self.restart_probability > 0.0:
+                        weights = self.independence_move_batch(states, weights)
+                self._needs_reburn = False
+        else:
+            if initial_state is not None:
+                states = np.repeat(self._encode_state(initial_state), num_chains, axis=0)
+                weights = np.abs(self._amplitudes(states)) ** 2
+            else:
+                states, weights = self.initial_states(num_chains)
+
+            # An explicit initial_state is the caller's chosen start — skip
+            # the equilibration redraws that would move the chains off it.
+            if initial_state is None and num_chains > 1 and self.restart_probability > 0.0:
+                # Cold-start equilibration: a chain contributes only
+                # ``num_samples / num_chains`` samples, so unlike the
+                # single-chain case there is no long trajectory for the
+                # ergodic average to forget the initial transient over.
+                # Independence rounds (one cheap upward pass each) run until
+                # every chain has accepted several full redraws — a direct
+                # proxy for having forgotten its initial state — bounded for
+                # chains stuck in high-probability modes that rarely leave.
+                accepted = np.zeros(num_chains, dtype=np.int64)
+                for _ in range(16 * max(4, int(round(1.0 / self.restart_probability)))):
+                    if accepted.min() >= 4:
+                        break
+                    previous = states.copy()
+                    weights = self.independence_move_batch(states, weights)
+                    accepted += np.any(states != previous, axis=1)
+
+            # Each burn-in round is a systematic sweep plus (when enabled) one
+            # independence move: single-bit moves alone cannot cross
+            # zero-amplitude regions and independence rounds cannot polish
+            # within-branch detail, so the two phases complement each other.
+            for _ in range(burn_in_sweeps):
+                weights = self.sweep_batch(states, weights)
+                if self.restart_probability > 0.0:
+                    weights = self.independence_move_batch(states, weights)
+            # The freshly built ensemble is equilibrated for the current
+            # binding, so any pending rebind() re-burn is moot.
+            self._needs_reburn = False
+
+        rounds = -(-num_samples // num_chains)
+        # Final qubit variables occupy the leading state columns.
+        num_final = len(final_names)
+        recorded: List[np.ndarray] = []
+        for _ in range(rounds):
             for _ in range(max(1, steps_per_sample)):
-                state = self._transition(state)
-            samples.append(tuple(state[name] for name in final_names))
+                weights = self._transition_batch(states, weights)
+            recorded.append(states[:, :num_final].copy())
+        self._ensemble = (states, weights)
+        stacked = np.concatenate(recorded, axis=0)[:num_samples]
+        samples = [tuple(int(value) for value in row) for row in stacked]
         return SampleResult(self.compiled.qubits, samples)

@@ -16,6 +16,7 @@ iterations only re-bind weight values.
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -28,7 +29,6 @@ from ..cnf.encoder import CNFEncoding, encode_bayesnet
 from ..knowledge.arithmetic_circuit import ArithmeticCircuit
 from ..knowledge.compiler import KnowledgeCompiler
 from ..knowledge.transform import forget, smooth
-from ..linalg.tensor_ops import index_to_bits
 from .base import Simulator
 from .results import DensityMatrixResult, SampleResult, StateVectorResult
 
@@ -67,6 +67,82 @@ class RetainedVariable:
         return f"RetainedVariable({self.node_name!r}, kind={self.kind!r}, card={self.cardinality})"
 
 
+class _EvidenceIndex:
+    """Precomputed fancy-index arrays binding a list of retained variables.
+
+    Splits the variables' CNF bits into *free* bits (written into the literal
+    value table) and *forced* bits (fixed by CNF simplification; an assignment
+    disagreeing with one has amplitude exactly zero).  Binding evidence is
+    then a couple of vectorised shift/mask/assign operations instead of
+    nested Python loops over variables and bits, and the same index arrays
+    serve whole batches of assignments at once.
+    """
+
+    def __init__(self, variables: Sequence[RetainedVariable], encoding: CNFEncoding):
+        free_vars: List[int] = []
+        free_columns: List[int] = []
+        free_shifts: List[int] = []
+        forced_columns: List[int] = []
+        forced_shifts: List[int] = []
+        forced_bits: List[int] = []
+        for column, variable in enumerate(variables):
+            width = variable.width
+            for position, bit_var in enumerate(variable.bit_vars):
+                shift = width - 1 - position  # MSB first
+                forced = encoding.forced_value(bit_var)
+                if forced is None:
+                    free_vars.append(bit_var)
+                    free_columns.append(column)
+                    free_shifts.append(shift)
+                else:
+                    forced_columns.append(column)
+                    forced_shifts.append(shift)
+                    forced_bits.append(int(forced))
+        self.num_variables = len(variables)
+        self.limits = np.asarray([2 ** variable.width for variable in variables], dtype=np.int64)
+        self.free_vars = np.asarray(free_vars, dtype=np.int64)
+        self.free_columns = np.asarray(free_columns, dtype=np.int64)
+        self.free_shifts = np.asarray(free_shifts, dtype=np.int64)
+        self.forced_columns = np.asarray(forced_columns, dtype=np.int64)
+        self.forced_shifts = np.asarray(forced_shifts, dtype=np.int64)
+        self.forced_bits = np.asarray(forced_bits, dtype=np.int64)
+
+    def apply(self, literal_values: np.ndarray, values: np.ndarray) -> bool:
+        """Bind one assignment (``values`` has one entry per variable).
+
+        Returns ``True`` if the assignment contradicts a forced bit.
+        """
+        if np.any((values < 0) | (values >= self.limits)):
+            raise ValueError("retained-variable value out of range")
+        if len(self.free_vars):
+            bits = (values[self.free_columns] >> self.free_shifts) & 1
+            literal_values[self.free_vars, 1] = bits
+            literal_values[self.free_vars, 0] = 1 - bits
+        if len(self.forced_columns):
+            observed = (values[self.forced_columns] >> self.forced_shifts) & 1
+            return bool(np.any(observed != self.forced_bits))
+        return False
+
+    def apply_batch(self, literal_values: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Bind a ``(B, num_variables)`` assignment batch.
+
+        Writes into the ``(B, num_vars + 1, 2)`` literal batch and returns the
+        ``(B,)`` boolean mask of rows contradicting a forced bit (amplitude
+        exactly zero — the scalar path's shortcut).
+        """
+        batch = values.shape[0]
+        if np.any((values < 0) | (values >= self.limits)):
+            raise ValueError("retained-variable value out of range")
+        if len(self.free_vars):
+            bits = (values[:, self.free_columns] >> self.free_shifts) & 1
+            literal_values[:, self.free_vars, 1] = bits
+            literal_values[:, self.free_vars, 0] = 1 - bits
+        if len(self.forced_columns):
+            observed = (values[:, self.forced_columns] >> self.forced_shifts) & 1
+            return np.any(observed != self.forced_bits, axis=1)
+        return np.zeros(batch, dtype=bool)
+
+
 class CompiledCircuit:
     """A circuit compiled once, queryable many times with different parameters."""
 
@@ -100,7 +176,18 @@ class CompiledCircuit:
                 RetainedVariable(name, node.cardinality, "noise", encoding.bits_of(name))
             )
 
-        self._weights_cache: Optional[Tuple[Optional[int], Dict[int, complex], complex]] = None
+        # Index arrays for vectorised weight/evidence binding (built once).
+        self._weight_vars = np.asarray(encoding.weight_variables, dtype=np.int64)
+        self._final_index = _EvidenceIndex(self.final_variables, encoding)
+        self._noise_index = _EvidenceIndex(self.noise_variables, encoding)
+        self._retained_index = _EvidenceIndex(self.retained_variables, encoding)
+        self._index_by_name: Dict[str, _EvidenceIndex] = {
+            variable.node_name: _EvidenceIndex([variable], encoding)
+            for variable in self.retained_variables
+        }
+
+        # Per-resolver cache: (key, bound literal template, constant factor).
+        self._weights_cache: Optional[Tuple[Optional[int], np.ndarray, complex]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -132,24 +219,44 @@ class CompiledCircuit:
             return None
         return hash(tuple(sorted(resolver.as_dict().items())))
 
+    def _base_template(self, resolver: Optional[ParamResolver] = None) -> Tuple[np.ndarray, complex]:
+        """Literal-value template with weights bound, memoized per resolver.
+
+        The template is shared — callers must copy (or broadcast-copy) before
+        writing evidence into it.
+        """
+        key = self._resolver_key(resolver)
+        if self._weights_cache is not None and self._weights_cache[0] == key:
+            _, template, constant = self._weights_cache
+            return template, constant
+        weights = self.encoding.weights(resolver)
+        constant = self.encoding.constant_factor(resolver)
+        template = self.arithmetic_circuit.default_literal_values()
+        if len(self._weight_vars):
+            weight_values = np.asarray(
+                [weights[int(variable)] for variable in self._weight_vars], dtype=complex
+            )
+            template[self._weight_vars, 1] = weight_values
+        self._weights_cache = (key, template, constant)
+        return template, constant
+
     def base_literal_values(self, resolver: Optional[ParamResolver] = None) -> Tuple[np.ndarray, complex]:
         """Literal values with weights bound and every state bit left free.
 
         Returns ``(literal_values, constant_factor)``; callers overwrite the
         retained-variable bit entries with evidence before evaluating.
-        Weight lookups are memoized per resolver binding.
+        Weight binding is a single fancy-indexed assignment into a template
+        that is memoized per resolver binding.
         """
-        key = self._resolver_key(resolver)
-        if self._weights_cache is not None and self._weights_cache[0] == key:
-            weights, constant = self._weights_cache[1], self._weights_cache[2]
-        else:
-            weights = self.encoding.weights(resolver)
-            constant = self.encoding.constant_factor(resolver)
-            self._weights_cache = (key, weights, constant)
-        literal_values = self.arithmetic_circuit.default_literal_values()
-        for variable, value in weights.items():
-            literal_values[variable, 1] = value
-        return literal_values, constant
+        template, constant = self._base_template(resolver)
+        return template.copy(), constant
+
+    def base_literal_values_batch(
+        self, batch: int, resolver: Optional[ParamResolver] = None
+    ) -> Tuple[np.ndarray, complex]:
+        """A ``(batch, num_vars + 1, 2)`` stack of weight-bound literal values."""
+        template, constant = self._base_template(resolver)
+        return np.broadcast_to(template, (batch,) + template.shape).copy(), constant
 
     def apply_evidence(
         self,
@@ -162,20 +269,37 @@ class CompiledCircuit:
         forced during CNF simplification (the amplitude is exactly zero) and
         ``None`` otherwise.
         """
-        for variable in self.retained_variables:
-            if variable.node_name not in assignment:
+        contradiction = False
+        for name, observed in assignment.items():
+            index = self._index_by_name.get(name)
+            if index is None:
                 continue
-            observed = int(assignment[variable.node_name])
-            bits = variable.bit_values(observed)
-            for bit_var, bit in zip(variable.bit_vars, bits):
-                forced = self.encoding.forced_value(bit_var)
-                if forced is not None:
-                    if int(forced) != bit:
-                        return 0j
-                    continue
-                literal_values[bit_var, 1] = 1.0 if bit else 0.0
-                literal_values[bit_var, 0] = 0.0 if bit else 1.0
-        return None
+            contradiction |= index.apply(
+                literal_values, np.asarray([int(observed)], dtype=np.int64)
+            )
+        return 0j if contradiction else None
+
+    def apply_evidence_batch(
+        self,
+        literal_values: np.ndarray,
+        assignments: np.ndarray,
+        index: Optional[_EvidenceIndex] = None,
+    ) -> np.ndarray:
+        """Bind a ``(B, R)`` matrix of retained-variable values.
+
+        Columns follow :attr:`retained_variables` order (final qubits first,
+        then noise selectors) unless another :class:`_EvidenceIndex` is
+        given.  Returns the ``(B,)`` mask of rows whose amplitude is exactly
+        zero because they contradict a forced literal.
+        """
+        index = self._retained_index if index is None else index
+        assignments = np.asarray(assignments, dtype=np.int64)
+        if assignments.ndim != 2 or assignments.shape[1] != index.num_variables:
+            raise ValueError(
+                f"assignments must have shape (B, {index.num_variables}); "
+                f"got {assignments.shape}"
+            )
+        return index.apply_batch(literal_values, assignments)
 
     # ------------------------------------------------------------------
     # Queries
@@ -211,35 +335,94 @@ class CompiledCircuit:
             return shortcut
         return self.arithmetic_circuit.evaluate(literal_values) * constant
 
+    def amplitudes(
+        self,
+        assignments: np.ndarray,
+        noise_branches: Optional[np.ndarray] = None,
+        resolver: Optional[ParamResolver] = None,
+        chunk_size: int = 1024,
+    ) -> np.ndarray:
+        """Amplitudes of a batch of output bitstrings in chunked batched passes.
+
+        ``assignments`` is a ``(B, num_qubits)`` bit matrix; for noisy
+        circuits ``noise_branches`` is the matching ``(B, num_noise)`` branch
+        matrix.  Each chunk of rows costs one batched upward pass over the
+        arithmetic circuit, so all ``B`` amplitudes are computed in
+        ``ceil(B / chunk_size)`` passes instead of ``B`` scalar ones.
+        """
+        assignments = np.atleast_2d(np.asarray(assignments, dtype=np.int64))
+        total = assignments.shape[0]
+        if assignments.shape[1] != self.num_qubits:
+            raise ValueError("assignments must have shape (B, num_qubits)")
+        if self.noise_variables and noise_branches is None:
+            raise ValueError("noisy circuit: a noise branch assignment is required for amplitudes")
+        if noise_branches is not None:
+            noise_branches = np.atleast_2d(np.asarray(noise_branches, dtype=np.int64))
+            if noise_branches.shape[0] == 1 and total > 1:
+                noise_branches = np.broadcast_to(
+                    noise_branches, (total, noise_branches.shape[1])
+                )
+            if noise_branches.shape != (total, len(self.noise_variables)):
+                raise ValueError("noise_branches must have shape (B, num_noise_channels)")
+        amplitudes = np.empty(total, dtype=complex)
+        chunk_size = max(1, int(chunk_size))
+        for start in range(0, total, chunk_size):
+            stop = min(total, start + chunk_size)
+            literal_batch, constant = self.base_literal_values_batch(stop - start, resolver)
+            zero_rows = self._final_index.apply_batch(literal_batch, assignments[start:stop])
+            if noise_branches is not None:
+                zero_rows = zero_rows | self._noise_index.apply_batch(
+                    literal_batch, noise_branches[start:stop]
+                )
+            roots = self.arithmetic_circuit.evaluate_batch(literal_batch)
+            roots *= constant
+            roots[zero_rows] = 0.0
+            amplitudes[start:stop] = roots
+        return amplitudes
+
+    def _all_bitstrings(self) -> np.ndarray:
+        """The ``(2**n, n)`` bit matrix in basis order (qubit 0 = MSB)."""
+        indices = np.arange(2 ** self.num_qubits, dtype=np.int64)
+        shifts = np.arange(self.num_qubits - 1, -1, -1, dtype=np.int64)
+        return (indices[:, np.newaxis] >> shifts) & 1
+
     def state_vector(self, resolver: Optional[ParamResolver] = None) -> np.ndarray:
         """Full final state vector of an ideal circuit (exponential; validation only)."""
         if self.noise_variables:
             raise ValueError("circuit is noisy; use density_matrix()")
-        dim = 2 ** self.num_qubits
-        state = np.zeros(dim, dtype=complex)
-        for index in range(dim):
-            bits = index_to_bits(index, self.num_qubits)
-            state[index] = self.amplitude(bits, resolver=resolver)
-        return state
+        return self.amplitudes(self._all_bitstrings(), resolver=resolver)
+
+    def _noise_branch_product(self):
+        cardinalities = [variable.cardinality for variable in self.noise_variables]
+        return itertools.product(*[range(c) for c in cardinalities])
 
     def density_matrix(self, resolver: Optional[ParamResolver] = None) -> np.ndarray:
         """Full density matrix, summing over noise branches (validation only)."""
         dim = 2 ** self.num_qubits
         rho = np.zeros((dim, dim), dtype=complex)
-        cardinalities = [variable.cardinality for variable in self.noise_variables]
-        for branches in itertools.product(*[range(c) for c in cardinalities]):
-            vector = np.zeros(dim, dtype=complex)
-            for index in range(dim):
-                bits = index_to_bits(index, self.num_qubits)
-                vector[index] = self.amplitude(bits, noise_branches=branches, resolver=resolver)
+        bit_matrix = self._all_bitstrings()
+        for branches in self._noise_branch_product():
+            branch_row = np.asarray(branches, dtype=np.int64)[np.newaxis]
+            vector = self.amplitudes(bit_matrix, noise_branches=branch_row, resolver=resolver)
             rho += np.outer(vector, vector.conj())
         return rho
 
     def probabilities(self, resolver: Optional[ParamResolver] = None) -> np.ndarray:
-        """Exact output measurement distribution (validation only)."""
+        """Exact output measurement distribution (validation only).
+
+        Built on :meth:`amplitudes`: the noisy case sums ``|amplitude|^2``
+        per noise branch without materialising the full density matrix.
+        """
         if not self.noise_variables:
             return np.abs(self.state_vector(resolver)) ** 2
-        return np.real(np.diag(self.density_matrix(resolver))).clip(min=0.0)
+        dim = 2 ** self.num_qubits
+        probabilities = np.zeros(dim, dtype=float)
+        bit_matrix = self._all_bitstrings()
+        for branches in self._noise_branch_product():
+            branch_row = np.asarray(branches, dtype=np.int64)[np.newaxis]
+            vector = self.amplitudes(bit_matrix, noise_branches=branch_row, resolver=resolver)
+            probabilities += np.abs(vector) ** 2
+        return probabilities.clip(min=0.0)
 
     def __repr__(self) -> str:
         return (
@@ -264,6 +447,11 @@ class KnowledgeCompilationSimulator(Simulator):
         self.elide_internal = elide_internal
         self.burn_in_sweeps = burn_in_sweeps
         self._default_rng = np.random.default_rng(seed)
+        # Warm Gibbs samplers keyed by compiled-circuit identity, so seedless
+        # repeated sample() calls continue their chain ensembles instead of
+        # paying the initial-state search and burn-in again; resolver changes
+        # re-bind the cached sampler in place.
+        self._sampler_cache: "OrderedDict[int, object]" = OrderedDict()
 
     # ------------------------------------------------------------------
     def compile_circuit(
@@ -346,8 +534,21 @@ class KnowledgeCompilationSimulator(Simulator):
         seed: Optional[int] = None,
         burn_in_sweeps: Optional[int] = None,
         steps_per_sample: int = 1,
+        num_chains: Optional[int] = None,
     ) -> SampleResult:
-        """Draw output samples via Gibbs sampling on the compiled arithmetic circuit."""
+        """Draw output samples via Gibbs sampling on the compiled arithmetic circuit.
+
+        ``num_chains`` controls the size of the lockstep chain ensemble (see
+        :class:`repro.sampling.gibbs.GibbsSampler`); the default lets the
+        sampler pick one based on ``repetitions``.
+
+        Seedless calls reuse a cached sampler per compiled circuit, so
+        repeated sampling continues the warm chain ensemble and skips the
+        cold start; when the resolver binding changes (the variational
+        loop), the sampler re-binds weights in place and only repeats its
+        burn-in rounds.  Passing ``seed`` creates a fresh sampler,
+        preserving call-for-call reproducibility.
+        """
         from ..sampling.gibbs import GibbsSampler
 
         compiled = (
@@ -355,7 +556,28 @@ class KnowledgeCompilationSimulator(Simulator):
             if isinstance(circuit, CompiledCircuit)
             else self.compile_circuit(circuit, qubit_order=qubit_order)
         )
-        rng = self._rng(seed) if seed is not None else self._default_rng
-        sampler = GibbsSampler(compiled, resolver=resolver, rng=rng)
+        if seed is not None:
+            sampler = GibbsSampler(compiled, resolver=resolver, rng=self._rng(seed))
+        else:
+            key = id(compiled)
+            sampler = self._sampler_cache.get(key)
+            if sampler is None or sampler.compiled is not compiled:
+                sampler = GibbsSampler(compiled, resolver=resolver, rng=self._default_rng)
+                self._sampler_cache[key] = sampler
+                while len(self._sampler_cache) > 8:
+                    self._sampler_cache.popitem(last=False)
+            else:
+                self._sampler_cache.move_to_end(key)
+                if compiled._resolver_key(resolver) != compiled._resolver_key(sampler.resolver):
+                    # New parameter binding for the same compiled structure
+                    # (the variational loop): keep the warm chains, re-bind
+                    # weights and let the sampler repeat its burn-in before
+                    # recording.
+                    sampler.rebind(resolver)
         sweeps = self.burn_in_sweeps if burn_in_sweeps is None else burn_in_sweeps
-        return sampler.sample(repetitions, burn_in_sweeps=sweeps, steps_per_sample=steps_per_sample)
+        return sampler.sample(
+            repetitions,
+            burn_in_sweeps=sweeps,
+            steps_per_sample=steps_per_sample,
+            num_chains=num_chains,
+        )

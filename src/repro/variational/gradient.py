@@ -67,12 +67,14 @@ class CompiledObjective:
         samples_per_evaluation: int = 512,
         seed: Optional[int] = None,
         exact: bool = False,
+        num_chains: Optional[int] = None,
     ):
         self.ansatz = ansatz
         self.simulator = simulator
         self.samples_per_evaluation = samples_per_evaluation
         self.seed = seed
         self.exact = exact
+        self.num_chains = num_chains
         self._evaluations = 0
         self._compiled: Optional[CompiledCircuit] = None
         if isinstance(simulator, KnowledgeCompilationSimulator):
@@ -90,7 +92,11 @@ class CompiledObjective:
         seed = None if self.seed is None else self.seed + self._evaluations
         if self._compiled is not None:
             samples = self.simulator.sample(
-                self._compiled, self.samples_per_evaluation, resolver=resolver, seed=seed
+                self._compiled,
+                self.samples_per_evaluation,
+                resolver=resolver,
+                seed=seed,
+                num_chains=self.num_chains,
             )
         else:
             resolved = self.ansatz.circuit.resolve_parameters(resolver)

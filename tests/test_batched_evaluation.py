@@ -1,0 +1,221 @@
+"""Tests for the batched arithmetic-circuit evaluation engine.
+
+The batched APIs (``evaluate_batch`` / ``evaluate_with_derivatives_batch`` /
+``CompiledCircuit.amplitudes``) must agree with the scalar path elementwise —
+including the forced-literal shortcut and all-zero-amplitude rows — and the
+multi-chain Gibbs ensemble must converge to the exact output distribution.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.circuits import CNOT, Circuit, H, LineQubit, Ry, Rz, depolarize
+from repro.sampling import GibbsSampler, total_variation_distance
+from repro.simulator.kc_simulator import KnowledgeCompilationSimulator
+
+
+def _random_literal_batch(circuit_ac, batch, rng):
+    literal_values = np.ones((batch, circuit_ac.num_vars + 1, 2), dtype=complex)
+    literal_values += 0.5 * (
+        rng.standard_normal(literal_values.shape)
+        + 1j * rng.standard_normal(literal_values.shape)
+    )
+    # Sprinkle exact zeros so the zero-bookkeeping paths are exercised.
+    zero_mask = rng.random(literal_values.shape) < 0.15
+    literal_values[zero_mask] = 0.0
+    return literal_values
+
+
+@pytest.fixture
+def compiled_ideal():
+    q = LineQubit.range(3)
+    circuit = Circuit(
+        [Ry(0.9)(q[0]), H(q[1]), CNOT(q[0], q[1]), Rz(0.4)(q[1]), CNOT(q[1], q[2])]
+    )
+    return KnowledgeCompilationSimulator(seed=2).compile_circuit(circuit)
+
+
+@pytest.fixture
+def compiled_noisy():
+    q = LineQubit.range(2)
+    circuit = Circuit([Ry(1.1)(q[0]), CNOT(q[0], q[1])]).with_noise(
+        lambda: depolarize(0.08)
+    )
+    return KnowledgeCompilationSimulator(seed=3).compile_circuit(circuit)
+
+
+class TestBatchedEvaluation:
+    @pytest.mark.parametrize("fixture", ["compiled_ideal", "compiled_noisy"])
+    def test_evaluate_batch_matches_scalar(self, fixture, request):
+        compiled = request.getfixturevalue(fixture)
+        ac = compiled.arithmetic_circuit
+        rng = np.random.default_rng(7)
+        literal_values = _random_literal_batch(ac, 9, rng)
+        batched = ac.evaluate_batch(literal_values)
+        for row in range(literal_values.shape[0]):
+            scalar = ac.evaluate(literal_values[row])
+            assert batched[row] == pytest.approx(scalar, abs=1e-10)
+
+    @pytest.mark.parametrize("fixture", ["compiled_ideal", "compiled_noisy"])
+    def test_derivatives_batch_matches_scalar(self, fixture, request):
+        compiled = request.getfixturevalue(fixture)
+        ac = compiled.arithmetic_circuit
+        rng = np.random.default_rng(11)
+        literal_values = _random_literal_batch(ac, 7, rng)
+        roots, derivatives = ac.evaluate_with_derivatives_batch(literal_values)
+        for row in range(literal_values.shape[0]):
+            scalar_root, scalar_derivatives = ac.evaluate_with_derivatives(
+                literal_values[row]
+            )
+            assert roots[row] == pytest.approx(scalar_root, abs=1e-10)
+            np.testing.assert_allclose(
+                derivatives[row], scalar_derivatives, atol=1e-10
+            )
+
+    def test_all_zero_amplitude_rows(self, compiled_ideal):
+        ac = compiled_ideal.arithmetic_circuit
+        literal_values = np.zeros((3, ac.num_vars + 1, 2), dtype=complex)
+        roots, derivatives = ac.evaluate_with_derivatives_batch(literal_values)
+        assert np.all(roots == 0.0)
+        for row in range(3):
+            scalar_root, scalar_derivatives = ac.evaluate_with_derivatives(
+                literal_values[row]
+            )
+            assert roots[row] == pytest.approx(scalar_root, abs=1e-10)
+            np.testing.assert_allclose(derivatives[row], scalar_derivatives, atol=1e-10)
+
+    def test_batch_shape_validation(self, compiled_ideal):
+        ac = compiled_ideal.arithmetic_circuit
+        with pytest.raises(ValueError):
+            ac.evaluate_batch(np.ones((ac.num_vars + 1, 2), dtype=complex))
+
+    def test_empty_batch(self, compiled_ideal):
+        ac = compiled_ideal.arithmetic_circuit
+        empty = np.ones((0, ac.num_vars + 1, 2), dtype=complex)
+        assert ac.evaluate_batch(empty).shape == (0,)
+        roots, derivatives = ac.evaluate_with_derivatives_batch(empty)
+        assert roots.shape == (0,)
+        assert derivatives.shape == empty.shape
+
+    def test_workspace_reuse_across_batch_sizes(self, compiled_ideal):
+        """Alternating batch sizes must not corrupt results."""
+        ac = compiled_ideal.arithmetic_circuit
+        rng = np.random.default_rng(13)
+        small = _random_literal_batch(ac, 2, rng)
+        large = _random_literal_batch(ac, 6, rng)
+        expected_small = [ac.evaluate(small[i]) for i in range(2)]
+        expected_large = [ac.evaluate(large[i]) for i in range(6)]
+        np.testing.assert_allclose(ac.evaluate_batch(large), expected_large, atol=1e-10)
+        np.testing.assert_allclose(ac.evaluate_batch(small), expected_small, atol=1e-10)
+        np.testing.assert_allclose(ac.evaluate_batch(large), expected_large, atol=1e-10)
+
+
+class TestBatchedAmplitudes:
+    def test_amplitudes_match_scalar_ideal(self, compiled_ideal):
+        bit_matrix = np.asarray(list(itertools.product([0, 1], repeat=3)), dtype=np.int64)
+        batched = compiled_ideal.amplitudes(bit_matrix)
+        for row, bits in enumerate(bit_matrix):
+            assert batched[row] == pytest.approx(
+                compiled_ideal.amplitude(list(bits)), abs=1e-10
+            )
+
+    def test_amplitudes_match_scalar_noisy(self, compiled_noisy):
+        bit_matrix = np.asarray(list(itertools.product([0, 1], repeat=2)), dtype=np.int64)
+        cardinalities = [v.cardinality for v in compiled_noisy.noise_variables]
+        for branches in itertools.product(*[range(c) for c in cardinalities]):
+            branch_row = np.asarray(branches, dtype=np.int64)[np.newaxis]
+            batched = compiled_noisy.amplitudes(bit_matrix, noise_branches=branch_row)
+            for row, bits in enumerate(bit_matrix):
+                scalar = compiled_noisy.amplitude(list(bits), noise_branches=branches)
+                assert batched[row] == pytest.approx(scalar, abs=1e-10)
+
+    def test_forced_literal_shortcut_rows(self):
+        """Rows contradicting a CNF-forced literal must come back exactly zero."""
+        # The idle second qubit's final state is forced to 0 by unit
+        # propagation, so asking for it to be 1 hits the forced-literal
+        # shortcut rather than a circuit evaluation.
+        q = LineQubit.range(2)
+        compiled = KnowledgeCompilationSimulator(seed=5).compile_circuit(
+            Circuit([Ry(0.7)(q[0]), Ry(0.0)(q[1])])
+        )
+        encoding = compiled.encoding
+        forced_bits = [
+            (variable, int(encoding.forced_value(bit_var)))
+            for variable in compiled.final_variables
+            for bit_var in variable.bit_vars
+            if encoding.forced_value(bit_var) is not None
+        ]
+        assert forced_bits, "expected the idle qubit's final bit to be forced"
+        variable, forced = forced_bits[0]
+        column = compiled.final_variables.index(variable)
+        bit_matrix = np.zeros((2, compiled.num_qubits), dtype=np.int64)
+        bit_matrix[0, column] = 1 - forced  # contradicts the forced literal
+        bit_matrix[1, column] = forced
+        batched = compiled.amplitudes(bit_matrix)
+        assert batched[0] == 0.0
+        assert batched[0] == pytest.approx(
+            compiled.amplitude(list(bit_matrix[0])), abs=1e-12
+        )
+
+    def test_amplitudes_chunking_is_invisible(self, compiled_ideal):
+        bit_matrix = np.asarray(list(itertools.product([0, 1], repeat=3)), dtype=np.int64)
+        one_chunk = compiled_ideal.amplitudes(bit_matrix, chunk_size=1024)
+        tiny_chunks = compiled_ideal.amplitudes(bit_matrix, chunk_size=3)
+        np.testing.assert_allclose(one_chunk, tiny_chunks, atol=1e-12)
+
+    def test_state_vector_probabilities_consistent(self, compiled_ideal):
+        state = compiled_ideal.state_vector()
+        assert np.abs(state) ** 2 == pytest.approx(compiled_ideal.probabilities(), abs=1e-10)
+        assert float(np.sum(np.abs(state) ** 2)) == pytest.approx(1.0, abs=1e-9)
+
+    def test_noisy_probabilities_match_density_matrix(self, compiled_noisy):
+        probabilities = compiled_noisy.probabilities()
+        diagonal = np.real(np.diag(compiled_noisy.density_matrix())).clip(min=0.0)
+        np.testing.assert_allclose(probabilities, diagonal, atol=1e-10)
+
+
+class TestMultiChainSampling:
+    def test_multi_chain_converges_in_tvd(self, compiled_ideal):
+        sampler = GibbsSampler(compiled_ideal, rng=np.random.default_rng(17))
+        samples = sampler.sample(4000, burn_in_sweeps=5, num_chains=32)
+        exact = compiled_ideal.probabilities()
+        assert total_variation_distance(exact, samples.empirical_distribution()) < 0.12
+
+    def test_noisy_multi_chain_converges_in_tvd(self, compiled_noisy):
+        sampler = GibbsSampler(
+            compiled_noisy, rng=np.random.default_rng(19), restart_probability=0.2
+        )
+        samples = sampler.sample(4000, burn_in_sweeps=5, steps_per_sample=4, num_chains=64)
+        exact = compiled_noisy.probabilities()
+        assert total_variation_distance(exact, samples.empirical_distribution()) < 0.10
+
+    def test_num_chains_plumbed_through_simulator(self, compiled_ideal):
+        simulator = KnowledgeCompilationSimulator(seed=23)
+        result = simulator.sample(compiled_ideal, 100, num_chains=8)
+        assert len(result.samples) == 100
+
+    def test_single_chain_equals_default_semantics(self, compiled_ideal):
+        """num_chains=1 still produces valid, reproducible samples."""
+        first = GibbsSampler(compiled_ideal, rng=np.random.default_rng(29)).sample(
+            40, num_chains=1
+        )
+        second = GibbsSampler(compiled_ideal, rng=np.random.default_rng(29)).sample(
+            40, num_chains=1
+        )
+        assert first.samples == second.samples
+
+    def test_warm_ensemble_continues_chains(self, compiled_ideal):
+        """Repeated sample() calls reuse the equilibrated ensemble and stay valid."""
+        sampler = GibbsSampler(compiled_ideal, rng=np.random.default_rng(31))
+        sampler.sample(256, num_chains=32)
+        assert sampler._ensemble is not None
+        combined = []
+        for _ in range(8):
+            combined.extend(sampler.sample(512, num_chains=32).samples)
+        exact = compiled_ideal.probabilities()
+        empirical = np.bincount(
+            [int("".join(map(str, s)), 2) for s in combined], minlength=len(exact)
+        ) / len(combined)
+        assert total_variation_distance(exact, empirical) < 0.12
