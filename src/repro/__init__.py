@@ -18,6 +18,7 @@ Subpackages
 ``repro.statevector``    dense state-vector baseline (qsim stand-in)
 ``repro.densitymatrix``  dense density-matrix baseline (Cirq noisy-simulator stand-in)
 ``repro.tensornetwork``  tensor-network contraction baseline (qTorch stand-in)
+``repro.trajectory``     batched quantum-trajectory (Monte Carlo wavefunction) backend
 ``repro.bayesnet``       complex-valued Bayesian networks + variable elimination
 ``repro.cnf``            weighted CNF encoding of Bayesian networks
 ``repro.knowledge``      d-DNNF compiler and arithmetic circuits
@@ -57,6 +58,7 @@ from .simulator import DensityMatrixResult, SampleResult, Simulator, StateVector
 from .simulator.kc_simulator import CompiledCircuit, KnowledgeCompilationSimulator
 from .statevector import StateVectorSimulator
 from .tensornetwork import TensorNetworkSimulator
+from .trajectory import TrajectorySimulator
 
 __version__ = "1.0.0"
 
@@ -91,6 +93,7 @@ __all__ = [
     "StateVectorSimulator",
     "DensityMatrixSimulator",
     "TensorNetworkSimulator",
+    "TrajectorySimulator",
     "KnowledgeCompilationSimulator",
     "CompiledCircuit",
 ]

@@ -70,6 +70,17 @@ class NoiseChannel:
         """Return ``(probability, unitary)`` pairs for mixture channels."""
         raise TypeError(f"{self.name} is not a mixture channel")
 
+    def cache_key(self, resolver: Optional[ParamResolver] = None) -> Optional[Tuple]:
+        """Hashable identity of the *resolved* channel, or ``None``.
+
+        Two channels with equal keys have identical Kraus operators, so
+        simulators can resolve each distinct (channel class, parameter)
+        combination once per circuit instead of once per operation —
+        ``Circuit.with_noise`` creates a fresh channel instance per insertion,
+        making instance identity useless as a cache key.
+        """
+        return None
+
     def on(self, *qubits: Qubit) -> "NoiseOperation":
         return NoiseOperation(self, qubits)
 
@@ -166,6 +177,9 @@ class _SingleParamChannel(NoiseChannel):
         if not 0.0 <= value <= 1.0:
             raise ValueError(f"{self.name} parameter must be in [0, 1], got {value}")
         return value
+
+    def cache_key(self, resolver: Optional[ParamResolver] = None) -> Optional[Tuple]:
+        return (type(self).__name__, self._resolved(resolver))
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.value})"
@@ -268,6 +282,14 @@ class AsymmetricDepolarizingChannel(NoiseChannel):
     def kraus_operators(self, resolver: Optional[ParamResolver] = None) -> List[np.ndarray]:
         return [math.sqrt(prob) * unitary for prob, unitary in self.mixture(resolver)]
 
+    def cache_key(self, resolver: Optional[ParamResolver] = None) -> Optional[Tuple]:
+        return (
+            type(self).__name__,
+            resolve(self.p_x, resolver),
+            resolve(self.p_y, resolver),
+            resolve(self.p_z, resolver),
+        )
+
     def __repr__(self) -> str:
         return f"AsymmetricDepolarizingChannel({self.p_x}, {self.p_y}, {self.p_z})"
 
@@ -326,6 +348,9 @@ class GeneralizedAmplitudeDampingChannel(NoiseChannel):
         e3 = sqrt_q * np.array([[0.0, 0.0], [math.sqrt(gamma), 0.0]], dtype=complex)
         return [e0, e1, e2, e3]
 
+    def cache_key(self, resolver: Optional[ParamResolver] = None) -> Optional[Tuple]:
+        return (type(self).__name__, resolve(self.p, resolver), resolve(self.gamma, resolver))
+
     def __repr__(self) -> str:
         return f"GeneralizedAmplitudeDampingChannel({self.p}, {self.gamma})"
 
@@ -354,6 +379,10 @@ class MixtureChannel(NoiseChannel):
     def kraus_operators(self, resolver: Optional[ParamResolver] = None) -> List[np.ndarray]:
         return [math.sqrt(p) * u for p, u in self._components]
 
+    def cache_key(self, resolver: Optional[ParamResolver] = None) -> Optional[Tuple]:
+        # Components are fixed at construction, so instance identity is exact.
+        return (type(self).__name__, id(self))
+
 
 class KrausChannel(NoiseChannel):
     """A channel defined by an explicit list of Kraus operators."""
@@ -369,6 +398,9 @@ class KrausChannel(NoiseChannel):
 
     def kraus_operators(self, resolver: Optional[ParamResolver] = None) -> List[np.ndarray]:
         return [op.copy() for op in self._operators]
+
+    def cache_key(self, resolver: Optional[ParamResolver] = None) -> Optional[Tuple]:
+        return (type(self).__name__, id(self))
 
 
 def bit_flip(p: ParameterValue) -> BitFlipChannel:

@@ -11,7 +11,7 @@ of noisy circuit the knowledge-compilation simulator consumes.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .circuit import Circuit
 from .gates import Operation
@@ -28,6 +28,21 @@ from .qubits import Qubit
 
 ChannelFactory = Callable[[], NoiseChannel]
 
+# Distinguishes "argument omitted" from an explicit ``None`` (= disabled):
+# ``multi_qubit_noise`` falls back to ``two_qubit_noise`` only when omitted.
+_UNSET = object()
+
+
+def _idle_factories(
+    idle_noise: "Optional[ChannelFactory | Sequence[ChannelFactory]]",
+) -> Tuple[ChannelFactory, ...]:
+    """Normalize the ``idle_noise`` argument to a tuple of channel factories."""
+    if idle_noise is None:
+        return ()
+    if callable(idle_noise):
+        return (idle_noise,)
+    return tuple(idle_noise)
+
 
 class NoiseModel:
     """A per-gate-class noise policy applied to whole circuits.
@@ -37,28 +52,34 @@ class NoiseModel:
     single_qubit_noise, two_qubit_noise, multi_qubit_noise:
         Factories producing a fresh single-qubit channel applied to every
         qubit touched by a gate of the corresponding class (``None`` disables
-        that class).
+        that class).  ``multi_qubit_noise`` (gates on 3+ qubits) defaults to
+        the two-qubit factory when omitted; passing ``None`` explicitly
+        disables it even when ``two_qubit_noise`` is set.
     measurement_noise:
         Channel factory applied to each measured qubit *before* its terminal
         measurement (models readout error as a pre-measurement flip).
     idle_noise:
-        Channel factory applied once per moment to every qubit that is idle
-        during that moment (models decoherence while waiting).
+        A channel factory — or a sequence of factories, applied in order —
+        producing the channels attached once per moment to every qubit that
+        is idle during that moment (models decoherence while waiting).
+        Normalized to the tuple attribute ``idle_noise``.
     """
 
     def __init__(
         self,
         single_qubit_noise: Optional[ChannelFactory] = None,
         two_qubit_noise: Optional[ChannelFactory] = None,
-        multi_qubit_noise: Optional[ChannelFactory] = None,
+        multi_qubit_noise: Optional[ChannelFactory] = _UNSET,
         measurement_noise: Optional[ChannelFactory] = None,
-        idle_noise: Optional[ChannelFactory] = None,
+        idle_noise: "Optional[ChannelFactory | Sequence[ChannelFactory]]" = None,
     ):
         self.single_qubit_noise = single_qubit_noise
         self.two_qubit_noise = two_qubit_noise
-        self.multi_qubit_noise = multi_qubit_noise or two_qubit_noise
+        self.multi_qubit_noise = (
+            two_qubit_noise if multi_qubit_noise is _UNSET else multi_qubit_noise
+        )
         self.measurement_noise = measurement_noise
-        self.idle_noise = idle_noise
+        self.idle_noise: Tuple[ChannelFactory, ...] = _idle_factories(idle_noise)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -87,13 +108,12 @@ class NoiseModel:
         phase_damping: ParameterValue = 0.004,
     ) -> "NoiseModel":
         """T1/T2-style idle decoherence: amplitude plus phase damping on idle qubits."""
-
-        def idle_channel() -> NoiseChannel:
-            return AmplitudeDampingChannel(amplitude_damping)
-
-        model = cls(idle_noise=idle_channel)
-        model._extra_idle = lambda: PhaseDampingChannel(phase_damping)
-        return model
+        return cls(
+            idle_noise=[
+                lambda: AmplitudeDampingChannel(amplitude_damping),
+                lambda: PhaseDampingChannel(phase_damping),
+            ]
+        )
 
     # ------------------------------------------------------------------
     def _channel_for(self, operation: Operation) -> Optional[ChannelFactory]:
@@ -108,7 +128,6 @@ class NoiseModel:
         """Return a noisy copy of ``circuit`` according to this model."""
         all_qubits = circuit.all_qubits()
         noisy = Circuit()
-        extra_idle = getattr(self, "_extra_idle", None)
         for moment in circuit.moments:
             busy: set = set()
             for operation in moment:
@@ -127,12 +146,11 @@ class NoiseModel:
                 if factory is not None:
                     for qubit in operation.qubits:
                         noisy.append(factory().on(qubit))
-            if self.idle_noise is not None:
+            if self.idle_noise:
                 for qubit in all_qubits:
                     if qubit not in busy:
-                        noisy.append(self.idle_noise().on(qubit))
-                        if extra_idle is not None:
-                            noisy.append(extra_idle().on(qubit))
+                        for idle_factory in self.idle_noise:
+                            noisy.append(idle_factory().on(qubit))
         return noisy
 
     def __call__(self, circuit: Circuit) -> Circuit:
@@ -144,8 +162,11 @@ class NoiseModel:
             parts.append("1q")
         if self.two_qubit_noise is not None:
             parts.append("2q")
+        if self.multi_qubit_noise is not None and self.multi_qubit_noise is not self.two_qubit_noise:
+            parts.append("multi")
         if self.measurement_noise is not None:
             parts.append("meas")
-        if self.idle_noise is not None:
-            parts.append("idle")
+        if self.idle_noise:
+            names = "+".join(factory().name for factory in self.idle_noise)
+            parts.append(f"idle[{names}]")
         return f"NoiseModel({'+'.join(parts) or 'none'})"

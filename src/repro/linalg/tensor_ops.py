@@ -49,6 +49,26 @@ def index_to_bits(index: int, num_qubits: int) -> Tuple[int, ...]:
     return tuple((index >> (num_qubits - 1 - i)) & 1 for i in range(num_qubits))
 
 
+def bitstrings_to_indices(samples: Sequence[Sequence[int]]) -> np.ndarray:
+    """Vectorized :func:`bits_to_index` over a batch of bit rows.
+
+    ``samples`` is a ``(num_samples, n)`` array-like of 0/1 values; returns the
+    ``(num_samples,)`` int64 array of basis indices.
+    """
+    array = np.asarray(samples, dtype=np.int64) & 1  # mask like bits_to_index
+    if array.size == 0:
+        return np.zeros(len(array), dtype=np.int64)
+    weights = np.left_shift(1, np.arange(array.shape[-1] - 1, -1, -1, dtype=np.int64))
+    return array @ weights
+
+
+def indices_to_bitstrings(indices: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Vectorized :func:`index_to_bits`: ``(num_samples,)`` indices to a bit matrix."""
+    array = np.asarray(indices, dtype=np.int64)
+    shifts = np.arange(num_qubits - 1, -1, -1, dtype=np.int64)
+    return (array[:, None] >> shifts) & 1
+
+
 def _apply_to_axes(
     tensor: np.ndarray, op_tensor: np.ndarray, targets: Sequence[int], k: int
 ) -> np.ndarray:
@@ -112,6 +132,62 @@ def apply_unitary_to_density(
 ) -> np.ndarray:
     """Apply a unitary U to ``targets`` of a density matrix: rho -> U rho U†."""
     return apply_kraus_to_density(rho, [unitary], targets, num_qubits)
+
+
+def apply_unitary_to_state_batch(
+    states: np.ndarray, unitary: np.ndarray, targets: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply a k-qubit unitary to ``targets`` of a ``(B, 2**n)`` batch of states.
+
+    All batch rows are transformed in one tensor contraction — the hot path of
+    the lockstep quantum-trajectory backend.
+    """
+    states = np.asarray(states, dtype=complex)
+    batch = states.shape[0]
+    k = len(targets)
+    tensor = states.reshape((batch,) + (2,) * num_qubits)
+    op_tensor = np.asarray(unitary, dtype=complex).reshape((2,) * (2 * k))
+    shifted = [t + 1 for t in targets]
+    return _apply_to_axes(tensor, op_tensor, shifted, k).reshape(batch, -1)
+
+
+def kraus_to_superoperator(kraus_operators: Sequence[np.ndarray]) -> np.ndarray:
+    """Return the channel's superoperator ``S`` as a ``(d*d, d*d)`` matrix.
+
+    With row index ``(i, j)`` and column index ``(k, l)``,
+    ``S[(i,j),(k,l)] = sum_m E_m[i,k] * conj(E_m[j,l])`` so that
+    ``vec(rho) -> S @ vec(rho)`` implements ``rho -> sum_m E_m rho E_m†``.
+    Superoperators of consecutive channels on the same qubits compose by
+    plain matrix multiplication, which is what makes channel fusion cheap.
+    """
+    operators = [np.asarray(op, dtype=complex) for op in kraus_operators]
+    dim = operators[0].shape[0]
+    tensor = np.zeros((dim, dim, dim, dim), dtype=complex)
+    for op in operators:
+        tensor += np.einsum("ik,jl->ijkl", op, op.conj())
+    return tensor.reshape(dim * dim, dim * dim)
+
+
+def apply_superoperator_to_density(
+    rho: np.ndarray,
+    superoperator: np.ndarray,
+    targets: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply a fused k-qubit superoperator to ``targets`` of a density matrix.
+
+    Unlike :func:`apply_kraus_to_density`, which walks the Kraus branches one
+    two-sided contraction at a time, this applies the whole channel (or a
+    fused run of channels) in a single contraction over the row *and* column
+    axes of the density tensor.
+    """
+    targets = list(targets)
+    k = len(targets)
+    dim = 2 ** num_qubits
+    rho_tensor = np.asarray(rho, dtype=complex).reshape((2,) * (2 * num_qubits))
+    op_tensor = np.asarray(superoperator, dtype=complex).reshape((2,) * (4 * k))
+    axes = targets + [t + num_qubits for t in targets]
+    return _apply_to_axes(rho_tensor, op_tensor, axes, 2 * k).reshape((dim, dim))
 
 
 def apply_kraus_to_density(

@@ -13,6 +13,8 @@ from typing import Sequence
 
 import numpy as np
 
+from ..linalg.tensor_ops import bitstrings_to_indices
+
 
 def _validated(p: Sequence[float], q: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
     p_arr = np.asarray(p, dtype=float)
@@ -64,13 +66,24 @@ def chi_squared_statistic(exact: Sequence[float], empirical: Sequence[float]) ->
 
 
 def empirical_distribution(samples: Sequence[Sequence[int]], num_qubits: int) -> np.ndarray:
-    """Dense empirical distribution over 2^n basis states from bit samples."""
-    counts = np.zeros(2 ** num_qubits)
-    for sample in samples:
-        index = 0
-        for bit in sample:
-            index = (index << 1) | (int(bit) & 1)
-        counts[index] += 1.0
-    if counts.sum() > 0:
-        counts /= counts.sum()
-    return counts
+    """Dense empirical distribution over 2^n basis states from bit samples.
+
+    The single vectorized histogram shared by every sampling consumer
+    (including :meth:`repro.simulator.results.SampleResult.empirical_distribution`):
+    bit rows are packed into basis indices and counted with ``np.bincount``.
+    """
+    num_states = 2 ** num_qubits
+    samples = np.asarray(list(samples) if not isinstance(samples, np.ndarray) else samples)
+    if samples.ndim == 2 and samples.shape[1] != num_qubits:
+        raise ValueError(
+            f"samples must be rows of {num_qubits} bits, got shape {samples.shape}"
+        )
+    if samples.size == 0:
+        return np.zeros(num_states)
+    if samples.ndim != 2:
+        raise ValueError(
+            f"samples must be rows of {num_qubits} bits, got shape {samples.shape}"
+        )
+    indices = bitstrings_to_indices(samples)
+    counts = np.bincount(indices, minlength=num_states).astype(float)
+    return counts / counts.sum()

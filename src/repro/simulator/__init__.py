@@ -3,7 +3,11 @@
 The knowledge-compilation simulator (the paper's contribution) lives in
 :mod:`repro.simulator.kc_simulator`; the baselines live in their own
 packages (:mod:`repro.statevector`, :mod:`repro.densitymatrix`,
-:mod:`repro.tensornetwork`).
+:mod:`repro.tensornetwork`, and the batched quantum-trajectory backend
+:mod:`repro.trajectory`).  All of them implement the
+:class:`~repro.simulator.base.Simulator` contract: ``simulate`` /
+``sample`` with identical circuit, resolver, qubit-order, initial-state
+and seeding semantics.
 """
 
 from .base import Simulator

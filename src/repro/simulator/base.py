@@ -3,7 +3,16 @@
 The experiment harness (Figures 8 and 9) times "draw 1000 samples from the
 final wavefunction" for several backends; a shared abstract interface keeps
 those comparisons honest: every backend exposes the same ``simulate`` /
-``sample`` entry points with identical circuit and parameter-resolver inputs.
+``sample`` entry points with identical circuit, parameter-resolver,
+qubit-order and initial-state inputs.
+
+Random-number contract
+----------------------
+Every backend owns one default generator, seeded by the ``seed`` passed to
+its constructor.  ``sample(..., seed=None)`` draws from that shared default
+generator (consecutive calls advance it), while an explicit per-call ``seed``
+creates a fresh generator so the call is reproducible in isolation.  Both
+paths go through :meth:`Simulator._rng`.
 """
 
 from __future__ import annotations
@@ -23,13 +32,24 @@ class Simulator:
 
     name = "abstract"
 
+    def __init__(self, seed: Optional[int] = None):
+        self._default_rng = np.random.default_rng(seed)
+
     def simulate(
         self,
         circuit: Circuit,
         resolver: Optional[ParamResolver] = None,
         qubit_order: Optional[Sequence[Qubit]] = None,
+        initial_state: int = 0,
     ):
-        """Run the circuit and return a backend-specific result object."""
+        """Run the circuit and return a backend-specific result object.
+
+        ``initial_state`` is the computational-basis index of the starting
+        state (qubit 0 as the most significant bit, matching
+        :func:`repro.linalg.tensor_ops.basis_state`).  Every backend honors
+        it; backends that cannot prepare an arbitrary basis state for a given
+        input must raise ``ValueError`` rather than silently ignore it.
+        """
         raise NotImplementedError
 
     def sample(
@@ -43,7 +63,10 @@ class Simulator:
         """Draw measurement samples from the circuit's final wavefunction."""
         raise NotImplementedError
 
-    def _rng(self, seed: Optional[int]) -> np.random.Generator:
+    def _rng(self, seed: Optional[int] = None) -> np.random.Generator:
+        """Per-call generator for an explicit ``seed``; the shared default otherwise."""
+        if seed is None:
+            return self._default_rng
         return np.random.default_rng(seed)
 
     def __repr__(self) -> str:

@@ -29,6 +29,7 @@ from ..cnf.encoder import CNFEncoding, encode_bayesnet
 from ..knowledge.arithmetic_circuit import ArithmeticCircuit
 from ..knowledge.compiler import KnowledgeCompiler
 from ..knowledge.transform import forget, smooth
+from ..linalg.tensor_ops import index_to_bits
 from .base import Simulator
 from .results import DensityMatrixResult, SampleResult, StateVectorResult
 
@@ -443,10 +444,10 @@ class KnowledgeCompilationSimulator(Simulator):
         seed: Optional[int] = None,
         burn_in_sweeps: int = 4,
     ):
+        super().__init__(seed)
         self.order_method = order_method
         self.elide_internal = elide_internal
         self.burn_in_sweeps = burn_in_sweeps
-        self._default_rng = np.random.default_rng(seed)
         # Warm Gibbs samplers keyed by compiled-circuit identity, so seedless
         # repeated sample() calls continue their chain ensembles instead of
         # paying the initial-state search and burn-in again; resolver changes
@@ -504,12 +505,9 @@ class KnowledgeCompilationSimulator(Simulator):
         circuit,
         resolver: Optional[ParamResolver] = None,
         qubit_order: Optional[Sequence[Qubit]] = None,
+        initial_state: int = 0,
     ) -> StateVectorResult:
-        compiled = (
-            circuit
-            if isinstance(circuit, CompiledCircuit)
-            else self.compile_circuit(circuit, qubit_order=qubit_order)
-        )
+        compiled = self._compiled_with_initial_state(circuit, qubit_order, initial_state)
         return StateVectorResult(compiled.qubits, compiled.state_vector(resolver))
 
     def simulate_density_matrix(
@@ -517,13 +515,30 @@ class KnowledgeCompilationSimulator(Simulator):
         circuit,
         resolver: Optional[ParamResolver] = None,
         qubit_order: Optional[Sequence[Qubit]] = None,
+        initial_state: int = 0,
     ) -> DensityMatrixResult:
-        compiled = (
-            circuit
-            if isinstance(circuit, CompiledCircuit)
-            else self.compile_circuit(circuit, qubit_order=qubit_order)
-        )
+        compiled = self._compiled_with_initial_state(circuit, qubit_order, initial_state)
         return DensityMatrixResult(compiled.qubits, compiled.density_matrix(resolver))
+
+    def _compiled_with_initial_state(
+        self,
+        circuit,
+        qubit_order: Optional[Sequence[Qubit]],
+        initial_state: int,
+    ) -> CompiledCircuit:
+        """Compile honoring ``initial_state``; the starting state is baked in at compile time."""
+        if isinstance(circuit, CompiledCircuit):
+            if initial_state != 0:
+                raise ValueError(
+                    "a CompiledCircuit fixes its initial state at compile time; "
+                    "pass initial_bits to compile_circuit instead of initial_state"
+                )
+            return circuit
+        initial_bits = None
+        if initial_state:
+            num_qubits = len(qubit_order) if qubit_order is not None else circuit.num_qubits
+            initial_bits = list(index_to_bits(initial_state, num_qubits))
+        return self.compile_circuit(circuit, qubit_order=qubit_order, initial_bits=initial_bits)
 
     def sample(
         self,
@@ -562,7 +577,7 @@ class KnowledgeCompilationSimulator(Simulator):
             key = id(compiled)
             sampler = self._sampler_cache.get(key)
             if sampler is None or sampler.compiled is not compiled:
-                sampler = GibbsSampler(compiled, resolver=resolver, rng=self._default_rng)
+                sampler = GibbsSampler(compiled, resolver=resolver, rng=self._rng())
                 self._sampler_cache[key] = sampler
                 while len(self._sampler_cache) > 8:
                     self._sampler_cache.popitem(last=False)

@@ -47,16 +47,10 @@ class SampleResult:
 
     def empirical_distribution(self) -> np.ndarray:
         """Empirical probability over all 2^n basis states (dense array)."""
-        num_qubits = len(self.qubits)
-        distribution = np.zeros(2 ** num_qubits)
-        for sample in self.samples:
-            index = 0
-            for bit in sample:
-                index = (index << 1) | bit
-            distribution[index] += 1.0
-        if self.samples:
-            distribution /= len(self.samples)
-        return distribution
+        # Imported lazily: repro.sampling.gibbs imports this module.
+        from ..sampling.metrics import empirical_distribution
+
+        return empirical_distribution(self.samples, len(self.qubits))
 
     def expectation_of_bit(self, position: int) -> float:
         """Mean value of the bit at ``position`` across samples."""

@@ -29,7 +29,7 @@ class StateVectorSimulator(Simulator):
     name = "state_vector"
 
     def __init__(self, seed: Optional[int] = None):
-        self._default_rng = np.random.default_rng(seed)
+        super().__init__(seed)
 
     # ------------------------------------------------------------------
     def simulate(
@@ -61,7 +61,7 @@ class StateVectorSimulator(Simulator):
         seed: Optional[int] = None,
     ) -> StateVectorResult:
         """Simulate one quantum trajectory of a (possibly noisy) circuit."""
-        rng = self._rng(seed) if seed is not None else self._default_rng
+        rng = self._rng(seed)
         qubits, state = self._run(circuit, resolver, qubit_order, initial_state, rng=rng)
         return StateVectorResult(qubits, state)
 
@@ -79,7 +79,7 @@ class StateVectorSimulator(Simulator):
         ``repetitions`` times.  For noisy circuits each sample comes from an
         independent trajectory.
         """
-        rng = self._rng(seed) if seed is not None else self._default_rng
+        rng = self._rng(seed)
         if not circuit.has_noise:
             result = self.simulate(circuit, resolver, qubit_order)
             return result.sample(repetitions, rng)

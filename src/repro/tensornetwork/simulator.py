@@ -31,8 +31,8 @@ class TensorNetworkSimulator(Simulator):
     name = "tensor_network"
 
     def __init__(self, contraction_method: str = "greedy", seed: Optional[int] = None):
+        super().__init__(seed)
         self.contraction_method = contraction_method
-        self._default_rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------
     def amplitude(
@@ -51,13 +51,21 @@ class TensorNetworkSimulator(Simulator):
         circuit: Circuit,
         resolver: Optional[ParamResolver] = None,
         qubit_order: Optional[Sequence[Qubit]] = None,
+        initial_state: int = 0,
     ) -> StateVectorResult:
         """Recover the full state vector by leaving the output indices open.
 
         Only sensible for small circuits (tests); sampling does not use it.
         """
         qubits = list(qubit_order) if qubit_order is not None else circuit.all_qubits()
-        network = circuit_to_network(circuit, output_bits=None, resolver=resolver, qubit_order=qubits)
+        initial_bits = index_to_bits(initial_state, len(qubits)) if initial_state else None
+        network = circuit_to_network(
+            circuit,
+            output_bits=None,
+            resolver=resolver,
+            qubit_order=qubits,
+            initial_bits=initial_bits,
+        )
         result = contract_network(network, self.contraction_method)
         # Order the open axes by qubit position.
         positions = {index: position for position, index in enumerate(result.indices)}
@@ -79,7 +87,7 @@ class TensorNetworkSimulator(Simulator):
         Each proposal flips one output bit and requires one network
         contraction for the new amplitude.
         """
-        rng = self._rng(seed) if seed is not None else self._default_rng
+        rng = self._rng(seed)
         qubits = list(qubit_order) if qubit_order is not None else circuit.all_qubits()
         num_qubits = len(qubits)
 

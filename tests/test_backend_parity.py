@@ -1,0 +1,149 @@
+"""Cross-backend parity harness.
+
+Asserts that every backend agrees on small circuits where the dense
+density-matrix simulator is exact ground truth:
+
+* deterministic backends (state-vector, tensor-network, knowledge
+  compilation) match the density matrix exactly on ideal circuits;
+* trajectory-averaged observables (density matrix, probabilities, sampling
+  histograms) converge to the dense density-matrix result on noisy circuits
+  within statistical tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import CNOT, Circuit, H, LineQubit, Ry, X, amplitude_damp, depolarize, phase_damp
+from repro.circuits.noise_model import NoiseModel
+from repro.densitymatrix import DensityMatrixSimulator
+from repro.sampling import total_variation_distance
+from repro.simulator.kc_simulator import KnowledgeCompilationSimulator
+from repro.statevector import StateVectorSimulator
+from repro.tensornetwork import TensorNetworkSimulator
+from repro.trajectory import TrajectorySimulator
+from repro.variational import QAOACircuit, random_regular_maxcut
+
+
+def _noisy_qaoa(num_qubits: int, probability: float = 0.02, seed: int = 5) -> Circuit:
+    ansatz = QAOACircuit(random_regular_maxcut(num_qubits, seed=seed), iterations=1)
+    circuit = ansatz.circuit.resolve_parameters(ansatz.resolver([0.6, 0.4]))
+    return circuit.with_noise(lambda: depolarize(probability))
+
+
+def _damped_circuit() -> Circuit:
+    """A circuit exercising non-mixture (general Kraus) channels."""
+    q = LineQubit.range(2)
+    circuit = Circuit([H(q[0]), Ry(0.7)(q[1])])
+    circuit.append(amplitude_damp(0.2).on(q[0]))
+    circuit.append(CNOT(q[0], q[1]))
+    circuit.append(phase_damp(0.3).on(q[1]))
+    return circuit
+
+
+class TestIdealParity:
+    """Every backend reproduces the same pure state on ideal circuits."""
+
+    def test_all_backends_agree_on_ideal_circuit(self, qaoa_like_circuit, qaoa_resolver):
+        dense = DensityMatrixSimulator().simulate(qaoa_like_circuit, qaoa_resolver)
+        rho = dense.density_matrix
+        state = StateVectorSimulator().simulate(qaoa_like_circuit, qaoa_resolver).state_vector
+        assert np.allclose(np.outer(state, state.conj()), rho, atol=1e-9)
+        tn_state = TensorNetworkSimulator().simulate(qaoa_like_circuit, qaoa_resolver).state_vector
+        assert np.allclose(np.outer(tn_state, tn_state.conj()), rho, atol=1e-9)
+        kc_rho = (
+            KnowledgeCompilationSimulator(seed=1)
+            .simulate_density_matrix(qaoa_like_circuit, qaoa_resolver)
+            .density_matrix
+        )
+        assert np.allclose(kc_rho, rho, atol=1e-9)
+        trajectory_rho = TrajectorySimulator(seed=1).simulate(
+            qaoa_like_circuit, qaoa_resolver, num_trajectories=2
+        ).density_matrix
+        assert np.allclose(trajectory_rho, rho, atol=1e-9)
+
+    def test_initial_state_honored_by_every_backend(self, bell_circuit):
+        # |10> input: the Bell circuit maps it to (|10> - |11>)/sqrt(2) up to phase.
+        initial = 2
+        rho = DensityMatrixSimulator().simulate(bell_circuit, initial_state=initial).density_matrix
+        sv = StateVectorSimulator().simulate(bell_circuit, initial_state=initial).state_vector
+        assert np.allclose(np.outer(sv, sv.conj()), rho, atol=1e-9)
+        tn = TensorNetworkSimulator().simulate(bell_circuit, initial_state=initial).state_vector
+        assert np.allclose(np.outer(tn, tn.conj()), rho, atol=1e-9)
+        kc = (
+            KnowledgeCompilationSimulator(seed=1)
+            .simulate(bell_circuit, initial_state=initial)
+            .state_vector
+        )
+        assert np.allclose(np.outer(kc, kc.conj()), rho, atol=1e-9)
+        trajectory = TrajectorySimulator(seed=1).simulate(
+            bell_circuit, initial_state=initial, num_trajectories=2
+        ).density_matrix
+        assert np.allclose(trajectory, rho, atol=1e-9)
+
+
+class TestNoisyTrajectoryParity:
+    """Trajectory averages converge to the dense density-matrix ground truth."""
+
+    @pytest.mark.parametrize("num_qubits", [3, 4])
+    def test_density_matrix_converges_on_noisy_qaoa(self, num_qubits):
+        circuit = _noisy_qaoa(num_qubits)
+        exact = DensityMatrixSimulator().simulate(circuit).density_matrix
+        estimate = TrajectorySimulator(seed=11).simulate(
+            circuit, num_trajectories=4000
+        ).density_matrix
+        assert np.abs(estimate - exact).max() < 0.03
+        assert np.trace(estimate).real == pytest.approx(1.0, abs=1e-9)
+
+    def test_general_kraus_channels_converge(self):
+        circuit = _damped_circuit()
+        exact = DensityMatrixSimulator().simulate(circuit).probabilities()
+        estimate = TrajectorySimulator(seed=3).estimate_probabilities(
+            circuit, num_trajectories=6000
+        )
+        assert total_variation_distance(exact, estimate) < 0.03
+
+    def test_sampling_distribution_matches_density_matrix(self):
+        circuit = _noisy_qaoa(4)
+        exact = DensityMatrixSimulator().simulate(circuit).probabilities()
+        exact = exact / exact.sum()
+        samples = TrajectorySimulator(seed=23).sample(circuit, 4000)
+        assert total_variation_distance(exact, samples.empirical_distribution()) < 0.06
+
+    def test_capped_trajectory_sampling_stays_unbiased(self):
+        circuit = _noisy_qaoa(3)
+        exact = DensityMatrixSimulator().simulate(circuit).probabilities()
+        exact = exact / exact.sum()
+        samples = TrajectorySimulator(seed=29).sample(circuit, 4000, num_trajectories=200)
+        assert total_variation_distance(exact, samples.empirical_distribution()) < 0.08
+
+    def test_matches_statevector_trajectory_method(self):
+        """The batched unravelling agrees with the seed's per-run trajectory method."""
+        q = LineQubit(0)
+        circuit = Circuit([X(q)])
+        circuit.append(amplitude_damp(0.4).on(q))
+        batched = TrajectorySimulator(seed=7).estimate_probabilities(
+            circuit, num_trajectories=4000
+        )
+        looped = StateVectorSimulator(seed=7).sample(circuit, 4000).empirical_distribution()
+        assert total_variation_distance(batched, looped) < 0.05
+
+    def test_noise_model_circuit_parity(self):
+        q = LineQubit.range(2)
+        circuit = Circuit([H(q[0]), CNOT(q[0], q[1])])
+        noisy = NoiseModel.depolarizing(0.01, 0.05).apply(circuit)
+        exact = DensityMatrixSimulator().simulate(noisy).density_matrix
+        estimate = TrajectorySimulator(seed=17).simulate(
+            noisy, num_trajectories=4000
+        ).density_matrix
+        assert np.abs(estimate - exact).max() < 0.03
+
+    def test_chunked_batches_match_single_batch(self):
+        """max_batch_size chunking must not change seeded results' statistics."""
+        circuit = _noisy_qaoa(3)
+        small = TrajectorySimulator(seed=41, max_batch_size=16).estimate_probabilities(
+            circuit, num_trajectories=512
+        )
+        large = TrajectorySimulator(seed=41, max_batch_size=512).estimate_probabilities(
+            circuit, num_trajectories=512
+        )
+        assert total_variation_distance(small, large) < 0.08

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.circuits import CNOT, Circuit, H, LineQubit, X, measure
+from repro.circuits import CNOT, TOFFOLI, Circuit, H, LineQubit, X, measure
 from repro.circuits.noise import DepolarizingChannel, NoiseOperation
 from repro.circuits.noise_model import NoiseModel
 from repro.densitymatrix import DensityMatrixSimulator
@@ -41,6 +41,26 @@ class TestGateClassNoise:
     def test_callable_shorthand(self, bell_with_measurement):
         model = NoiseModel.depolarizing()
         assert model(bell_with_measurement).has_noise
+
+    def test_multi_qubit_noise_defaults_to_two_qubit(self):
+        q = LineQubit.range(3)
+        circuit = Circuit([TOFFOLI(q[0], q[1], q[2])])
+        model = NoiseModel(two_qubit_noise=lambda: DepolarizingChannel(0.02))
+        assert len(model.apply(circuit).noise_operations()) == 3
+
+    def test_explicit_none_disables_multi_qubit_noise(self):
+        """Regression: ``multi_qubit_noise=None`` must win over ``two_qubit_noise``."""
+        q = LineQubit.range(3)
+        circuit = Circuit([CNOT(q[0], q[1]), TOFFOLI(q[0], q[1], q[2])])
+        model = NoiseModel(
+            two_qubit_noise=lambda: DepolarizingChannel(0.02),
+            multi_qubit_noise=None,
+        )
+        noisy = model.apply(circuit)
+        # The CNOT still gets its two channels; the Toffoli gets none.
+        assert len(noisy.noise_operations()) == 2
+        toffoli_qubit = q[2]
+        assert all(toffoli_qubit not in op.qubits for op in noisy.noise_operations())
 
 
 class TestMeasurementAndIdleNoise:
@@ -89,3 +109,22 @@ class TestNoiseModelEndToEnd:
     def test_repr(self):
         assert "1q" in repr(NoiseModel.depolarizing())
         assert "idle" in repr(NoiseModel.thermal_relaxation())
+
+    def test_thermal_relaxation_idle_channels_are_introspectable(self):
+        """Regression: both damping factories live in ``idle_noise`` (no hidden attribute)."""
+        model = NoiseModel.thermal_relaxation(amplitude_damping=0.01, phase_damping=0.02)
+        channels = [factory() for factory in model.idle_noise]
+        assert [c.name for c in channels] == ["amplitude_damping", "phase_damping"]
+        assert [c.value for c in channels] == [0.01, 0.02]
+        assert not hasattr(model, "_extra_idle")
+
+    def test_repr_names_both_idle_channels(self):
+        text = repr(NoiseModel.thermal_relaxation())
+        assert "amplitude_damping" in text and "phase_damping" in text
+
+    def test_single_idle_factory_still_accepted(self):
+        q = LineQubit.range(2)
+        circuit = Circuit([H(q[0]), CNOT(q[0], q[1]), H(q[0])])
+        model = NoiseModel(idle_noise=lambda: DepolarizingChannel(0.01))
+        # q1 idles in moments 0 and 2.
+        assert len(model.apply(circuit).noise_operations()) == 2

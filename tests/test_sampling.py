@@ -62,6 +62,48 @@ class TestMetrics:
         assert distribution[3] == pytest.approx(0.5)
         assert distribution.sum() == pytest.approx(1.0)
 
+    def test_empirical_distribution_empty_samples(self):
+        distribution = empirical_distribution([], 3)
+        assert distribution.shape == (8,)
+        assert distribution.sum() == 0.0
+
+    def test_empirical_distribution_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            empirical_distribution([(0, 1, 0)], 2)
+
+    def test_empirical_distribution_matches_sample_result(self):
+        """One shared histogram: SampleResult delegates to the metrics implementation."""
+        from repro.simulator.results import SampleResult
+        from repro.circuits import LineQubit
+
+        rng = np.random.default_rng(3)
+        samples = [tuple(row) for row in rng.integers(0, 2, size=(200, 3))]
+        result = SampleResult(LineQubit.range(3), samples)
+        assert np.array_equal(result.empirical_distribution(), empirical_distribution(samples, 3))
+
+    def test_kl_divergence_floors_zero_empirical_mass(self):
+        """Zero empirical mass where the exact mass is positive: large but finite."""
+        exact = np.array([0.5, 0.5, 0.0, 0.0])
+        empirical = np.array([1.0, 0.0, 0.0, 0.0])
+        value = kl_divergence(exact, empirical)
+        assert np.isfinite(value)
+        # The empirical zero is floored at one part in len(q) * 1e6 and the
+        # distribution renormalized, so KL = 0.5*log(0.5/1) + 0.5*log(0.5/floor).
+        floor = 1.0 / (4 * 1e6)
+        expected = 0.5 * np.log(0.5) + 0.5 * np.log(0.5 / floor)
+        assert value == pytest.approx(expected, rel=1e-3)
+
+    def test_reverse_kl_floors_and_renormalizes(self):
+        """Samples landing where the exact mass is zero must yield a finite penalty."""
+        exact = np.array([1.0, 0.0])
+        empirical = np.array([0.5, 0.5])
+        value = reverse_kl_divergence(exact, empirical)
+        assert np.isfinite(value)
+        assert value > 1.0  # half the mass sits on a floored bin
+        # Identical distributions stay at zero divergence despite the flooring,
+        # because the floored exact distribution is renormalized.
+        assert reverse_kl_divergence(exact, np.array([1.0, 0.0])) == pytest.approx(0.0, abs=1e-6)
+
 
 class TestIdealSampling:
     def test_sample_counts(self, bell_circuit):
