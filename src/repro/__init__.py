@@ -53,9 +53,12 @@ from .circuits import (
     depolarize,
     measure,
 )
+from .circuits.topology import canonicalize_circuit, circuit_topology_key
 from .densitymatrix import DensityMatrixSimulator
+from .knowledge.cache import CompiledCircuitCache, configure_default, default_cache
 from .simulator import DensityMatrixResult, SampleResult, Simulator, StateVectorResult
 from .simulator.kc_simulator import CompiledCircuit, KnowledgeCompilationSimulator
+from .simulator.sweep import ParameterSweep, SweepResult, resolver_grid, resolver_zip
 from .statevector import StateVectorSimulator
 from .tensornetwork import TensorNetworkSimulator
 from .trajectory import TrajectorySimulator
@@ -96,4 +99,13 @@ __all__ = [
     "TrajectorySimulator",
     "KnowledgeCompilationSimulator",
     "CompiledCircuit",
+    "CompiledCircuitCache",
+    "default_cache",
+    "configure_default",
+    "canonicalize_circuit",
+    "circuit_topology_key",
+    "ParameterSweep",
+    "SweepResult",
+    "resolver_grid",
+    "resolver_zip",
 ]

@@ -125,7 +125,24 @@ class NoiseModel:
         return self.multi_qubit_noise
 
     def apply(self, circuit: Circuit) -> Circuit:
-        """Return a noisy copy of ``circuit`` according to this model."""
+        """Return a noisy copy of ``circuit`` according to this model.
+
+        Walks the circuit moment by moment: each gate gets its class's
+        channel on every touched qubit, measured qubits get the measurement
+        channel *before* their terminal measurement, and qubits idle during
+        a moment get the idle channels (in order).  Existing noise
+        operations pass through untouched.
+
+        Args:
+            circuit: The ideal (or partially noisy) circuit to decorate.
+
+        Returns:
+            A new :class:`Circuit`; the input is not modified.
+
+        Raises:
+            TypeError: If a configured factory returns something other than
+                a :class:`NoiseChannel` (raised on first use).
+        """
         all_qubits = circuit.all_qubits()
         noisy = Circuit()
         for moment in circuit.moments:

@@ -54,6 +54,87 @@ class WeightReference:
         return f"WeightReference({self.node_name!r}, {self.entry_index})"
 
 
+class WeightEmitter:
+    """Vectorized literal-weight emission for one :class:`CNFEncoding`.
+
+    Re-binding parameters is the per-query hot path of a compile-once sweep:
+    every sweep point evaluates each node's conditional amplitude table once
+    and scatters entries into the weight-variable slots.  The emitter
+    precomputes, per table-contributing node, the flat entry indices and the
+    destination positions (into the sorted weight-variable order), so one
+    :meth:`emit` call is a table evaluation plus two fancy-indexed gathers —
+    no per-entry Python loop and no intermediate dict.
+
+    Built lazily by :meth:`CNFEncoding.weight_emitter` and cached there.
+    """
+
+    def __init__(self, encoding: "CNFEncoding"):
+        self._network = encoding.network
+        order = encoding.weight_variables
+        position_of = {variable: index for index, variable in enumerate(order)}
+        self.num_weights = len(order)
+
+        # (node, flat table indices, destination positions) per node with at
+        # least one free weight variable.
+        by_node: Dict[str, Tuple[List[int], List[int]]] = {}
+        # Forced-true weight variables multiply into the constant factor.
+        forced_by_node: Dict[str, List[int]] = {}
+        shapes: Dict[str, Tuple[int, ...]] = {}
+
+        def flat_index(reference: WeightReference) -> int:
+            shape = shapes.get(reference.node_name)
+            if shape is None:
+                node = self._network.node(reference.node_name)
+                shape = node.expected_shape(self._network)
+                shapes[reference.node_name] = shape
+            return int(np.ravel_multi_index(reference.entry_index, shape))
+
+        # Every weight variable gets a value slot (matching :meth:`weights`,
+        # including variables fixed by unit propagation); forced-true ones
+        # additionally multiply into the constant factor.
+        for variable, reference in sorted(encoding.weight_refs.items()):
+            if variable in encoding.forced_literals:
+                forced_by_node.setdefault(reference.node_name, []).append(flat_index(reference))
+            flats, destinations = by_node.setdefault(reference.node_name, ([], []))
+            flats.append(flat_index(reference))
+            destinations.append(position_of[variable])
+
+        self._plans: List[Tuple[str, np.ndarray, np.ndarray]] = [
+            (name, np.asarray(flats, dtype=np.int64), np.asarray(destinations, dtype=np.int64))
+            for name, (flats, destinations) in by_node.items()
+        ]
+        self._forced_plans: List[Tuple[str, np.ndarray]] = [
+            (name, np.asarray(flats, dtype=np.int64)) for name, flats in forced_by_node.items()
+        ]
+
+    def emit(self, resolver: Optional[ParamResolver] = None) -> Tuple[np.ndarray, complex]:
+        """Return ``(values, constant_factor)`` under ``resolver``.
+
+        ``values`` is aligned with :attr:`CNFEncoding.weight_variables`;
+        ``constant_factor`` is the product of weights forced true by CNF
+        simplification.  Each contributing table is evaluated exactly once.
+
+        Raises whatever the underlying table builders raise for unbound
+        symbols (``KeyError``/``ValueError``).
+        """
+        values = np.empty(self.num_weights, dtype=complex)
+        tables: Dict[str, np.ndarray] = {}
+
+        def table_of(name: str) -> np.ndarray:
+            table = tables.get(name)
+            if table is None:
+                table = np.ascontiguousarray(self._network.node(name).table(resolver))
+                tables[name] = table
+            return table
+
+        for name, flats, destinations in self._plans:
+            values[destinations] = table_of(name).ravel()[flats]
+        constant = 1.0 + 0j
+        for name, flats in self._forced_plans:
+            constant *= complex(np.prod(table_of(name).ravel()[flats]))
+        return values, constant
+
+
 class CNFEncoding:
     """The result of encoding a Bayesian network into weighted CNF."""
 
@@ -70,6 +151,7 @@ class CNFEncoding:
         self.node_bits = node_bits
         self.weight_refs = weight_refs
         self.forced_literals = forced_literals
+        self._emitter: Optional[WeightEmitter] = None
 
     # ------------------------------------------------------------------
     def bits_of(self, node_name: str) -> List[int]:
@@ -100,32 +182,29 @@ class CNFEncoding:
     def weight_variables(self) -> List[int]:
         return sorted(self.weight_refs)
 
+    def weight_emitter(self) -> WeightEmitter:
+        """The vectorized weight emitter for this encoding (built once, cached)."""
+        if self._emitter is None:
+            self._emitter = WeightEmitter(self)
+        return self._emitter
+
     def weights(self, resolver: Optional[ParamResolver] = None) -> Dict[int, complex]:
         """Numeric weight for every weight variable under ``resolver``.
 
-        Tables are evaluated once per node and cached for the call, so
-        re-binding parameters each variational iteration touches each CAT a
-        single time.
+        A dict view over :meth:`weight_emitter`'s array emission; hot paths
+        (parameter sweeps, variational re-binding) should use the emitter
+        directly and skip the dict.
         """
-        tables: Dict[str, np.ndarray] = {}
-        values: Dict[int, complex] = {}
-        for variable, reference in self.weight_refs.items():
-            table = tables.get(reference.node_name)
-            if table is None:
-                table = self.network.node(reference.node_name).table(resolver)
-                tables[reference.node_name] = table
-            values[variable] = complex(table[reference.entry_index])
-        return values
+        values, _ = self.weight_emitter().emit(resolver)
+        return {
+            variable: complex(value)
+            for variable, value in zip(self.weight_variables, values)
+        }
 
     def constant_factor(self, resolver: Optional[ParamResolver] = None) -> complex:
         """Product of weights of weight variables forced true by simplification."""
-        factor = 1.0 + 0j
-        for literal in self.forced_literals:
-            if literal > 0 and literal in self.weight_refs:
-                reference = self.weight_refs[literal]
-                table = self.network.node(reference.node_name).table(resolver)
-                factor *= complex(table[reference.entry_index])
-        return factor
+        _, constant = self.weight_emitter().emit(resolver)
+        return constant
 
     def stats(self) -> Dict[str, int]:
         base = self.cnf.stats()

@@ -86,7 +86,14 @@ def compile_superoperator_program(
 
 
 class DensityMatrixSimulator(Simulator):
-    """Dense density-matrix simulation of noisy circuits."""
+    """Dense density-matrix simulation of noisy circuits.
+
+    Circuits are compiled into fused superoperator programs (adjacent
+    single-qubit channels merged, per-channel superoperators cached by
+    :meth:`~repro.circuits.noise.NoiseChannel.cache_key`) and applied to the
+    full ``2^n x 2^n`` density matrix — exact noisy ground truth at ``4^n``
+    memory cost.
+    """
 
     name = "density_matrix"
 
@@ -100,6 +107,24 @@ class DensityMatrixSimulator(Simulator):
         qubit_order: Optional[Sequence[Qubit]] = None,
         initial_state: int = 0,
     ) -> DensityMatrixResult:
+        """Evolve the exact density matrix of a (possibly noisy) circuit.
+
+        Args:
+            circuit: The circuit to run (unitary gates + noise channels;
+                terminal measurements are ignored).
+            resolver: Binds any symbolic parameters.
+            qubit_order: Qubit-to-basis-position order (first qubit = most
+                significant bit); defaults to the circuit's sorted qubits.
+            initial_state: Computational-basis index of the starting state.
+
+        Returns:
+            A :class:`DensityMatrixResult` holding the final ``2^n x 2^n``
+            density matrix.
+
+        Raises:
+            ValueError: If ``resolver`` leaves symbols unbound (raised by
+                the gates during program compilation).
+        """
         qubits, rho = self._run(circuit, resolver, qubit_order, initial_state)
         return DensityMatrixResult(qubits, rho)
 
@@ -111,6 +136,20 @@ class DensityMatrixSimulator(Simulator):
         qubit_order: Optional[Sequence[Qubit]] = None,
         seed: Optional[int] = None,
     ) -> SampleResult:
+        """Draw measurement samples from the exact output distribution.
+
+        Args:
+            circuit: The circuit to run.
+            repetitions: Number of bitstring samples to draw.
+            resolver: Binds any symbolic parameters.
+            qubit_order: Qubit-to-basis-position order.
+            seed: Per-call seed for reproducibility in isolation; ``None``
+                draws from the backend's default generator.
+
+        Returns:
+            A :class:`SampleResult` of ``repetitions`` bitstrings sampled
+            from the diagonal of the final density matrix.
+        """
         rng = self._rng(seed)
         result = self.simulate(circuit, resolver, qubit_order)
         return result.sample(repetitions, rng)

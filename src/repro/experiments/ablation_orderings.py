@@ -53,3 +53,9 @@ def run(
         f"Compiled AC size per decision ordering ({num_qubits}-qubit QAOA, {iterations} iteration(s))",
         rows,
     )
+
+
+# Harness entry points (see repro.experiments.runner).  The ablation was not
+# part of the original sequential runner; the spec-driven harness includes it.
+QUICK_RUNS = [("run", {"num_qubits": 6, "include_unelided": False})]
+FULL_RUNS = [("run", {})]

@@ -155,3 +155,9 @@ def run(gamma: float = 0.36) -> List[ExperimentResult]:
         )
     )
     return results
+
+
+# Harness entry points (see repro.experiments.runner): the worked example is
+# cheap enough to run identically in both configurations.
+QUICK_RUNS = [("run", {})]
+FULL_RUNS = [("run", {})]

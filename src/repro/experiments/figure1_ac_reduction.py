@@ -70,3 +70,8 @@ def run(
         "Arithmetic circuit size before/after elision and ordering optimizations (Figure 1)",
         rows,
     )
+
+
+# Harness entry points (see repro.experiments.runner).
+QUICK_RUNS = [("run", {"num_qubits": 4})]
+FULL_RUNS = [("run", {"num_qubits": 4})]

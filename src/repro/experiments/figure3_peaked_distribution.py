@@ -76,3 +76,8 @@ def run(
         "QAOA output distribution is sharply peaked; sampling recovers the peak (Figure 3)",
         rows,
     )
+
+
+# Harness entry points (see repro.experiments.runner).
+QUICK_RUNS = [("run", {"num_qubits": 6, "num_samples": 800})]
+FULL_RUNS = [("run", {"num_qubits": 10, "num_samples": 4000})]

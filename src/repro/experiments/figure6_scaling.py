@@ -88,3 +88,8 @@ def table4(result: Optional[ExperimentResult] = None, scale: str = "small") -> E
         "Problem-size metrics for the largest instances (Table 4)",
         rows,
     )
+
+
+# Harness entry points (see repro.experiments.runner).
+QUICK_RUNS = [("run", {"scale": "small"})]
+FULL_RUNS = [("run", {"scale": "small"})]

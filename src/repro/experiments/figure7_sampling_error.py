@@ -99,3 +99,8 @@ def run_both(
         run(ideal_qubits, noisy=False, sample_counts=sample_counts, seed=seed),
         run(noisy_qubits, noisy=True, sample_counts=sample_counts, seed=seed),
     ]
+
+
+# Harness entry points (see repro.experiments.runner).
+QUICK_RUNS = [("run_both", {"ideal_qubits": 6, "noisy_qubits": 3, "sample_counts": [10, 100, 500]})]
+FULL_RUNS = [("run_both", {"ideal_qubits": 8, "noisy_qubits": 4})]

@@ -125,3 +125,12 @@ def run_all_panels(
         results.append(run("qaoa", iterations, qaoa_qubits, num_samples, seed))
         results.append(run("vqe", iterations, vqe_qubits, num_samples, seed))
     return results
+
+
+# Harness entry points (see repro.experiments.runner): quick mode runs two
+# reduced panels, the full harness all four.
+QUICK_RUNS = [
+    ("run", {"workload": "qaoa", "iterations": 1, "qubit_counts": [4, 6, 8], "num_samples": 200}),
+    ("run", {"workload": "vqe", "iterations": 1, "qubit_counts": [4, 6], "num_samples": 200}),
+]
+FULL_RUNS = [("run_all_panels", {"num_samples": 1000})]

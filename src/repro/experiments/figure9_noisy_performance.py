@@ -122,3 +122,12 @@ def run_all_panels(
         results.append(run("qaoa", iterations, qaoa_qubits, num_samples, seed=seed))
         results.append(run("vqe", iterations, vqe_qubits, num_samples, seed=seed))
     return results
+
+
+# Harness entry points (see repro.experiments.runner): quick mode runs two
+# reduced panels, the full harness all four.
+QUICK_RUNS = [
+    ("run", {"workload": "qaoa", "iterations": 1, "qubit_counts": [4], "num_samples": 100}),
+    ("run", {"workload": "vqe", "iterations": 1, "qubit_counts": [4], "num_samples": 100}),
+]
+FULL_RUNS = [("run_all_panels", {"num_samples": 500})]

@@ -1,69 +1,172 @@
-"""Run every experiment in the reproduction harness.
+"""Process-parallel experiment harness for the reproduction's figures/tables.
 
 ``python -m repro.experiments.runner`` executes a laptop-scale version of
 every table and figure in the paper's evaluation and prints the resulting
-tables; pass ``--quick`` for an even smaller smoke-test configuration.
-Numbers land in ``EXPERIMENTS.md``-style text output (no plotting
-dependency).
+text tables.  The harness is spec-driven and parallel:
+
+* every driver module under :mod:`repro.experiments` declares its harness
+  entry points as ``QUICK_RUNS`` / ``FULL_RUNS`` — lists of
+  ``(function_name, kwargs)`` pairs — and the runner materializes them into
+  :class:`ExperimentSpec` objects;
+* specs run on a **worker-process pool** (``--jobs``), each worker hydrating
+  compiled circuits from a shared on-disk
+  :mod:`compiled-circuit cache <repro.knowledge.cache>` so a topology
+  compiled by one experiment is reused by every other;
+* results are printed in spec order regardless of completion order, and
+  every driver uses fixed seeds, so output values (timings aside) are
+  deterministic and independent of ``--jobs``.
+
+Pass ``--quick`` for a smaller smoke-test configuration, ``--only NAME`` to
+run a subset, ``--list`` to see the spec names.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib
+import os
 import sys
-from typing import List
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, NamedTuple, Optional, Sequence
 
-from . import (
-    bell_example,
-    figure1_ac_reduction,
-    figure3_peaked_distribution,
-    figure6_scaling,
-    figure7_sampling_error,
-    figure8_ideal_performance,
-    figure9_noisy_performance,
-    table6_compilation_metrics,
-)
+from ..knowledge import cache as compile_cache
 from .common import ExperimentResult
 
+#: Driver modules consulted for ``QUICK_RUNS`` / ``FULL_RUNS``, in report order.
+DRIVER_MODULES = (
+    "bell_example",
+    "figure1_ac_reduction",
+    "figure3_peaked_distribution",
+    "figure6_scaling",
+    "figure7_sampling_error",
+    "figure8_ideal_performance",
+    "figure9_noisy_performance",
+    "table6_compilation_metrics",
+    "ablation_orderings",
+)
 
-def run_all(quick: bool = False) -> List[ExperimentResult]:
+
+class ExperimentSpec(NamedTuple):
+    """One harness work item: ``module.function(**kwargs)``."""
+
+    name: str
+    module: str
+    function: str
+    kwargs: Dict
+
+
+def build_specs(quick: bool = False, only: Optional[Sequence[str]] = None) -> List[ExperimentSpec]:
+    """Materialize the spec list from every driver's declared runs.
+
+    ``only`` filters by spec-name substring (case-insensitive); an empty
+    result for a non-empty filter raises ``ValueError`` so typos fail loudly.
+    """
+    specs: List[ExperimentSpec] = []
+    for driver in DRIVER_MODULES:
+        module = importlib.import_module(f"{__package__}.{driver}")
+        runs = getattr(module, "QUICK_RUNS" if quick else "FULL_RUNS")
+        for index, (function, kwargs) in enumerate(runs):
+            suffix = "" if len(runs) == 1 else f"[{index}]"
+            specs.append(ExperimentSpec(f"{driver}{suffix}", module.__name__, function, dict(kwargs)))
+    if only:
+        wanted = [token.lower() for token in only]
+        specs = [spec for spec in specs if any(token in spec.name.lower() for token in wanted)]
+        if not specs:
+            raise ValueError(f"no experiment specs match {list(only)}")
+    return specs
+
+
+def execute_spec(spec: ExperimentSpec) -> List[ExperimentResult]:
+    """Run one spec and normalize its outcome to a list of results."""
+    module = importlib.import_module(spec.module)
+    outcome = getattr(module, spec.function)(**spec.kwargs)
+    return list(outcome) if isinstance(outcome, list) else [outcome]
+
+
+def _worker_init(cache_dir: Optional[str]) -> None:
+    """Pool initializer: point the worker's default compile cache at the shared directory."""
+    if cache_dir:
+        os.environ[compile_cache.CACHE_DIR_ENV] = cache_dir
+        compile_cache.configure_default(directory=cache_dir)
+
+
+def run_specs(
+    specs: Sequence[ExperimentSpec],
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> List[ExperimentResult]:
+    """Execute ``specs`` and return their results flattened, in spec order.
+
+    With ``jobs > 1`` the specs are distributed over a process pool whose
+    workers share ``cache_dir`` (a temporary directory when omitted) as an
+    on-disk compiled-circuit cache: the first worker to need a topology
+    compiles and persists it, the rest hydrate the pickle.  A serial run
+    with an explicit ``cache_dir`` points this process's default cache at
+    the same directory, so repeated invocations reuse compiles across runs.
+    """
+    if jobs <= 1:
+        if cache_dir is not None:
+            _worker_init(cache_dir)
+        return [result for spec in specs for result in execute_spec(spec)]
+    cleanup: Optional[tempfile.TemporaryDirectory] = None
+    if cache_dir is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-runner-cache-")
+        cache_dir = cleanup.name
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(specs)) or 1,
+            initializer=_worker_init,
+            initargs=(cache_dir,),
+        ) as pool:
+            blocks = list(pool.map(execute_spec, specs))
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+    return [result for block in blocks for result in block]
+
+
+def default_jobs() -> int:
+    """Default worker count: modest parallelism that laptops tolerate."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+def run_all(
+    quick: bool = False,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+) -> List[ExperimentResult]:
     """Run every experiment and return the collected results."""
-    results: List[ExperimentResult] = []
-
-    results.extend(bell_example.run())
-    results.append(figure1_ac_reduction.run(num_qubits=4))
-
-    if quick:
-        results.append(figure3_peaked_distribution.run(num_qubits=6, num_samples=800))
-        results.append(figure6_scaling.run(scale="small"))
-        results.extend(figure7_sampling_error.run_both(ideal_qubits=6, noisy_qubits=3,
-                                                       sample_counts=[10, 100, 500]))
-        results.append(figure8_ideal_performance.run("qaoa", 1, [4, 6, 8], num_samples=200))
-        results.append(figure8_ideal_performance.run("vqe", 1, [4, 6], num_samples=200))
-        results.append(figure9_noisy_performance.run("qaoa", 1, [4], num_samples=100))
-        results.append(figure9_noisy_performance.run("vqe", 1, [4], num_samples=100))
-        results.append(
-            table6_compilation_metrics.run(
-                ideal_qaoa_qubits=8, ideal_vqe_qubits=6, noisy_qaoa_qubits=4, noisy_vqe_qubits=4,
-                include_two_iterations=False,
-            )
-        )
-    else:
-        results.append(figure3_peaked_distribution.run(num_qubits=10, num_samples=4000))
-        results.append(figure6_scaling.run(scale="small"))
-        results.extend(figure7_sampling_error.run_both(ideal_qubits=8, noisy_qubits=4))
-        results.extend(figure8_ideal_performance.run_all_panels(num_samples=1000))
-        results.extend(figure9_noisy_performance.run_all_panels(num_samples=500))
-        results.append(table6_compilation_metrics.run())
-
-    return results
+    if jobs is None:
+        jobs = default_jobs()
+    return run_specs(build_specs(quick=quick), jobs=jobs, cache_dir=cache_dir)
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="run a reduced smoke-test configuration")
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: min(4, cpu count); 1 disables the pool)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="shared compiled-circuit cache directory (default: a fresh temporary directory)",
+    )
+    parser.add_argument(
+        "--only", action="append", default=None, metavar="NAME",
+        help="run only specs whose name contains NAME (repeatable)",
+    )
+    parser.add_argument("--list", action="store_true", help="list spec names and exit")
     arguments = parser.parse_args(argv)
-    for result in run_all(quick=arguments.quick):
+
+    specs = build_specs(quick=arguments.quick, only=arguments.only)
+    if arguments.list:
+        for spec in specs:
+            print(spec.name)
+        return 0
+    jobs = arguments.jobs if arguments.jobs is not None else default_jobs()
+    for result in run_specs(specs, jobs=jobs, cache_dir=arguments.cache_dir):
         print(result.summary())
         print()
     return 0

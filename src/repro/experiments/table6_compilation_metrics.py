@@ -68,3 +68,19 @@ def run(
         "Intermediate compilation metrics for the headline QAOA/VQE instances (Table 6)",
         rows,
     )
+
+
+# Harness entry points (see repro.experiments.runner).
+QUICK_RUNS = [
+    (
+        "run",
+        {
+            "ideal_qaoa_qubits": 8,
+            "ideal_vqe_qubits": 6,
+            "noisy_qaoa_qubits": 4,
+            "noisy_vqe_qubits": 4,
+            "include_two_iterations": False,
+        },
+    )
+]
+FULL_RUNS = [("run", {})]

@@ -416,6 +416,24 @@ class ArithmeticCircuit:
         return complex(roots[0]), derivatives[0]
 
     # ------------------------------------------------------------------
+    # Pickling (persistent compiled-circuit cache)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict:
+        """Pickle everything but the per-batch-size scratch buffers.
+
+        Workspaces are pure caches (and can be hundreds of megabytes for
+        large batch sizes); a restored circuit re-grows them lazily on first
+        evaluation.
+        """
+        state = dict(self.__dict__)
+        state["_workspaces"] = None
+        return state
+
+    def __setstate__(self, state: Dict) -> None:
+        self.__dict__.update(state)
+        self._workspaces = OrderedDict()
+
+    # ------------------------------------------------------------------
     # Serialisation (c2d-compatible .nnf text)
     # ------------------------------------------------------------------
     def to_nnf_text(self) -> str:

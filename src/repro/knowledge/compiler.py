@@ -60,14 +60,27 @@ class KnowledgeCompiler:
         variable_order: Optional[Sequence[int]] = None,
         decision_variables: Optional[Sequence[int]] = None,
     ) -> Tuple[NNFNode, NNFManager, CompilationStats]:
-        """Compile ``cnf``; returns (root node, manager, statistics).
+        """Compile ``cnf`` into a deterministic decomposable NNF.
 
-        ``decision_variables`` restricts branching to the given variables
-        (the quantum encoding only ever needs to branch on qubit-state and
-        noise-branch bits — weight variables are always implied by unit
-        propagation once their row is decided, so excluding them shrinks the
-        search dramatically).  If a component contains none of them the
-        compiler falls back to branching on any of its variables.
+        Args:
+            cnf: The formula to compile.
+            manager: NNF node manager to build into (a fresh one when
+                omitted); passing one shares hash-consed nodes across
+                compilations.
+            variable_order: Explicit static decision order; defaults to
+                :meth:`decision_order` (the configured elimination
+                heuristic).  Variables missing from the order rank last.
+            decision_variables: Restricts branching to the given variables
+                (the quantum encoding only ever needs to branch on
+                qubit-state and noise-branch bits — weight variables are
+                always implied by unit propagation once their row is
+                decided, so excluding them shrinks the search
+                dramatically).  If a component contains none of them the
+                compiler falls back to branching on any of its variables.
+
+        Returns:
+            ``(root, manager, stats)``: the d-DNNF root node, the manager
+            owning it, and :class:`CompilationStats` counters for the run.
         """
         manager = manager or NNFManager()
         stats = CompilationStats()

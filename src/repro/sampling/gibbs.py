@@ -149,6 +149,13 @@ class GibbsSampler:
 
     def _bind_parameters(self, resolver: Optional[ParamResolver]) -> None:
         self._base_literal_values, self._constant = self.compiled.base_literal_values(resolver)
+        # Rebound cache views translate caller resolvers into the compiled
+        # template's canonical symbols; the proposal-weight table reads below
+        # address the template's nodes directly, so they need the translated
+        # resolver (plain compiles translate to the identity).
+        translate = getattr(self.compiled, "effective_resolver", None)
+        if translate is not None:
+            resolver = translate(resolver)
 
         # Independence-move proposal: per-variable categorical weights over the
         # forced-consistent values.  Final qubits are proposed uniformly; noise
@@ -481,6 +488,25 @@ class GibbsSampler:
         where they left off (exactly like extending one long MCMC run) and
         skips the initial-state search and burn-in, so repeated calls — the
         variational loop's usage — pay only the recording passes.
+
+        Args:
+            num_samples: Number of output bitstrings to record
+                (``<= 0`` returns an empty result).
+            burn_in_sweeps: Full systematic sweeps discarded before
+                recording (skipped when a warm ensemble is available).
+            steps_per_sample: Batched transitions between recording rounds.
+            initial_state: Optional explicit starting assignment (node name
+                -> value) for every chain; forces a cold start.
+            num_chains: Lockstep ensemble size (clamped to
+                ``[1, num_samples]``).
+
+        Returns:
+            A :class:`SampleResult` with ``num_samples`` bitstrings over the
+            circuit's final qubits.
+
+        Raises:
+            RuntimeError: If no non-zero-amplitude initial state is found
+                within the restart budget (pathological distributions).
         """
         final_names = [variable.node_name for variable in self.compiled.final_variables]
         if num_samples <= 0:

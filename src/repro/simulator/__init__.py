@@ -8,14 +8,22 @@ packages (:mod:`repro.statevector`, :mod:`repro.densitymatrix`,
 :class:`~repro.simulator.base.Simulator` contract: ``simulate`` /
 ``sample`` with identical circuit, resolver, qubit-order, initial-state
 and seeding semantics.
+
+:mod:`repro.simulator.sweep` builds the compile-once parameter-sweep engine
+on top of the knowledge-compilation backend's topology cache.
 """
 
 from .base import Simulator
 from .results import DensityMatrixResult, SampleResult, StateVectorResult
+from .sweep import ParameterSweep, SweepResult, resolver_grid, resolver_zip
 
 __all__ = [
     "Simulator",
     "SampleResult",
     "StateVectorResult",
     "DensityMatrixResult",
+    "ParameterSweep",
+    "SweepResult",
+    "resolver_grid",
+    "resolver_zip",
 ]

@@ -60,7 +60,20 @@ class Simulator:
         qubit_order: Optional[Sequence[Qubit]] = None,
         seed: Optional[int] = None,
     ) -> SampleResult:
-        """Draw measurement samples from the circuit's final wavefunction."""
+        """Draw measurement samples from the circuit's final wavefunction.
+
+        Args:
+            circuit: The circuit to sample.
+            repetitions: Number of bitstring samples to draw.
+            resolver: Binds any symbolic parameters.
+            qubit_order: Qubit-to-basis-position order (first qubit = most
+                significant bit); defaults to the circuit's sorted qubits.
+            seed: Per-call seed making this call reproducible in isolation;
+                ``None`` draws from the backend's default generator.
+
+        Returns:
+            A :class:`SampleResult` of ``repetitions`` bitstrings.
+        """
         raise NotImplementedError
 
     def _rng(self, seed: Optional[int] = None) -> np.random.Generator:

@@ -15,6 +15,8 @@ iterations only re-bind weight values.
 
 from __future__ import annotations
 
+import copy
+import hashlib
 import itertools
 from collections import OrderedDict
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -23,15 +25,40 @@ import numpy as np
 
 from ..bayesnet.from_circuit import QuantumBayesNet, circuit_to_bayesnet
 from ..circuits.circuit import Circuit
-from ..circuits.parameters import ParamResolver
+from ..circuits.parameters import ParameterValue, ParamResolver
 from ..circuits.qubits import Qubit
+from ..circuits.topology import bind_canonical_parameters, canonicalize_circuit
 from ..cnf.encoder import CNFEncoding, encode_bayesnet
 from ..knowledge.arithmetic_circuit import ArithmeticCircuit
+from ..knowledge.cache import CompiledCircuitCache, default_cache
 from ..knowledge.compiler import KnowledgeCompiler
 from ..knowledge.transform import forget, smooth
 from ..linalg.tensor_ops import index_to_bits
 from .base import Simulator
 from .results import DensityMatrixResult, SampleResult, StateVectorResult
+
+#: Sentinel distinguishing "use the process-wide shared cache" (the default)
+#: from an explicit ``cache=None`` (caching disabled).
+USE_DEFAULT_CACHE = object()
+
+
+def _encoding_fingerprint(encoding: CNFEncoding) -> str:
+    """Cheap structural fingerprint validating disk-cached compiles.
+
+    The polynomial front end (circuit -> Bayesian network -> CNF) is re-run
+    on every disk-cache load; a stored arithmetic circuit is only accepted if
+    the freshly built encoding matches the one it was compiled from, so a
+    stale or foreign cache file degrades to a recompile rather than a wrong
+    answer.
+    """
+    description = (
+        encoding.cnf.num_vars,
+        encoding.cnf.num_clauses,
+        tuple(encoding.weight_variables),
+        tuple(sorted(encoding.forced_literals)),
+        tuple(sorted((name, tuple(bits)) for name, bits in encoding.node_bits.items())),
+    )
+    return hashlib.sha256(repr(description).encode("utf-8")).hexdigest()
 
 
 class RetainedVariable:
@@ -189,6 +216,10 @@ class CompiledCircuit:
 
         # Per-resolver cache: (key, bound literal template, constant factor).
         self._weights_cache: Optional[Tuple[Optional[int], np.ndarray, complex]] = None
+        # Canonical-parameter translation for rebound views (see rebound_for):
+        # (canonical symbol name, original ParameterValue) pairs, or None when
+        # this object's circuit is the compiled template itself.
+        self._canonical_bindings: Optional[List[Tuple[str, ParameterValue]]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -215,7 +246,52 @@ class CompiledCircuit:
     # ------------------------------------------------------------------
     # Parameter binding
     # ------------------------------------------------------------------
+    def rebound_for(
+        self,
+        circuit: Circuit,
+        bindings: Optional[Sequence[Tuple[str, ParameterValue]]],
+        qubit_order: Optional[Sequence[Qubit]] = None,
+    ) -> "CompiledCircuit":
+        """A lightweight view of this compile bound to another circuit.
+
+        The view shares every heavy structure (network, encoding, arithmetic
+        circuit, evidence indices) with this object but reports ``circuit``'s
+        qubits and translates resolvers through ``bindings`` — the
+        canonical-symbol assignments produced by
+        :func:`repro.circuits.topology.canonicalize_circuit`.  This is how a
+        topology-cache hit rebinds new parameter values into an existing
+        compile instead of recompiling.
+        """
+        view = copy.copy(self)
+        view.circuit = circuit
+        view._canonical_bindings = list(bindings) if bindings else None
+        view._weights_cache = None
+        if qubit_order is not None:
+            view.qubits = list(qubit_order)
+        else:
+            qubits = circuit.all_qubits()
+            if len(qubits) == len(self.qubits):
+                view.qubits = qubits
+        return view
+
+    def effective_resolver(self, resolver: Optional[ParamResolver] = None) -> Optional[ParamResolver]:
+        """Translate a caller resolver into the compiled template's symbols.
+
+        For rebound views this evaluates each canonical symbol's original
+        expression under ``resolver`` (concrete angles need no resolver) and
+        merges the result over the caller's own assignments, so symbols the
+        canonicalization left untouched still resolve.  For directly compiled
+        circuits this is the identity.
+
+        Raises
+        ------
+        ValueError
+            If an original angle is symbolic and ``resolver`` is ``None``.
+        """
+        return bind_canonical_parameters(self._canonical_bindings or (), resolver)
+
     def _resolver_key(self, resolver: Optional[ParamResolver]) -> Optional[int]:
+        resolver = self.effective_resolver(resolver)
         if resolver is None:
             return None
         return hash(tuple(sorted(resolver.as_dict().items())))
@@ -224,19 +300,20 @@ class CompiledCircuit:
         """Literal-value template with weights bound, memoized per resolver.
 
         The template is shared — callers must copy (or broadcast-copy) before
-        writing evidence into it.
+        writing evidence into it.  Weight emission goes through the
+        encoding's vectorized :class:`~repro.cnf.encoder.WeightEmitter`: one
+        table evaluation per parameterized node plus one fancy-indexed
+        assignment, which is the entire per-point cost of a compile-once
+        parameter sweep.
         """
-        key = self._resolver_key(resolver)
+        effective = self.effective_resolver(resolver)
+        key = None if effective is None else hash(tuple(sorted(effective.as_dict().items())))
         if self._weights_cache is not None and self._weights_cache[0] == key:
             _, template, constant = self._weights_cache
             return template, constant
-        weights = self.encoding.weights(resolver)
-        constant = self.encoding.constant_factor(resolver)
+        weight_values, constant = self.encoding.weight_emitter().emit(effective)
         template = self.arithmetic_circuit.default_literal_values()
         if len(self._weight_vars):
-            weight_values = np.asarray(
-                [weights[int(variable)] for variable in self._weight_vars], dtype=complex
-            )
             template[self._weight_vars, 1] = weight_values
         self._weights_cache = (key, template, constant)
         return template, constant
@@ -433,7 +510,29 @@ class CompiledCircuit:
 
 
 class KnowledgeCompilationSimulator(Simulator):
-    """Simulator backend based on knowledge compilation of noisy circuits."""
+    """Simulator backend based on knowledge compilation of noisy circuits.
+
+    Parameters
+    ----------
+    order_method:
+        Elimination-ordering heuristic for the decision order
+        (``"min_fill"``, ``"min_degree"``, ``"lexicographic"`` or
+        ``"hypergraph"``).
+    elide_internal:
+        Forget intermediate qubit-state variables after compilation (the
+        paper's optimization; final states and noise selectors remain
+        queryable).
+    seed:
+        Seed for the backend's default random generator (Gibbs sampling).
+    burn_in_sweeps:
+        Default number of Gibbs burn-in sweeps per ``sample`` call.
+    cache:
+        Compiled-circuit cache consulted by :meth:`compile_circuit`.  The
+        default is the process-wide shared
+        :class:`~repro.knowledge.cache.CompiledCircuitCache`; pass an
+        explicit instance for isolation (e.g. one with a disk directory for
+        cross-process sweeps) or ``None`` to disable caching entirely.
+    """
 
     name = "knowledge_compilation"
 
@@ -443,18 +542,48 @@ class KnowledgeCompilationSimulator(Simulator):
         elide_internal: bool = True,
         seed: Optional[int] = None,
         burn_in_sweeps: int = 4,
+        cache: object = USE_DEFAULT_CACHE,
     ):
         super().__init__(seed)
         self.order_method = order_method
         self.elide_internal = elide_internal
         self.burn_in_sweeps = burn_in_sweeps
+        self._cache_setting = cache
         # Warm Gibbs samplers keyed by compiled-circuit identity, so seedless
         # repeated sample() calls continue their chain ensembles instead of
         # paying the initial-state search and burn-in again; resolver changes
         # re-bind the cached sampler in place.
         self._sampler_cache: "OrderedDict[int, object]" = OrderedDict()
 
+    @property
+    def cache(self) -> Optional[CompiledCircuitCache]:
+        """The compiled-circuit cache in effect (``None`` when disabled)."""
+        if self._cache_setting is USE_DEFAULT_CACHE:
+            return default_cache()
+        return self._cache_setting  # type: ignore[return-value]
+
     # ------------------------------------------------------------------
+    def cache_key_for(
+        self,
+        circuit: Circuit,
+        qubit_order: Optional[Sequence[Qubit]] = None,
+        initial_bits: Optional[Sequence[int]] = None,
+        elide_internal: Optional[bool] = None,
+    ) -> str:
+        """The cache key ``compile_circuit`` would use for this compile.
+
+        Combines the circuit's topology fingerprint with this simulator's
+        ordering heuristic and elision setting — everything that determines
+        the compiled artifact.
+        """
+        elide = self.elide_internal if elide_internal is None else elide_internal
+        canonical = canonicalize_circuit(circuit, qubit_order=qubit_order, initial_bits=initial_bits)
+        return self._cache_key(canonical.topology_key, elide)
+
+    def _cache_key(self, topology_key: str, elide: bool) -> str:
+        """The single source of truth for the cache-key format."""
+        return f"{topology_key}-{self.order_method}-e{int(elide)}"
+
     def compile_circuit(
         self,
         circuit: Circuit,
@@ -462,28 +591,101 @@ class KnowledgeCompilationSimulator(Simulator):
         initial_bits: Optional[Sequence[int]] = None,
         elide_internal: Optional[bool] = None,
     ) -> CompiledCircuit:
-        """Compile a circuit's structure once, for repeated parameterized queries."""
+        """Compile a circuit's *topology* once, for repeated parameterized queries.
+
+        The circuit is first canonicalized: every rotation-family angle —
+        symbolic or concrete — is lifted to a canonical symbol, and the
+        resulting template is compiled (or fetched from the cache, keyed by
+        topology + ordering + elision).  The returned
+        :class:`CompiledCircuit` is a lightweight view binding the template
+        back to ``circuit``'s own parameter values, so a sweep over twenty
+        parameter points compiles exactly once.
+
+        Parameters
+        ----------
+        circuit:
+            The circuit to compile; a :class:`CompiledCircuit` passes through
+            unchanged.
+        qubit_order:
+            Qubit-to-basis-position order (defaults to sorted qubits).
+        initial_bits:
+            Initial computational-basis bits, baked into the compile.
+        elide_internal:
+            Per-call override of the constructor's ``elide_internal``.
+
+        Returns
+        -------
+        CompiledCircuit
+            A queryable compiled circuit bound to ``circuit``'s parameters.
+        """
+        if isinstance(circuit, CompiledCircuit):
+            return circuit
         elide = self.elide_internal if elide_internal is None else elide_internal
-        network = circuit_to_bayesnet(circuit, qubit_order=qubit_order, initial_bits=initial_bits)
-        encoding = encode_bayesnet(network)
-        compiler = KnowledgeCompiler(order_method=self.order_method)
-        state_bits = [bit for bits in encoding.node_bits.values() for bit in bits]
-        root, manager, _stats = compiler.compile(encoding.cnf, decision_variables=state_bits)
-
-        if elide:
-            elidable: List[int] = []
-            finals = set(network.final_node_names)
-            for node in network.nodes:
-                if node.kind in ("initial", "qubit") and node.name not in finals:
-                    elidable.extend(encoding.bits_of(node.name))
-            root = forget(manager, root, elidable)
-            keep_vars = sorted(set(encoding.cnf.variables()) - set(elidable))
+        canonical = canonicalize_circuit(circuit, qubit_order=qubit_order, initial_bits=initial_bits)
+        cache = self.cache
+        if cache is None:
+            master = self._compile_template(canonical.template, qubit_order, initial_bits, elide)
         else:
-            keep_vars = sorted(encoding.cnf.variables())
+            key = self._cache_key(canonical.topology_key, elide)
+            master = cache.lookup(key)
+            if master is None:
+                master = self._compile_template(
+                    canonical.template, qubit_order, initial_bits, elide, cache=cache, key=key
+                )
+                cache.store(key, master)
+        return master.rebound_for(circuit, canonical.bindings, qubit_order)
 
-        root = smooth(manager, root, keep_vars)
-        arithmetic_circuit = ArithmeticCircuit(root, encoding.cnf.num_vars)
-        return CompiledCircuit(circuit, network, encoding, arithmetic_circuit, elide, self.order_method)
+    def _compile_template(
+        self,
+        template: Circuit,
+        qubit_order: Optional[Sequence[Qubit]],
+        initial_bits: Optional[Sequence[int]],
+        elide: bool,
+        cache: Optional[CompiledCircuitCache] = None,
+        key: Optional[str] = None,
+    ) -> CompiledCircuit:
+        """Run the full pipeline on a canonical template circuit.
+
+        The polynomial front end (Bayesian network + CNF encoding) always
+        runs; the exponential d-DNNF compile is skipped when ``cache`` holds
+        a disk payload for ``key`` whose encoding fingerprint matches.
+        """
+        network = circuit_to_bayesnet(template, qubit_order=qubit_order, initial_bits=initial_bits)
+        encoding = encode_bayesnet(network)
+        fingerprint = _encoding_fingerprint(encoding)
+
+        arithmetic_circuit: Optional[ArithmeticCircuit] = None
+        if cache is not None and key is not None:
+            payload = cache.load_payload(key)
+            if payload is not None and payload.get("fingerprint") == fingerprint:
+                candidate = payload.get("arithmetic_circuit")
+                if isinstance(candidate, ArithmeticCircuit):
+                    arithmetic_circuit = candidate
+
+        if arithmetic_circuit is None:
+            compiler = KnowledgeCompiler(order_method=self.order_method)
+            state_bits = [bit for bits in encoding.node_bits.values() for bit in bits]
+            root, manager, _stats = compiler.compile(encoding.cnf, decision_variables=state_bits)
+
+            if elide:
+                elidable: List[int] = []
+                finals = set(network.final_node_names)
+                for node in network.nodes:
+                    if node.kind in ("initial", "qubit") and node.name not in finals:
+                        elidable.extend(encoding.bits_of(node.name))
+                root = forget(manager, root, elidable)
+                keep_vars = sorted(set(encoding.cnf.variables()) - set(elidable))
+            else:
+                keep_vars = sorted(encoding.cnf.variables())
+
+            root = smooth(manager, root, keep_vars)
+            arithmetic_circuit = ArithmeticCircuit(root, encoding.cnf.num_vars)
+            if cache is not None and key is not None:
+                cache.store_payload(
+                    key, {"arithmetic_circuit": arithmetic_circuit, "fingerprint": fingerprint}
+                )
+
+        return CompiledCircuit(template, network, encoding, arithmetic_circuit, elide, self.order_method)
 
     def _ensure_compiled(self, circuit) -> CompiledCircuit:
         if isinstance(circuit, CompiledCircuit):

@@ -1,0 +1,363 @@
+"""Compile-once parameter-sweep engine.
+
+The paper's economics are "compile once, query many": the exponential
+CNF -> d-DNNF compile is paid per circuit *topology*, after which every
+parameter binding costs a handful of vectorized passes.  This module turns
+that into a first-class engine for the workloads that sweep parameters —
+variational-energy landscapes, figure harnesses, hyperparameter scans:
+
+* :class:`ParameterSweep` compiles a circuit once (through the
+  knowledge-compilation simulator's topology cache) and evaluates any number
+  of parameter points against the shared compile;
+* points can be fanned out over a **process pool**: the compiled artifact is
+  persisted into an on-disk cache directory and each worker hydrates it from
+  there, so the compile still happens exactly once per sweep;
+* sampling is deterministically seeded per point (``seed + index``), making
+  serial and parallel runs produce identical results.
+
+Helpers :func:`resolver_grid` and :func:`resolver_zip` build the common
+sweep-point lists from per-symbol value arrays.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.parameters import ParamResolver
+from ..circuits.qubits import Qubit
+from ..knowledge.cache import CompiledCircuitCache
+from .kc_simulator import (
+    CompiledCircuit,
+    KnowledgeCompilationSimulator,
+    _encoding_fingerprint,
+)
+from .results import SampleResult
+
+SweepPoint = Union[None, ParamResolver, Mapping[str, float]]
+
+#: Observables a sweep can evaluate per point.
+OBSERVABLES = ("probabilities", "state_vector", "samples", "expectation")
+
+
+def as_resolver(point: SweepPoint) -> Optional[ParamResolver]:
+    """Normalize one sweep point (``None`` / mapping / resolver) to a resolver."""
+    if point is None or isinstance(point, ParamResolver):
+        return point
+    return ParamResolver(dict(point))
+
+
+def resolver_zip(assignments: Mapping[str, Sequence[float]]) -> List[ParamResolver]:
+    """Pointwise sweep: the i-th resolver binds every symbol to its i-th value.
+
+    Raises ``ValueError`` if the value sequences have unequal lengths.
+    """
+    lengths = {name: len(values) for name, values in assignments.items()}
+    if len(set(lengths.values())) > 1:
+        raise ValueError(f"resolver_zip requires equal-length value sequences, got {lengths}")
+    names = list(assignments)
+    return [
+        ParamResolver({name: float(assignments[name][index]) for name in names})
+        for index in range(next(iter(lengths.values()), 0))
+    ]
+
+
+def resolver_grid(assignments: Mapping[str, Sequence[float]]) -> List[ParamResolver]:
+    """Cartesian-product sweep over per-symbol value sequences."""
+    names = list(assignments)
+    return [
+        ParamResolver({name: float(value) for name, value in zip(names, combination)})
+        for combination in itertools.product(*(assignments[name] for name in names))
+    ]
+
+
+class SweepResult:
+    """Per-point results of one :meth:`ParameterSweep.run`.
+
+    ``rows`` is a list of plain dicts (one per point, in point order) with at
+    least ``index`` and ``parameters``, plus one entry per requested
+    observable: ``probabilities`` / ``state_vector`` (ndarrays), ``counts``
+    (bitstring -> count dict) and/or ``expectation`` (float).
+    """
+
+    def __init__(self, rows: List[Dict[str, Any]]):
+        self.rows = sorted(rows, key=lambda row: row["index"])
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def _stack(self, key: str) -> np.ndarray:
+        if not self.rows or key not in self.rows[0]:
+            raise KeyError(f"sweep did not record {key!r}")
+        return np.stack([row[key] for row in self.rows])
+
+    def probabilities(self) -> np.ndarray:
+        """``(num_points, 2**n)`` matrix of output distributions."""
+        return self._stack("probabilities")
+
+    def state_vectors(self) -> np.ndarray:
+        """``(num_points, 2**n)`` matrix of final state vectors (ideal circuits)."""
+        return self._stack("state_vector")
+
+    def expectations(self) -> np.ndarray:
+        """``(num_points,)`` vector of objective expectations."""
+        if not self.rows or "expectation" not in self.rows[0]:
+            raise KeyError("sweep did not record 'expectation'")
+        return np.asarray([row["expectation"] for row in self.rows], dtype=float)
+
+    def counts(self) -> List[Dict[str, int]]:
+        """Per-point sampled bitstring counts."""
+        if not self.rows or "counts" not in self.rows[0]:
+            raise KeyError("sweep did not record 'counts'")
+        return [row["counts"] for row in self.rows]
+
+    def __repr__(self) -> str:
+        keys = sorted(set(self.rows[0]) - {"index", "parameters"}) if self.rows else []
+        return f"SweepResult(points={len(self.rows)}, observables={keys})"
+
+
+def _evaluate_point(
+    simulator: KnowledgeCompilationSimulator,
+    compiled: CompiledCircuit,
+    index: int,
+    resolver: Optional[ParamResolver],
+    observables: Sequence[str],
+    repetitions: int,
+    seed: Optional[int],
+    objective: Optional[Callable[[np.ndarray], float]],
+) -> Dict[str, Any]:
+    """Evaluate one sweep point against the shared compile (no recompiling)."""
+    row: Dict[str, Any] = {
+        "index": index,
+        "parameters": {} if resolver is None else resolver.as_dict(),
+    }
+    probabilities: Optional[np.ndarray] = None
+    if "probabilities" in observables or "expectation" in observables:
+        probabilities = compiled.probabilities(resolver)
+    if "probabilities" in observables:
+        row["probabilities"] = probabilities
+    if "expectation" in observables:
+        row["expectation"] = float(objective(probabilities))  # type: ignore[misc]
+    if "state_vector" in observables:
+        row["state_vector"] = compiled.state_vector(resolver)
+    if "samples" in observables:
+        point_seed = None if seed is None else seed + index
+        samples: SampleResult = simulator.sample(
+            compiled, repetitions, resolver=resolver, seed=point_seed
+        )
+        row["counts"] = samples.bitstring_counts()
+    return row
+
+
+def _sweep_worker(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Process-pool worker: hydrate the compile from disk, evaluate points."""
+    cache = CompiledCircuitCache(directory=payload["cache_dir"])
+    simulator = KnowledgeCompilationSimulator(
+        order_method=payload["order_method"],
+        elide_internal=payload["elide_internal"],
+        seed=payload["seed"],
+        cache=cache,
+    )
+    compiled = simulator.compile_circuit(
+        payload["circuit"],
+        qubit_order=payload["qubit_order"],
+        initial_bits=payload["initial_bits"],
+    )
+    return [
+        _evaluate_point(
+            simulator,
+            compiled,
+            index,
+            resolver,
+            payload["observables"],
+            payload["repetitions"],
+            payload["seed"],
+            payload["objective"],
+        )
+        for index, resolver in payload["points"]
+    ]
+
+
+class ParameterSweep:
+    """Evaluate many parameter bindings of one circuit against one compile.
+
+    Parameters
+    ----------
+    circuit:
+        The (typically parameterized) circuit to sweep.
+    simulator:
+        A :class:`KnowledgeCompilationSimulator`; a default instance is
+        created when omitted.  Its topology cache means constructing several
+        sweeps over the same topology still compiles once.
+    qubit_order, initial_bits:
+        Forwarded to :meth:`KnowledgeCompilationSimulator.compile_circuit`.
+
+    The compile happens eagerly in the constructor; :meth:`run` only ever
+    re-binds weights.
+
+    Raises
+    ------
+    TypeError
+        If ``simulator`` is not a knowledge-compilation simulator (the
+        engine's contract is structure reuse, which dense backends lack).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        simulator: Optional[KnowledgeCompilationSimulator] = None,
+        qubit_order: Optional[Sequence[Qubit]] = None,
+        initial_bits: Optional[Sequence[int]] = None,
+    ):
+        self.simulator = simulator or KnowledgeCompilationSimulator()
+        if not isinstance(self.simulator, KnowledgeCompilationSimulator):
+            raise TypeError("ParameterSweep requires a KnowledgeCompilationSimulator")
+        self.circuit = circuit
+        self._qubit_order = list(qubit_order) if qubit_order is not None else None
+        self._initial_bits = list(initial_bits) if initial_bits is not None else None
+        self.compiled = self.simulator.compile_circuit(
+            circuit, qubit_order=self._qubit_order, initial_bits=self._initial_bits
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        points: Iterable[SweepPoint],
+        observables: Sequence[str] = ("probabilities",),
+        repetitions: int = 0,
+        objective: Optional[Callable[[np.ndarray], float]] = None,
+        seed: Optional[int] = 0,
+        jobs: int = 1,
+    ) -> SweepResult:
+        """Evaluate every point and collect per-point observables.
+
+        Parameters
+        ----------
+        points:
+            Sweep points: resolvers, plain ``{symbol: value}`` mappings, or
+            ``None``.
+        observables:
+            Any of ``"probabilities"``, ``"state_vector"``, ``"samples"``,
+            ``"expectation"``.  ``"samples"`` is implied by
+            ``repetitions > 0``.
+        repetitions:
+            Samples to draw per point (Gibbs sampling on the shared compile).
+        objective:
+            Required for ``"expectation"``: maps a point's probability
+            vector to a scalar.  Must be picklable when ``jobs > 1``.
+        seed:
+            Base sampling seed; point ``i`` samples with ``seed + i``, so
+            results are independent of ``jobs``.
+        jobs:
+            Worker processes.  With ``jobs > 1`` the compiled artifact is
+            persisted to the simulator cache's directory (a temporary
+            directory when it has none) and workers hydrate from it.
+
+        Returns
+        -------
+        SweepResult
+
+        Raises
+        ------
+        ValueError
+            For unknown observables, or ``"expectation"`` without
+            ``objective``, or ``"samples"`` without ``repetitions``.
+        """
+        resolvers = [as_resolver(point) for point in points]
+        observables = list(observables)
+        if repetitions and "samples" not in observables:
+            observables.append("samples")
+        unknown = set(observables) - set(OBSERVABLES)
+        if unknown:
+            raise ValueError(f"unknown observables: {sorted(unknown)}")
+        if "expectation" in observables and objective is None:
+            raise ValueError("the 'expectation' observable requires an objective callable")
+        if "samples" in observables and repetitions <= 0:
+            raise ValueError("the 'samples' observable requires repetitions > 0")
+
+        if jobs <= 1 or len(resolvers) <= 1:
+            rows = [
+                _evaluate_point(
+                    self.simulator, self.compiled, index, resolver,
+                    observables, repetitions, seed, objective,
+                )
+                for index, resolver in enumerate(resolvers)
+            ]
+            return SweepResult(rows)
+        return self._run_parallel(resolvers, observables, repetitions, seed, objective, jobs)
+
+    # ------------------------------------------------------------------
+    def _run_parallel(
+        self,
+        resolvers: List[Optional[ParamResolver]],
+        observables: List[str],
+        repetitions: int,
+        seed: Optional[int],
+        objective: Optional[Callable[[np.ndarray], float]],
+        jobs: int,
+    ) -> SweepResult:
+        jobs = min(jobs, len(resolvers))
+        cache = self.simulator.cache
+        cleanup: Optional[tempfile.TemporaryDirectory] = None
+        if cache is not None and cache.directory is not None:
+            cache_dir = cache.directory
+        else:
+            cleanup = tempfile.TemporaryDirectory(prefix="repro-sweep-cache-")
+            cache_dir = cleanup.name
+        try:
+            self._persist_compile(cache_dir)
+            blocks = [
+                {
+                    "circuit": self.circuit,
+                    "qubit_order": self._qubit_order,
+                    "initial_bits": self._initial_bits,
+                    "order_method": self.simulator.order_method,
+                    "elide_internal": self.compiled.elided,
+                    "cache_dir": cache_dir,
+                    "observables": observables,
+                    "repetitions": repetitions,
+                    "seed": seed,
+                    "objective": objective,
+                    "points": list(enumerate(resolvers))[start::jobs],
+                }
+                for start in range(jobs)
+            ]
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                rows = [row for block_rows in pool.map(_sweep_worker, blocks) for row in block_rows]
+        finally:
+            if cleanup is not None:
+                cleanup.cleanup()
+        return SweepResult(rows)
+
+    def _persist_compile(self, directory: str) -> None:
+        """Write this sweep's compiled artifact where workers will look for it."""
+        disk = CompiledCircuitCache(directory=directory)
+        key = self.simulator.cache_key_for(
+            self.circuit,
+            qubit_order=self._qubit_order,
+            initial_bits=self._initial_bits,
+            elide_internal=self.compiled.elided,
+        )
+        if disk.load_payload(key) is None:
+            disk.store_payload(
+                key,
+                {
+                    "arithmetic_circuit": self.compiled.arithmetic_circuit,
+                    "fingerprint": _encoding_fingerprint(self.compiled.encoding),
+                },
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"ParameterSweep(qubits={self.compiled.num_qubits}, "
+            f"ac_nodes={self.compiled.arithmetic_circuit.num_nodes})"
+        )

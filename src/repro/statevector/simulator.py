@@ -41,8 +41,20 @@ class StateVectorSimulator(Simulator):
     ) -> StateVectorResult:
         """Simulate an ideal circuit exactly.
 
-        Raises ``ValueError`` if the circuit contains noise operations; use
-        :meth:`simulate_trajectory` or the density-matrix simulator for those.
+        Args:
+            circuit: The noise-free circuit to run.
+            resolver: Binds any symbolic parameters.
+            qubit_order: Qubit-to-basis-position order (first qubit = most
+                significant bit); defaults to the circuit's sorted qubits.
+            initial_state: Computational-basis index of the starting state.
+
+        Returns:
+            A :class:`StateVectorResult` holding the final ``2^n`` vector.
+
+        Raises:
+            ValueError: If the circuit contains noise operations; use
+                :meth:`simulate_trajectory` or the density-matrix simulator
+                for those.
         """
         if circuit.has_noise:
             raise ValueError(
@@ -60,7 +72,27 @@ class StateVectorSimulator(Simulator):
         initial_state: int = 0,
         seed: Optional[int] = None,
     ) -> StateVectorResult:
-        """Simulate one quantum trajectory of a (possibly noisy) circuit."""
+        """Simulate one quantum trajectory of a (possibly noisy) circuit.
+
+        Each noise channel samples one Kraus branch with the Born
+        probability; the returned state is a single stochastic unravelling,
+        so averaging many trajectories converges to the channel semantics.
+
+        Args:
+            circuit: The circuit to run (noise channels allowed).
+            resolver: Binds any symbolic parameters.
+            qubit_order: Qubit-to-basis-position order.
+            initial_state: Computational-basis index of the starting state.
+            seed: Per-call seed; ``None`` draws branch choices from the
+                backend's default generator.
+
+        Returns:
+            A :class:`StateVectorResult` for this trajectory's final state.
+
+        Raises:
+            ValueError: If every Kraus branch of some channel has zero
+                probability on the current state.
+        """
         rng = self._rng(seed)
         qubits, state = self._run(circuit, resolver, qubit_order, initial_state, rng=rng)
         return StateVectorResult(qubits, state)
@@ -77,7 +109,18 @@ class StateVectorSimulator(Simulator):
 
         For ideal circuits the state is computed once and sampled
         ``repetitions`` times.  For noisy circuits each sample comes from an
-        independent trajectory.
+        independent trajectory (unbiased but ``repetitions`` full runs).
+
+        Args:
+            circuit: The circuit to run.
+            repetitions: Number of bitstring samples to draw.
+            resolver: Binds any symbolic parameters.
+            qubit_order: Qubit-to-basis-position order.
+            seed: Per-call seed for reproducibility in isolation; ``None``
+                draws from the backend's default generator.
+
+        Returns:
+            A :class:`SampleResult` of ``repetitions`` bitstrings.
         """
         rng = self._rng(seed)
         if not circuit.has_noise:

@@ -42,7 +42,21 @@ class TensorNetworkSimulator(Simulator):
         resolver: Optional[ParamResolver] = None,
         qubit_order: Optional[Sequence[Qubit]] = None,
     ) -> complex:
-        """Amplitude of ``bits`` in the circuit's final state."""
+        """Amplitude of ``bits`` in the circuit's final state.
+
+        Args:
+            circuit: The ideal circuit to contract.
+            bits: One output bit per qubit (first qubit = most significant).
+            resolver: Binds any symbolic parameters.
+            qubit_order: Qubit-to-basis-position order.
+
+        Returns:
+            The complex amplitude ``<bits|C|0...0>`` from one contraction.
+
+        Raises:
+            ValueError: If the circuit contains noise operations (raised by
+                the network builder; this backend is ideal-only).
+        """
         network = circuit_to_network(circuit, output_bits=bits, resolver=resolver, qubit_order=qubit_order)
         return contract_network(network, self.contraction_method).scalar()
 
@@ -85,7 +99,21 @@ class TensorNetworkSimulator(Simulator):
         """Metropolis sampling over output bitstrings using amplitude queries.
 
         Each proposal flips one output bit and requires one network
-        contraction for the new amplitude.
+        contraction for the new amplitude — the per-sample cost structure of
+        the paper's Figure 8 baseline.
+
+        Args:
+            circuit: The ideal circuit to sample.
+            repetitions: Number of recorded samples (after ``burn_in``).
+            resolver: Binds any symbolic parameters.
+            qubit_order: Qubit-to-basis-position order.
+            seed: Per-call seed; ``None`` uses the backend's default
+                generator.
+            burn_in: Discarded equilibration steps before recording.
+
+        Returns:
+            A :class:`SampleResult` of ``repetitions`` bitstrings (the
+            stationary distribution is the exact output distribution).
         """
         rng = self._rng(seed)
         qubits = list(qubit_order) if qubit_order is not None else circuit.all_qubits()

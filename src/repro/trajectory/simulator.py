@@ -246,6 +246,23 @@ class TrajectorySimulator(Simulator):
         Carlo rate.  Only sensible at qubit counts where the ``4^n`` output
         itself is representable — use :meth:`sample` or
         :meth:`estimate_probabilities` beyond that.
+
+        Args:
+            circuit: The circuit to run (noise channels allowed).
+            resolver: Binds any symbolic parameters.
+            qubit_order: Qubit-to-basis-position order.
+            initial_state: Computational-basis index of the starting state.
+            num_trajectories: Ensemble size for the Monte Carlo average.
+            seed: Per-call seed; ``None`` uses the backend's default
+                generator.
+
+        Returns:
+            A :class:`DensityMatrixResult` with the trajectory-averaged
+            ``2^n x 2^n`` matrix.
+
+        Raises:
+            ValueError: If ``num_trajectories`` is not positive (raised
+                during batch preparation).
         """
         rng = self._rng(seed)
         if not circuit.has_noise:
@@ -288,6 +305,18 @@ class TrajectorySimulator(Simulator):
 
         The trajectory average of ``|psi|^2`` — the diagonal of the density
         matrix without ever materialising the ``4^n`` matrix.
+
+        Args:
+            circuit: The circuit to run.
+            resolver: Binds any symbolic parameters.
+            qubit_order: Qubit-to-basis-position order.
+            initial_state: Computational-basis index of the starting state.
+            num_trajectories: Ensemble size (ideal circuits use one).
+            seed: Per-call seed; ``None`` uses the backend's default
+                generator.
+
+        Returns:
+            A ``(2^n,)`` float array summing to 1 (up to Monte Carlo noise).
         """
         rng = self._rng(seed)
         if not circuit.has_noise:
@@ -320,6 +349,22 @@ class TrajectorySimulator(Simulator):
         round-robin over the trajectories — still unbiased per sample, at
         the cost of correlation between samples sharing a trajectory.  Ideal
         circuits collapse to a single deterministic trajectory.
+
+        Args:
+            circuit: The circuit to sample.
+            repetitions: Number of bitstring samples to draw.
+            resolver: Binds any symbolic parameters.
+            qubit_order: Qubit-to-basis-position order.
+            seed: Per-call seed; ``None`` uses the backend's default
+                generator.
+            num_trajectories: Optional cap on the trajectory ensemble size.
+
+        Returns:
+            A :class:`SampleResult` of ``repetitions`` bitstrings.
+
+        Raises:
+            ValueError: If ``repetitions`` or ``num_trajectories`` is not
+                positive.
         """
         if repetitions < 1:
             raise ValueError("repetitions must be positive")

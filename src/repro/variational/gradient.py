@@ -78,6 +78,10 @@ class CompiledObjective:
         self._evaluations = 0
         self._compiled: Optional[CompiledCircuit] = None
         if isinstance(simulator, KnowledgeCompilationSimulator):
+            # One compile per objective; the simulator's topology cache
+            # deduplicates further across objectives sharing an ansatz
+            # topology, so every optimizer step and parameter-shift probe
+            # below is a pure weight re-binding.
             self._compiled = simulator.compile_circuit(ansatz.circuit)
 
     @property

@@ -75,7 +75,10 @@ class VariationalLoop:
 
         if isinstance(simulator, KnowledgeCompilationSimulator):
             # Compile the parameterized circuit structure once; every
-            # objective evaluation below re-binds parameters only.
+            # objective evaluation below re-binds parameters only.  The
+            # simulator's topology cache means separate loops over the same
+            # ansatz topology (e.g. restarts, gradient probes) also share
+            # this compile.
             self._compiled = simulator.compile_circuit(ansatz.circuit)
 
     # ------------------------------------------------------------------

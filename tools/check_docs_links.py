@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Docs link checker: every relative link in docs/*.md and README.md must resolve.
+
+Checks Markdown links of the form ``[text](target)``:
+
+* ``http(s)://`` and ``mailto:`` targets are skipped (no network in CI);
+* anchors-only targets (``#section``) are checked against the same file's
+  headings;
+* relative targets must exist on disk (anchor suffixes are checked against
+  the target file's headings when it is Markdown).
+
+Exit status is non-zero when any link is broken.  Usage::
+
+    python tools/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_PATTERN = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def slugify(heading: str) -> str:
+    """GitHub/mkdocs-style anchor slug for a heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\s-]", "", slug)
+    return re.sub(r"[\s]+", "-", slug).strip("-")
+
+
+def anchors_of(path: Path) -> set:
+    return {slugify(match) for match in HEADING_PATTERN.findall(path.read_text(encoding="utf-8"))}
+
+
+def check_file(path: Path) -> list:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for target in LINK_PATTERN.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if slugify(target[1:]) not in anchors_of(path):
+                errors.append(f"{path}: broken anchor {target!r}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: broken link {target!r} -> {resolved}")
+            continue
+        if anchor and resolved.suffix == ".md" and slugify(anchor) not in anchors_of(resolved):
+            errors.append(f"{path}: broken anchor {target!r} in {resolved.name}")
+    return errors
+
+
+def main() -> int:
+    files = sorted((ROOT / "docs").glob("*.md")) + [ROOT / "README.md"]
+    errors = []
+    for path in files:
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} files, {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
