@@ -19,6 +19,7 @@ Subpackages
 ``repro.densitymatrix``  dense density-matrix baseline (Cirq noisy-simulator stand-in)
 ``repro.tensornetwork``  tensor-network contraction baseline (qTorch stand-in)
 ``repro.trajectory``     batched quantum-trajectory (Monte Carlo wavefunction) backend
+``repro.stabilizer``     Aaronson–Gottesman tableau backend for Clifford circuits
 ``repro.bayesnet``       complex-valued Bayesian networks + variable elimination
 ``repro.cnf``            weighted CNF encoding of Bayesian networks
 ``repro.knowledge``      d-DNNF compiler and arithmetic circuits
@@ -53,12 +54,15 @@ from .circuits import (
     depolarize,
     measure,
 )
+from .circuits.clifford import classify_circuit, is_clifford, is_pauli_noise
 from .circuits.topology import canonicalize_circuit, circuit_topology_key
 from .densitymatrix import DensityMatrixSimulator
 from .knowledge.cache import CompiledCircuitCache, configure_default, default_cache
 from .simulator import DensityMatrixResult, SampleResult, Simulator, StateVectorResult
+from .simulator.hybrid import BackendDecision, HybridSimulator, select_backend
 from .simulator.kc_simulator import CompiledCircuit, KnowledgeCompilationSimulator
 from .simulator.sweep import ParameterSweep, SweepResult, resolver_grid, resolver_zip
+from .stabilizer import StabilizerResult, StabilizerSimulator
 from .statevector import StateVectorSimulator
 from .tensornetwork import TensorNetworkSimulator
 from .trajectory import TrajectorySimulator
@@ -97,6 +101,14 @@ __all__ = [
     "DensityMatrixSimulator",
     "TensorNetworkSimulator",
     "TrajectorySimulator",
+    "StabilizerSimulator",
+    "StabilizerResult",
+    "HybridSimulator",
+    "BackendDecision",
+    "select_backend",
+    "classify_circuit",
+    "is_clifford",
+    "is_pauli_noise",
     "KnowledgeCompilationSimulator",
     "CompiledCircuit",
     "CompiledCircuitCache",

@@ -19,7 +19,7 @@ from .deutsch_jozsa import deutsch_circuit, deutsch_jozsa_circuit
 from .grover import grover_circuit
 from .hidden_shift import hidden_shift_circuit
 from .qft import expected_qft_amplitudes, inverse_qft_circuit, qft_circuit, qft_operations
-from .rcs import random_circuit
+from .rcs import random_circuit, random_clifford_circuit
 from .shor import (
     classical_postprocess,
     expected_counting_distribution,
@@ -57,4 +57,5 @@ __all__ = [
     "classical_postprocess",
     "shor_factor",
     "random_circuit",
+    "random_clifford_circuit",
 ]

@@ -18,6 +18,12 @@ from ..circuits.gates import CNOT, CZ, H, X
 from ..circuits.qubits import LineQubit, Qubit
 
 
+#: Builders skip materializing dense ``2^n`` expected distributions beyond
+#: this register width: the stabilizer backend runs instances at widths where
+#: a dense array (unlike ``expected_bitstring``-style checks) cannot exist.
+DENSE_EXPECTATION_QUBITS = 16
+
+
 class AlgorithmInstance:
     """A named benchmark circuit plus its expected behaviour."""
 
@@ -42,6 +48,20 @@ class AlgorithmInstance:
     @property
     def num_qubits(self) -> int:
         return len(self.qubits)
+
+    @property
+    def is_clifford(self) -> bool:
+        """True when every gate in the circuit is Clifford (noise ignored).
+
+        Builders whose circuits are Clifford by construction (Bell/GHZ,
+        Deutsch–Jozsa, Bernstein–Vazirani, Simon, hidden shift, the Clifford
+        RCS skeleton) also advertise it as ``metadata["clifford"] = True``;
+        this property is the ground truth derived from the gate metadata,
+        so the hybrid dispatcher and the advertisement can be cross-checked.
+        """
+        from ..circuits.clifford import is_clifford
+
+        return is_clifford(self.circuit)
 
     def __repr__(self) -> str:
         return f"AlgorithmInstance({self.name!r}, qubits={self.num_qubits})"

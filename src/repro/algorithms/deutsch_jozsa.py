@@ -14,7 +14,7 @@ import numpy as np
 from ..circuits.circuit import Circuit
 from ..circuits.gates import CNOT, H, X
 from ..circuits.qubits import LineQubit, Qubit
-from .common import AlgorithmInstance, deterministic_distribution
+from .common import DENSE_EXPECTATION_QUBITS, AlgorithmInstance, deterministic_distribution
 
 
 def _phase_oracle_constant(circuit: Circuit, inputs: Sequence[Qubit], ancilla: Qubit, value: int) -> None:
@@ -39,6 +39,10 @@ def deutsch_jozsa_circuit(
     ``oracle`` is "constant" or "balanced".  Balanced oracles compute
     ``f(x) = mask . x mod 2`` (mask defaults to all ones); constant oracles
     return ``constant_value`` for every input.
+
+    Both oracle families decompose into ``H``/``X``/``CNOT`` only, so the
+    instance is pure Clifford (``metadata["clifford"]``) and dispatches to
+    the stabilizer tableau.
     """
     if num_input_qubits < 1:
         raise ValueError("need at least one input qubit")
@@ -71,13 +75,16 @@ def deutsch_jozsa_circuit(
     else:
         input_bits = tuple(int(b) for b in mask)
 
-    # The ancilla stays in |->: uniformly 0/1 upon measurement.
-    expected = np.zeros(2 ** (num_input_qubits + 1))
-    base_index = 0
-    for bit in input_bits:
-        base_index = (base_index << 1) | bit
-    expected[base_index * 2 + 0] = 0.5
-    expected[base_index * 2 + 1] = 0.5
+    # The ancilla stays in |->: uniformly 0/1 upon measurement.  Dense only
+    # at dense-simulable widths (wide instances keep expected_bitstring).
+    expected = None
+    if num_input_qubits + 1 <= DENSE_EXPECTATION_QUBITS:
+        expected = np.zeros(2 ** (num_input_qubits + 1))
+        base_index = 0
+        for bit in input_bits:
+            base_index = (base_index << 1) | bit
+        expected[base_index * 2 + 0] = 0.5
+        expected[base_index * 2 + 1] = 0.5
 
     return AlgorithmInstance(
         f"deutsch_jozsa_{oracle}_{num_input_qubits}",
@@ -86,7 +93,7 @@ def deutsch_jozsa_circuit(
         expected_distribution=expected,
         expected_bitstring=input_bits,
         description="Deutsch-Jozsa constant-vs-balanced decision",
-        metadata={"oracle": oracle, "mask": list(mask)},
+        metadata={"oracle": oracle, "mask": list(mask), "clifford": True},
     )
 
 

@@ -14,7 +14,7 @@ import numpy as np
 from ..circuits.circuit import Circuit
 from ..circuits.gates import CZ, H, X, Z
 from ..circuits.qubits import LineQubit
-from .common import AlgorithmInstance, deterministic_distribution
+from .common import DENSE_EXPECTATION_QUBITS, AlgorithmInstance, deterministic_distribution
 
 
 def hidden_shift_circuit(shift: Sequence[int]) -> AlgorithmInstance:
@@ -23,6 +23,9 @@ def hidden_shift_circuit(shift: Sequence[int]) -> AlgorithmInstance:
     The oracle pairs qubit i with qubit i + m through CZ gates (the bent
     function x . y); X gates implement the shift.  The output register holds
     the shift exactly.
+
+    ``H``/``X``/``CZ`` only — pure Clifford (``metadata["clifford"]``), so
+    the instance dispatches to the stabilizer tableau at any width.
     """
     shift = [int(b) & 1 for b in shift]
     if len(shift) % 2 != 0 or not shift:
@@ -50,7 +53,8 @@ def hidden_shift_circuit(shift: Sequence[int]) -> AlgorithmInstance:
 
     # The algorithm recovers the shift deterministically: the dual of the bent
     # function f(x, y) = x . y is f itself, so the output register reads `shift`.
-    expected = deterministic_distribution(shift)
+    # The dense form only exists at dense-simulable widths.
+    expected = deterministic_distribution(shift) if num_qubits <= DENSE_EXPECTATION_QUBITS else None
     return AlgorithmInstance(
         f"hidden_shift_{''.join(str(b) for b in shift)}",
         circuit,
@@ -58,5 +62,5 @@ def hidden_shift_circuit(shift: Sequence[int]) -> AlgorithmInstance:
         expected_distribution=expected,
         expected_bitstring=tuple(shift),
         description="Hidden shift of a Maiorana-McFarland bent function",
-        metadata={"shift": shift},
+        metadata={"shift": shift, "clifford": True},
     )

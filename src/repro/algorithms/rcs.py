@@ -59,3 +59,46 @@ def random_circuit(
         description="Random circuit sampling instance (supremacy-style workload)",
         metadata={"depth": depth, "seed": seed},
     )
+
+
+_CLIFFORD_1Q = ("h", "s", "sdg", "x", "y", "z")
+_CLIFFORD_2Q = ("cz", "cnot", "swap")
+
+
+def random_clifford_circuit(
+    num_qubits: int,
+    depth: int,
+    seed: Optional[int] = None,
+) -> AlgorithmInstance:
+    """The Clifford skeleton of an RCS instance: random Clifford brick-work.
+
+    Same layered template as :func:`random_circuit`, with the single-qubit
+    alphabet restricted to ``{H, S, SDG, X, Y, Z}`` and the entangler drawn
+    from ``{CZ, CNOT, SWAP}``.  Every gate advertises Cliffordness through
+    the gate-metadata layer (:meth:`repro.circuits.gates.Gate.clifford_ops`),
+    so the hybrid dispatcher runs these instances on the stabilizer tableau
+    at qubit counts no dense backend can touch.
+    """
+    if num_qubits < 2:
+        raise ValueError("random circuits need at least two qubits")
+    from ..circuits.gates import standard_gate_by_name
+
+    rng = np.random.default_rng(seed)
+    qubits = LineQubit.range(num_qubits)
+    circuit = Circuit()
+    circuit.append(H(q) for q in qubits)
+    for layer in range(depth):
+        for qubit in qubits:
+            name = _CLIFFORD_1Q[int(rng.integers(0, len(_CLIFFORD_1Q)))]
+            circuit.append(standard_gate_by_name(name)(qubit))
+        offset = layer % 2
+        for index in range(offset, num_qubits - 1, 2):
+            name = _CLIFFORD_2Q[int(rng.integers(0, len(_CLIFFORD_2Q)))]
+            circuit.append(standard_gate_by_name(name)(qubits[index], qubits[index + 1]))
+    return AlgorithmInstance(
+        f"random_clifford_{num_qubits}x{depth}_seed{seed}",
+        circuit,
+        qubits,
+        description="Clifford skeleton of an RCS instance (stabilizer-simulable)",
+        metadata={"depth": depth, "seed": seed, "clifford": True},
+    )

@@ -9,7 +9,7 @@ import numpy as np
 from ..circuits.circuit import Circuit
 from ..circuits.gates import CNOT, H
 from ..circuits.qubits import LineQubit, Qubit
-from .common import AlgorithmInstance
+from .common import DENSE_EXPECTATION_QUBITS, AlgorithmInstance
 
 
 def _simon_oracle(
@@ -35,6 +35,10 @@ def simon_circuit(secret: Sequence[int]) -> AlgorithmInstance:
     ``y . secret = 0 (mod 2)``; the classical post-processing solves the
     resulting linear system.  The expected distribution over the input
     register is uniform over that orthogonal subspace.
+
+    Oracle and basis changes are ``H``/``CNOT`` only — pure Clifford
+    (``metadata["clifford"]``), so the instance dispatches to the
+    stabilizer tableau at any register width.
     """
     secret = [int(b) & 1 for b in secret]
     n = len(secret)
@@ -48,21 +52,30 @@ def simon_circuit(secret: Sequence[int]) -> AlgorithmInstance:
     circuit.append(H(q) for q in inputs)
 
     # Expected marginal over the input register: uniform over {y : y.s = 0}.
-    orthogonal = [
-        y
-        for y in range(2 ** n)
-        if sum(((y >> (n - 1 - i)) & 1) * secret[i] for i in range(n)) % 2 == 0
-    ]
-    input_marginal = np.zeros(2 ** n)
-    for y in orthogonal:
-        input_marginal[y] = 1.0 / len(orthogonal)
+    # Dense only at dense-simulable widths; wide instances rely on
+    # secret_consistent() checks instead.
+    input_marginal = None
+    if n <= DENSE_EXPECTATION_QUBITS:
+        orthogonal = [
+            y
+            for y in range(2 ** n)
+            if sum(((y >> (n - 1 - i)) & 1) * secret[i] for i in range(n)) % 2 == 0
+        ]
+        input_marginal = np.zeros(2 ** n)
+        for y in orthogonal:
+            input_marginal[y] = 1.0 / len(orthogonal)
 
     return AlgorithmInstance(
         f"simon_{''.join(str(b) for b in secret)}",
         circuit,
         list(inputs) + list(outputs),
         description="One query round of Simon's period-finding algorithm",
-        metadata={"secret": secret, "input_marginal": input_marginal, "num_input_qubits": n},
+        metadata={
+            "secret": secret,
+            "input_marginal": input_marginal,
+            "num_input_qubits": n,
+            "clifford": True,
+        },
     )
 
 

@@ -97,6 +97,26 @@ class Gate:
         """Return a copy of this gate with symbols replaced by numbers."""
         return self
 
+    def clifford_ops(self, resolver: Optional[ParamResolver] = None):
+        """Tableau metadata: the gate as stabilizer primitives, or ``None``.
+
+        Returns a tuple of :class:`repro.circuits.clifford.CliffordOp`
+        primitives (``H``/``S``/``SDG``/``X``/``Y``/``Z``/``CNOT``/``CZ``/
+        ``SWAP`` on gate-local qubit indices) equivalent to this gate's
+        unitary up to global phase, or ``None`` when the gate is not (or not
+        recognizably) Clifford.  Recognition is semantic — ``Rz(k*pi/2)``
+        and friends qualify at Clifford angles — see
+        :func:`repro.circuits.clifford.gate_clifford_ops`.
+        """
+        from .clifford import gate_clifford_ops
+
+        return gate_clifford_ops(self, resolver)
+
+    @property
+    def is_clifford(self) -> bool:
+        """True if the gate (at its current parameters) is a Clifford gate."""
+        return self.clifford_ops() is not None
+
     def is_monomial(self, resolver: Optional[ParamResolver] = None) -> bool:
         """True if the gate's unitary is a generalized permutation matrix.
 

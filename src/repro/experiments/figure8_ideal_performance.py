@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..simulator.hybrid import HybridSimulator
 from ..simulator.kc_simulator import KnowledgeCompilationSimulator
 from ..statevector import StateVectorSimulator
 from ..tensornetwork import TensorNetworkSimulator
@@ -87,6 +88,16 @@ def run(
                 lambda: simulator.sample(resolved_circuit, num_samples, seed=seed)
             )
             row["state_vector_seconds"] = round(elapsed, 4)
+        if "hybrid" in backends:
+            # The dispatcher route: QAOA/VQE angles are generically
+            # non-Clifford, so this measures classification overhead plus the
+            # fallback backend; the routed backend is reported per row.
+            simulator = HybridSimulator(seed=seed)
+            _, elapsed = time_callable(
+                lambda: simulator.sample(resolved_circuit, num_samples, seed=seed)
+            )
+            row["hybrid_seconds"] = round(elapsed, 4)
+            row["hybrid_route"] = simulator.last_decision.backend
         if "tensor_network" in backends:
             simulator = TensorNetworkSimulator(seed=seed)
             capped = min(num_samples, tensor_network_sample_cap)

@@ -42,6 +42,7 @@ DRIVER_MODULES = (
     "figure7_sampling_error",
     "figure8_ideal_performance",
     "figure9_noisy_performance",
+    "stabilizer_scaling",
     "table6_compilation_metrics",
     "ablation_orderings",
 )

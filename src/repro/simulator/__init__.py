@@ -10,10 +10,13 @@ packages (:mod:`repro.statevector`, :mod:`repro.densitymatrix`,
 and seeding semantics.
 
 :mod:`repro.simulator.sweep` builds the compile-once parameter-sweep engine
-on top of the knowledge-compilation backend's topology cache.
+on top of the knowledge-compilation backend's topology cache, and
+:mod:`repro.simulator.hybrid` routes Clifford circuits to the polynomial-cost
+stabilizer backend (:mod:`repro.stabilizer`) automatically.
 """
 
 from .base import Simulator
+from .hybrid import BackendDecision, HybridSimulator, select_backend
 from .results import DensityMatrixResult, SampleResult, StateVectorResult
 from .sweep import ParameterSweep, SweepResult, resolver_grid, resolver_zip
 
@@ -22,6 +25,9 @@ __all__ = [
     "SampleResult",
     "StateVectorResult",
     "DensityMatrixResult",
+    "BackendDecision",
+    "HybridSimulator",
+    "select_backend",
     "ParameterSweep",
     "SweepResult",
     "resolver_grid",

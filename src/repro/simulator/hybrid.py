@@ -1,0 +1,177 @@
+"""Automatic stabilizer-vs-dense backend dispatch.
+
+A large slice of the benchmark suite — Bell/GHZ preparation, Deutsch–Jozsa,
+Bernstein–Vazirani, Simon, hidden shift, error-correction-style Clifford
+skeletons — is pure Clifford and therefore ``O(poly(n))`` on the stabilizer
+tableau, while everything else needs a dense (or knowledge-compiled)
+backend.  This module makes that choice automatic:
+
+* :func:`select_backend` classifies a circuit (via
+  :func:`repro.circuits.clifford.classify_circuit`) and names the backend
+  that should run it, with a human-readable reason;
+* :class:`HybridSimulator` is a drop-in :class:`~repro.simulator.base.Simulator`
+  that owns a :class:`~repro.stabilizer.StabilizerSimulator` plus a
+  configurable fallback backend and routes every ``simulate`` / ``sample``
+  call per circuit.  The routing actually taken is recorded in
+  :attr:`HybridSimulator.last_decision` so tests (and the experiment
+  harness) can assert dispatch behaviour.
+
+Routing rules
+-------------
+* all gates Clifford, no noise  -> ``stabilizer`` for both entry points;
+* all gates Clifford, all noise single-qubit Pauli mixtures ->
+  ``stabilizer`` for ``sample`` (stochastic Pauli unravelling); ``simulate``
+  falls back, because a tableau holds a pure stabilizer state, not a mixed
+  state;
+* anything else -> the fallback backend, with the blocking operation named
+  in the decision's reason.
+
+Noisy ``simulate`` calls need a mixed-state representation, so they route
+to a separate ``noisy_fallback`` (a density-matrix simulator by default)
+rather than the pure-state fallback.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Sequence
+
+from ..circuits.circuit import Circuit
+from ..circuits.clifford import classify_circuit
+from ..circuits.parameters import ParamResolver
+from ..circuits.qubits import Qubit
+from ..stabilizer import StabilizerSimulator
+from .base import Simulator
+from .results import SampleResult
+
+
+class BackendDecision(NamedTuple):
+    """One routing decision: the chosen backend name plus the reason."""
+
+    backend: str
+    reason: str
+
+
+def select_backend(
+    circuit: Circuit,
+    resolver: Optional[ParamResolver] = None,
+    fallback: str = "state_vector",
+    sampling: bool = True,
+) -> BackendDecision:
+    """Choose the backend for ``circuit``: ``"stabilizer"`` or ``fallback``.
+
+    ``sampling=False`` asks for the ``simulate`` route, where noisy circuits
+    always fall back (a tableau cannot represent a mixed state).
+    """
+    classification = classify_circuit(circuit, resolver)
+    if classification.clifford and classification.pauli_noise:
+        if classification.has_noise:
+            if sampling:
+                return BackendDecision("stabilizer", "clifford + pauli-noise")
+            return BackendDecision(
+                fallback, "noisy simulate needs a mixed-state representation"
+            )
+        return BackendDecision("stabilizer", "clifford")
+    return BackendDecision(fallback, classification.blocker or "non-clifford circuit")
+
+
+class HybridSimulator(Simulator):
+    """Per-circuit automatic dispatch between the tableau and a dense backend.
+
+    Parameters
+    ----------
+    fallback:
+        Any :class:`~repro.simulator.base.Simulator` handling the
+        non-Clifford route; defaults to a fresh
+        :class:`~repro.statevector.StateVectorSimulator` seeded with
+        ``seed``.
+    noisy_fallback:
+        The backend for ``simulate`` calls on *noisy* circuits, which need a
+        mixed-state representation the default fallback lacks.  Defaults to
+        a :class:`~repro.densitymatrix.DensityMatrixSimulator` when
+        ``fallback`` is defaulted, and to ``fallback`` itself when the
+        caller supplied one (their backend, their noise contract).
+    seed:
+        Seeds every owned backend's default generator.
+    """
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        fallback: Optional[Simulator] = None,
+        noisy_fallback: Optional[Simulator] = None,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(seed)
+        if fallback is None:
+            from ..statevector import StateVectorSimulator
+
+            fallback = StateVectorSimulator(seed=seed)
+            if noisy_fallback is None:
+                from ..densitymatrix import DensityMatrixSimulator
+
+                noisy_fallback = DensityMatrixSimulator(seed=seed)
+        self.fallback = fallback
+        self.noisy_fallback = noisy_fallback if noisy_fallback is not None else fallback
+        self.stabilizer = StabilizerSimulator(seed=seed)
+        #: The decision taken by the most recent ``simulate``/``sample`` call.
+        self.last_decision: Optional[BackendDecision] = None
+
+    def _fallback_for(self, circuit: Circuit, sampling: bool) -> Simulator:
+        """``sample`` always uses ``fallback``; noisy ``simulate`` needs mixed states."""
+        if not sampling and circuit.has_noise:
+            return self.noisy_fallback
+        return self.fallback
+
+    def decide(
+        self,
+        circuit: Circuit,
+        resolver: Optional[ParamResolver] = None,
+        sampling: bool = True,
+    ) -> BackendDecision:
+        """The routing :func:`select_backend` would take for ``circuit``."""
+        return select_backend(
+            circuit,
+            resolver,
+            fallback=self._fallback_for(circuit, sampling).name,
+            sampling=sampling,
+        )
+
+    def simulate(
+        self,
+        circuit: Circuit,
+        resolver: Optional[ParamResolver] = None,
+        qubit_order: Optional[Sequence[Qubit]] = None,
+        initial_state: int = 0,
+    ):
+        """Run the circuit on the routed backend.
+
+        Returns a :class:`~repro.stabilizer.StabilizerResult` on the tableau
+        route and the fallback backend's native result otherwise; both expose
+        ``qubits``, ``probabilities()`` and ``sample()``.
+        """
+        decision = self.decide(circuit, resolver, sampling=False)
+        self.last_decision = decision
+        if decision.backend == "stabilizer":
+            return self.stabilizer.simulate(circuit, resolver, qubit_order, initial_state)
+        return self._fallback_for(circuit, sampling=False).simulate(
+            circuit, resolver, qubit_order, initial_state
+        )
+
+    def sample(
+        self,
+        circuit: Circuit,
+        repetitions: int,
+        resolver: Optional[ParamResolver] = None,
+        qubit_order: Optional[Sequence[Qubit]] = None,
+        seed: Optional[int] = None,
+    ) -> SampleResult:
+        """Draw samples from the routed backend (tableau when possible)."""
+        decision = self.decide(circuit, resolver, sampling=True)
+        self.last_decision = decision
+        if decision.backend == "stabilizer":
+            return self.stabilizer.sample(circuit, repetitions, resolver, qubit_order, seed)
+        return self.fallback.sample(circuit, repetitions, resolver, qubit_order, seed)
+
+    def __repr__(self) -> str:
+        return f"<HybridSimulator fallback={type(self.fallback).__name__}>"

@@ -17,6 +17,13 @@ variational-energy landscapes, figure harnesses, hyperparameter scans:
 
 Helpers :func:`resolver_grid` and :func:`resolver_zip` build the common
 sweep-point lists from per-symbol value arrays.
+
+With ``dispatch="auto"`` the sweep additionally consults the Clifford
+classifier (:mod:`repro.circuits.clifford`) **per point**: a point whose
+bound angles land on the Clifford grid (e.g. a ``k*pi/2`` sub-grid of a
+rotation sweep) is evaluated on the polynomial-cost stabilizer tableau, and
+the knowledge compile is deferred until the first point that actually needs
+it — a sweep whose points are all Clifford never compiles at all.
 """
 
 from __future__ import annotations
@@ -30,9 +37,13 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Seque
 import numpy as np
 
 from ..circuits.circuit import Circuit
+from ..circuits.clifford import classify_circuit
 from ..circuits.parameters import ParamResolver
 from ..circuits.qubits import Qubit
 from ..knowledge.cache import CompiledCircuitCache
+from ..linalg.tensor_ops import bits_to_index
+from ..stabilizer import StabilizerSimulator
+from ..stabilizer.simulator import DENSE_PROBABILITY_QUBITS
 from .kc_simulator import (
     CompiledCircuit,
     KnowledgeCompilationSimulator,
@@ -125,6 +136,40 @@ class SweepResult:
         return f"SweepResult(points={len(self.rows)}, observables={keys})"
 
 
+def _initial_state_index(initial_bits: Optional[Sequence[int]]) -> int:
+    """Basis-state index for a bit list (MSB first), 0 when unspecified."""
+    return bits_to_index(initial_bits) if initial_bits else 0
+
+
+def _stabilizer_eligible(
+    circuit: Circuit,
+    resolver: Optional[ParamResolver],
+    observables: Sequence[str],
+    num_qubits: int,
+) -> bool:
+    """Whether one sweep point can be evaluated on the stabilizer tableau.
+
+    Requires every gate Clifford at this binding, Pauli-only noise, and —
+    since a tableau holds a pure stabilizer state — noise only when nothing
+    but samples is requested.  Dense probabilities additionally respect the
+    stabilizer backend's reconstruction cap.  The ``state_vector``
+    observable always stays on the compiled path: tableau state vectors are
+    defined only up to global phase, and a sweep mixing phase conventions
+    across points would hand callers spurious discontinuities.
+    """
+    if "state_vector" in observables:
+        return False
+    wants_dense = "probabilities" in observables or "expectation" in observables
+    if wants_dense and num_qubits > DENSE_PROBABILITY_QUBITS:
+        return False
+    classification = classify_circuit(circuit, resolver)
+    if not (classification.clifford and classification.pauli_noise):
+        return False
+    if classification.has_noise and wants_dense:
+        return False
+    return True
+
+
 def _evaluate_point(
     simulator: KnowledgeCompilationSimulator,
     compiled: CompiledCircuit,
@@ -158,8 +203,51 @@ def _evaluate_point(
     return row
 
 
+def _evaluate_point_stabilizer(
+    stabilizer: StabilizerSimulator,
+    circuit: Circuit,
+    qubit_order: Optional[Sequence[Qubit]],
+    initial_state: int,
+    index: int,
+    resolver: Optional[ParamResolver],
+    observables: Sequence[str],
+    repetitions: int,
+    seed: Optional[int],
+    objective: Optional[Callable[[np.ndarray], float]],
+) -> Dict[str, Any]:
+    """Evaluate one Clifford sweep point on the tableau (no compile at all)."""
+    row: Dict[str, Any] = {
+        "index": index,
+        "parameters": {} if resolver is None else resolver.as_dict(),
+        "backend": "stabilizer",
+    }
+    if "probabilities" in observables or "expectation" in observables:
+        result = stabilizer.simulate(circuit, resolver, qubit_order, initial_state)
+        probabilities = result.probabilities()
+        if "probabilities" in observables:
+            row["probabilities"] = probabilities
+        if "expectation" in observables:
+            row["expectation"] = float(objective(probabilities))  # type: ignore[misc]
+    if "samples" in observables:
+        point_seed = None if seed is None else seed + index
+        samples = stabilizer.sample(
+            circuit,
+            repetitions,
+            resolver=resolver,
+            qubit_order=qubit_order,
+            seed=point_seed,
+            initial_state=initial_state,
+        )
+        row["counts"] = samples.bitstring_counts()
+    return row
+
+
 def _sweep_worker(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
-    """Process-pool worker: hydrate the compile from disk, evaluate points."""
+    """Process-pool worker: hydrate the compile from disk, evaluate points.
+
+    With ``dispatch="auto"`` the compile is hydrated lazily — a worker whose
+    points all route to the stabilizer tableau never touches the cache.
+    """
     cache = CompiledCircuitCache(directory=payload["cache_dir"])
     simulator = KnowledgeCompilationSimulator(
         order_method=payload["order_method"],
@@ -167,24 +255,50 @@ def _sweep_worker(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
         seed=payload["seed"],
         cache=cache,
     )
-    compiled = simulator.compile_circuit(
-        payload["circuit"],
-        qubit_order=payload["qubit_order"],
-        initial_bits=payload["initial_bits"],
-    )
-    return [
-        _evaluate_point(
-            simulator,
-            compiled,
-            index,
-            resolver,
-            payload["observables"],
-            payload["repetitions"],
-            payload["seed"],
-            payload["objective"],
-        )
-        for index, resolver in payload["points"]
-    ]
+    compiled: List[Optional[CompiledCircuit]] = [None]
+
+    def get_compiled() -> CompiledCircuit:
+        if compiled[0] is None:
+            compiled[0] = simulator.compile_circuit(
+                payload["circuit"],
+                qubit_order=payload["qubit_order"],
+                initial_bits=payload["initial_bits"],
+            )
+        return compiled[0]
+
+    stabilizer = StabilizerSimulator() if payload["dispatch"] == "auto" else None
+    initial_state = _initial_state_index(payload["initial_bits"])
+    rows = []
+    for index, resolver, use_stabilizer in payload["points"]:
+        if stabilizer is not None and use_stabilizer:
+            rows.append(
+                _evaluate_point_stabilizer(
+                    stabilizer,
+                    payload["circuit"],
+                    payload["qubit_order"],
+                    initial_state,
+                    index,
+                    resolver,
+                    payload["observables"],
+                    payload["repetitions"],
+                    payload["seed"],
+                    payload["objective"],
+                )
+            )
+        else:
+            rows.append(
+                _evaluate_point(
+                    simulator,
+                    get_compiled(),
+                    index,
+                    resolver,
+                    payload["observables"],
+                    payload["repetitions"],
+                    payload["seed"],
+                    payload["objective"],
+                )
+            )
+    return rows
 
 
 class ParameterSweep:
@@ -200,15 +314,25 @@ class ParameterSweep:
         sweeps over the same topology still compiles once.
     qubit_order, initial_bits:
         Forwarded to :meth:`KnowledgeCompilationSimulator.compile_circuit`.
-
-    The compile happens eagerly in the constructor; :meth:`run` only ever
-    re-binds weights.
+    dispatch:
+        ``"kc"`` (default) evaluates every point against the knowledge
+        compile, which happens eagerly in the constructor.  ``"auto"``
+        routes each point through the Clifford classifier first: points
+        whose bound circuit is Clifford (with at most Pauli noise, samples
+        only) run on the stabilizer tableau, and the compile is deferred to
+        the first point that needs it — an all-Clifford sweep never
+        compiles.  Stabilizer-evaluated rows carry ``row["backend"] ==
+        "stabilizer"``.  The ``state_vector`` observable always evaluates
+        on the compile (tableau state vectors are only defined up to global
+        phase, which would make per-point phases inconsistent).
 
     Raises
     ------
     TypeError
         If ``simulator`` is not a knowledge-compilation simulator (the
         engine's contract is structure reuse, which dense backends lack).
+    ValueError
+        For an unknown ``dispatch`` mode.
     """
 
     def __init__(
@@ -217,16 +341,40 @@ class ParameterSweep:
         simulator: Optional[KnowledgeCompilationSimulator] = None,
         qubit_order: Optional[Sequence[Qubit]] = None,
         initial_bits: Optional[Sequence[int]] = None,
+        dispatch: str = "kc",
     ):
         self.simulator = simulator or KnowledgeCompilationSimulator()
         if not isinstance(self.simulator, KnowledgeCompilationSimulator):
             raise TypeError("ParameterSweep requires a KnowledgeCompilationSimulator")
+        if dispatch not in ("kc", "auto"):
+            raise ValueError(f"dispatch must be 'kc' or 'auto', got {dispatch!r}")
         self.circuit = circuit
+        self.dispatch = dispatch
         self._qubit_order = list(qubit_order) if qubit_order is not None else None
         self._initial_bits = list(initial_bits) if initial_bits is not None else None
-        self.compiled = self.simulator.compile_circuit(
-            circuit, qubit_order=self._qubit_order, initial_bits=self._initial_bits
+        self._num_qubits = (
+            len(self._qubit_order) if self._qubit_order is not None else circuit.num_qubits
         )
+        self._stabilizer = StabilizerSimulator() if dispatch == "auto" else None
+        self._compiled: Optional[CompiledCircuit] = None
+        if dispatch == "kc":
+            self._compiled = self.simulator.compile_circuit(
+                circuit, qubit_order=self._qubit_order, initial_bits=self._initial_bits
+            )
+
+    @property
+    def compiled(self) -> CompiledCircuit:
+        """The shared knowledge compile (created on first use under ``"auto"``)."""
+        if self._compiled is None:
+            self._compiled = self.simulator.compile_circuit(
+                self.circuit, qubit_order=self._qubit_order, initial_bits=self._initial_bits
+            )
+        return self._compiled
+
+    @property
+    def has_compiled(self) -> bool:
+        """True once the knowledge compile has actually been performed."""
+        return self._compiled is not None
 
     # ------------------------------------------------------------------
     def run(
@@ -285,13 +433,32 @@ class ParameterSweep:
             raise ValueError("the 'samples' observable requires repetitions > 0")
 
         if jobs <= 1 or len(resolvers) <= 1:
-            rows = [
-                _evaluate_point(
-                    self.simulator, self.compiled, index, resolver,
-                    observables, repetitions, seed, objective,
-                )
-                for index, resolver in enumerate(resolvers)
-            ]
+            rows = []
+            for index, resolver in enumerate(resolvers):
+                if self._stabilizer is not None and _stabilizer_eligible(
+                    self.circuit, resolver, observables, self._num_qubits
+                ):
+                    rows.append(
+                        _evaluate_point_stabilizer(
+                            self._stabilizer,
+                            self.circuit,
+                            self._qubit_order,
+                            _initial_state_index(self._initial_bits),
+                            index,
+                            resolver,
+                            observables,
+                            repetitions,
+                            seed,
+                            objective,
+                        )
+                    )
+                else:
+                    rows.append(
+                        _evaluate_point(
+                            self.simulator, self.compiled, index, resolver,
+                            observables, repetitions, seed, objective,
+                        )
+                    )
             return SweepResult(rows)
         return self._run_parallel(resolvers, observables, repetitions, seed, objective, jobs)
 
@@ -314,20 +481,39 @@ class ParameterSweep:
             cleanup = tempfile.TemporaryDirectory(prefix="repro-sweep-cache-")
             cache_dir = cleanup.name
         try:
-            self._persist_compile(cache_dir)
+            # Classify each point once here; workers receive the routing
+            # decision in their payload, keeping parent and worker trivially
+            # consistent and halving the classification work.
+            routes = [
+                self.dispatch == "auto"
+                and _stabilizer_eligible(self.circuit, resolver, observables, self._num_qubits)
+                for resolver in resolvers
+            ]
+            # Under "auto" the compile (and its persistence for workers) is
+            # only needed when some point actually routes to the KC backend.
+            if self.dispatch == "kc" or not all(routes):
+                self._persist_compile(cache_dir)
+            elide_internal = (
+                self.compiled.elided if self.has_compiled else self.simulator.elide_internal
+            )
+            points = [
+                (index, resolver, use_stabilizer)
+                for index, (resolver, use_stabilizer) in enumerate(zip(resolvers, routes))
+            ]
             blocks = [
                 {
                     "circuit": self.circuit,
                     "qubit_order": self._qubit_order,
                     "initial_bits": self._initial_bits,
                     "order_method": self.simulator.order_method,
-                    "elide_internal": self.compiled.elided,
+                    "elide_internal": elide_internal,
+                    "dispatch": self.dispatch,
                     "cache_dir": cache_dir,
                     "observables": observables,
                     "repetitions": repetitions,
                     "seed": seed,
                     "objective": objective,
-                    "points": list(enumerate(resolvers))[start::jobs],
+                    "points": points[start::jobs],
                 }
                 for start in range(jobs)
             ]
@@ -357,7 +543,9 @@ class ParameterSweep:
             )
 
     def __repr__(self) -> str:
-        return (
-            f"ParameterSweep(qubits={self.compiled.num_qubits}, "
-            f"ac_nodes={self.compiled.arithmetic_circuit.num_nodes})"
-        )
+        if self.has_compiled:
+            return (
+                f"ParameterSweep(qubits={self.compiled.num_qubits}, "
+                f"ac_nodes={self.compiled.arithmetic_circuit.num_nodes})"
+            )
+        return f"ParameterSweep(qubits={self._num_qubits}, dispatch={self.dispatch!r}, uncompiled)"

@@ -14,6 +14,12 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 from repro.circuits import CNOT, Circuit, H, LineQubit, ParamResolver, Rx, Symbol, ZZ, depolarize
+from repro.circuits import gates as _gates
+from repro.circuits.noise import (
+    AsymmetricDepolarizingChannel,
+    bit_flip,
+    phase_flip,
+)
 from repro.densitymatrix import DensityMatrixSimulator
 from repro.simulator.kc_simulator import KnowledgeCompilationSimulator
 from repro.statevector import StateVectorSimulator
@@ -22,6 +28,110 @@ from repro.statevector import StateVectorSimulator
 @pytest.fixture
 def rng():
     return np.random.default_rng(20210419)
+
+
+# ---------------------------------------------------------------------------
+# Seeded random-circuit generator for cross-backend differential fuzzing.
+#
+# Registered as the ``circuit_fuzzer`` fixture so every present and future
+# backend can be fuzzed against the same corpus: a new backend only needs a
+# test that draws circuits from the fixture and compares itself to any
+# existing backend (see tests/test_differential_fuzz.py).
+# ---------------------------------------------------------------------------
+
+#: Gate alphabets by name.  "clifford" draws only stabilizer-simulable gates
+#: (including rotation-family gates at k*pi/2 angles, exercising semantic
+#: Clifford recognition); "clifford+t" adds the T/TDG non-Clifford phases;
+#: "universal" adds generic-angle rotations and two-qubit couplings;
+#: "pauli-noise" is the Clifford alphabet plus random Pauli-mixture channels.
+FUZZ_ALPHABETS = ("clifford", "clifford+t", "universal", "pauli-noise")
+
+_CLIFFORD_1Q = (
+    lambda rng: _gates.H,
+    lambda rng: _gates.S,
+    lambda rng: _gates.SDG,
+    lambda rng: _gates.X,
+    lambda rng: _gates.Y,
+    lambda rng: _gates.Z,
+    lambda rng: _gates.Rz(float(rng.integers(0, 4)) * np.pi / 2),
+    lambda rng: _gates.Rx(float(rng.integers(0, 4)) * np.pi / 2),
+    lambda rng: _gates.Ry(float(rng.integers(0, 4)) * np.pi / 2),
+)
+_CLIFFORD_2Q = (
+    lambda rng: _gates.CNOT,
+    lambda rng: _gates.CZ,
+    lambda rng: _gates.SWAP,
+    lambda rng: _gates.ISWAP,
+    lambda rng: _gates.ZZ(float(rng.integers(0, 4)) * np.pi / 2),
+)
+_T_FAMILY = (lambda rng: _gates.T, lambda rng: _gates.TDG)
+_UNIVERSAL_1Q = _CLIFFORD_1Q + _T_FAMILY + (
+    lambda rng: _gates.Rx(float(rng.uniform(0.1, 2 * np.pi))),
+    lambda rng: _gates.Ry(float(rng.uniform(0.1, 2 * np.pi))),
+    lambda rng: _gates.Rz(float(rng.uniform(0.1, 2 * np.pi))),
+)
+_UNIVERSAL_2Q = _CLIFFORD_2Q + (
+    lambda rng: _gates.CPhase(float(rng.uniform(0.1, 2 * np.pi))),
+    lambda rng: _gates.ZZ(float(rng.uniform(0.1, 2 * np.pi))),
+)
+_PAULI_CHANNELS = (
+    lambda rng, p: bit_flip(p),
+    lambda rng, p: phase_flip(p),
+    lambda rng, p: depolarize(p),
+    lambda rng, p: AsymmetricDepolarizingChannel(p / 2, p / 4, p / 4),
+)
+
+
+def random_fuzz_circuit(
+    seed: int,
+    num_qubits: int = 4,
+    depth: int = 6,
+    alphabet: str = "universal",
+) -> Circuit:
+    """Build one seeded random circuit from the named gate alphabet.
+
+    Layer structure: one random single-qubit gate per qubit, then random
+    two-qubit gates on a random disjoint pairing; the ``pauli-noise``
+    alphabet additionally sprinkles random Pauli-mixture channels after each
+    layer.  Same ``(seed, num_qubits, depth, alphabet)`` -> same circuit.
+    """
+    if alphabet not in FUZZ_ALPHABETS:
+        raise ValueError(f"alphabet must be one of {FUZZ_ALPHABETS}, got {alphabet!r}")
+    fuzz_rng = np.random.default_rng(
+        np.random.SeedSequence(
+            entropy=seed,
+            spawn_key=(num_qubits, depth, FUZZ_ALPHABETS.index(alphabet)),
+        )
+    )
+    if alphabet == "clifford+t":
+        one_q, two_q = _CLIFFORD_1Q + _T_FAMILY, _CLIFFORD_2Q
+    elif alphabet == "universal":
+        one_q, two_q = _UNIVERSAL_1Q, _UNIVERSAL_2Q
+    else:
+        one_q, two_q = _CLIFFORD_1Q, _CLIFFORD_2Q
+    qubits = LineQubit.range(num_qubits)
+    circuit = Circuit()
+    for _ in range(depth):
+        for qubit in qubits:
+            gate = one_q[int(fuzz_rng.integers(0, len(one_q)))](fuzz_rng)
+            circuit.append(gate(qubit))
+        order = fuzz_rng.permutation(num_qubits)
+        for i in range(0, num_qubits - 1, 2):
+            gate = two_q[int(fuzz_rng.integers(0, len(two_q)))](fuzz_rng)
+            circuit.append(gate(qubits[int(order[i])], qubits[int(order[i + 1])]))
+        if alphabet == "pauli-noise":
+            for qubit in qubits:
+                if fuzz_rng.random() < 0.4:
+                    factory = _PAULI_CHANNELS[int(fuzz_rng.integers(0, len(_PAULI_CHANNELS)))]
+                    probability = float(fuzz_rng.uniform(0.01, 0.15))
+                    circuit.append(factory(fuzz_rng, probability).on(qubit))
+    return circuit
+
+
+@pytest.fixture
+def circuit_fuzzer():
+    """The seeded random-circuit generator (see :func:`random_fuzz_circuit`)."""
+    return random_fuzz_circuit
 
 
 @pytest.fixture

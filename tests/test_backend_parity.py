@@ -13,11 +13,13 @@ density-matrix simulator is exact ground truth:
 import numpy as np
 import pytest
 
-from repro.circuits import CNOT, Circuit, H, LineQubit, Ry, X, amplitude_damp, depolarize, phase_damp
+from repro.circuits import CNOT, Circuit, H, LineQubit, Ry, T, X, amplitude_damp, depolarize, phase_damp
 from repro.circuits.noise_model import NoiseModel
 from repro.densitymatrix import DensityMatrixSimulator
 from repro.sampling import total_variation_distance
+from repro.simulator.hybrid import HybridSimulator, select_backend
 from repro.simulator.kc_simulator import KnowledgeCompilationSimulator
+from repro.stabilizer import StabilizerSimulator
 from repro.statevector import StateVectorSimulator
 from repro.tensornetwork import TensorNetworkSimulator
 from repro.trajectory import TrajectorySimulator
@@ -79,6 +81,96 @@ class TestIdealParity:
             bell_circuit, initial_state=initial, num_trajectories=2
         ).density_matrix
         assert np.allclose(trajectory, rho, atol=1e-9)
+
+
+class TestStabilizerParity:
+    """The tableau backend agrees with dense ground truth on Clifford circuits."""
+
+    def test_stabilizer_matches_dense_on_bell(self, bell_circuit):
+        rho = DensityMatrixSimulator().simulate(bell_circuit).density_matrix
+        result = StabilizerSimulator().simulate(bell_circuit)
+        np.testing.assert_allclose(result.probabilities(), np.real(np.diag(rho)), atol=1e-10)
+        state = result.state_vector
+        np.testing.assert_allclose(np.outer(state, state.conj()), rho, atol=1e-9)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_stabilizer_matches_dense_on_fuzzed_clifford(self, circuit_fuzzer, seed):
+        circuit = circuit_fuzzer(seed, 4, 6, alphabet="clifford")
+        dense = StateVectorSimulator().simulate(circuit)
+        tableau = StabilizerSimulator().simulate(circuit)
+        np.testing.assert_allclose(
+            tableau.probabilities(), dense.probabilities(), atol=1e-10
+        )
+
+    def test_stabilizer_sampling_histogram_converges(self, bell_circuit):
+        exact = StateVectorSimulator().simulate(bell_circuit).probabilities()
+        samples = StabilizerSimulator(seed=31).sample(bell_circuit, 4000)
+        assert total_variation_distance(exact, samples.empirical_distribution()) < 0.05
+
+
+class TestHybridDispatch:
+    """Routing decisions are explicit and the hybrid matches whatever it routes to."""
+
+    def test_clifford_routes_to_tableau(self, bell_circuit):
+        decision = select_backend(bell_circuit)
+        assert decision.backend == "stabilizer"
+        assert decision.reason == "clifford"
+
+    def test_t_gate_routes_to_fallback(self):
+        q = LineQubit.range(2)
+        circuit = Circuit([H(q[0]), T(q[0]), CNOT(q[0], q[1])])
+        decision = select_backend(circuit)
+        assert decision.backend == "state_vector"
+        assert "T" in decision.reason
+
+    def test_pauli_noise_routes_sampling_only(self, noisy_bell_circuit):
+        assert select_backend(noisy_bell_circuit, sampling=True).backend == "stabilizer"
+        assert select_backend(noisy_bell_circuit, sampling=False).backend == "state_vector"
+
+    def test_non_pauli_noise_falls_back(self):
+        q = LineQubit(0)
+        circuit = Circuit([H(q)])
+        circuit.append(amplitude_damp(0.1).on(q))
+        assert select_backend(circuit).backend == "state_vector"
+
+    def test_hybrid_matches_dense_on_mixed_suite(self, bell_circuit, qaoa_like_circuit, qaoa_resolver):
+        simulator = HybridSimulator(seed=0)
+        clifford_probs = simulator.simulate(bell_circuit).probabilities()
+        assert simulator.last_decision.backend == "stabilizer"
+        exact = DensityMatrixSimulator().simulate(bell_circuit).probabilities()
+        np.testing.assert_allclose(clifford_probs, exact, atol=1e-10)
+
+        generic_probs = simulator.simulate(qaoa_like_circuit, qaoa_resolver).probabilities()
+        assert simulator.last_decision.backend == "state_vector"
+        exact = DensityMatrixSimulator().simulate(qaoa_like_circuit, qaoa_resolver).probabilities()
+        np.testing.assert_allclose(generic_probs, exact, atol=1e-9)
+
+    def test_hybrid_resolver_dependent_routing(self, qaoa_like_circuit):
+        """The same symbolic ansatz routes per binding: pi/2 grid vs generic."""
+        from repro.circuits import ParamResolver
+
+        simulator = HybridSimulator(seed=0)
+        clifford_binding = ParamResolver({"gamma": np.pi / 4, "beta": np.pi / 4})
+        simulator.sample(qaoa_like_circuit, 8, resolver=clifford_binding, seed=0)
+        assert simulator.last_decision.backend == "stabilizer"
+        generic_binding = ParamResolver({"gamma": 0.55, "beta": 0.35})
+        simulator.sample(qaoa_like_circuit, 8, resolver=generic_binding, seed=0)
+        assert simulator.last_decision.backend == "state_vector"
+
+    def test_hybrid_noisy_simulate_uses_mixed_state_fallback(self, noisy_bell_circuit):
+        """simulate() on a noisy circuit must land on a backend that can run it."""
+        simulator = HybridSimulator(seed=0)
+        result = simulator.simulate(noisy_bell_circuit)
+        assert simulator.last_decision.backend == "density_matrix"
+        exact = DensityMatrixSimulator().simulate(noisy_bell_circuit).density_matrix
+        np.testing.assert_allclose(result.density_matrix, exact, atol=1e-10)
+
+    def test_hybrid_noisy_sampling_matches_density_matrix(self, noisy_bell_circuit):
+        simulator = HybridSimulator(seed=0)
+        exact = DensityMatrixSimulator().simulate(noisy_bell_circuit).probabilities()
+        samples = simulator.sample(noisy_bell_circuit, 4000, seed=37)
+        assert simulator.last_decision.backend == "stabilizer"
+        assert total_variation_distance(exact, samples.empirical_distribution()) < 0.05
 
 
 class TestNoisyTrajectoryParity:

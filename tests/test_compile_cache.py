@@ -274,6 +274,60 @@ class TestSweepEngine:
             sweep.run([None], observables=["expectation"])
         with pytest.raises(ValueError):
             sweep.run([None], observables=["samples"])
+        with pytest.raises(ValueError, match="dispatch"):
+            ParameterSweep(
+                _ansatz_circuit(symbols=True),
+                KnowledgeCompilationSimulator(cache=CompiledCircuitCache()),
+                dispatch="always",
+            )
+
+
+class TestSweepCliffordDispatch:
+    """dispatch="auto": Clifford points run on the tableau, compile is lazy."""
+
+    def _sweep(self):
+        return ParameterSweep(
+            _ansatz_circuit(symbols=True),
+            KnowledgeCompilationSimulator(seed=2, cache=CompiledCircuitCache()),
+            dispatch="auto",
+        )
+
+    def test_mixed_grid_matches_dense_reference(self):
+        sweep = self._sweep()
+        assert not sweep.has_compiled
+        points = resolver_zip(
+            {"g": [0.0, np.pi / 2, 0.37, np.pi], "b": [np.pi / 2, 0.0, 0.81, np.pi / 2]}
+        )
+        result = sweep.run(points, observables=["probabilities"])
+        assert sweep.has_compiled  # the generic point forced exactly one compile
+        backends = [row.get("backend", "kc") for row in result]
+        assert backends == ["stabilizer", "stabilizer", "kc", "stabilizer"]
+        circuit = _ansatz_circuit(symbols=True)
+        for row, resolver in zip(result, points):
+            resolved = circuit.resolve_parameters(resolver)
+            reference = StateVectorSimulator().simulate(resolved).probabilities()
+            assert np.max(np.abs(row["probabilities"] - reference)) < 1e-9
+
+    def test_all_clifford_sweep_never_compiles(self):
+        sweep = self._sweep()
+        points = resolver_zip({"g": [0.0, np.pi], "b": [np.pi / 2, 3 * np.pi / 2]})
+        result = sweep.run(points, observables=["probabilities"], repetitions=20, seed=3)
+        assert not sweep.has_compiled
+        assert all(row["backend"] == "stabilizer" for row in result)
+
+    def test_parallel_auto_dispatch_matches_serial(self):
+        points = resolver_zip(
+            {"g": [0.0, 0.4, np.pi / 2, 1.1], "b": [np.pi, 0.3, 0.0, 0.9]}
+        )
+        serial = self._sweep().run(points, observables=["probabilities"], repetitions=30, seed=11)
+        parallel = self._sweep().run(
+            points, observables=["probabilities"], repetitions=30, seed=11, jobs=2
+        )
+        assert np.array_equal(serial.probabilities(), parallel.probabilities())
+        assert serial.counts() == parallel.counts()
+        assert [row.get("backend", "kc") for row in serial] == [
+            row.get("backend", "kc") for row in parallel
+        ]
 
 
 def _strip_timings(results):
