@@ -1,0 +1,130 @@
+"""Batched ``Device.run()`` vs a per-circuit ``sample()`` loop.
+
+The acceptance criterion of the Device/Job redesign: on a 100-point
+shared-topology batch, one batched ``run()`` submission must deliver >= 3x
+the throughput of the legacy pattern (a Python loop calling the backend's
+``sample()`` once per point).  The batched path wins on
+
+* one topology canonicalization + compile for the whole batch (the loop
+  pays a cache lookup and rebind per call), and
+* exact amplitude-based sampling on the shared compile (one vectorized
+  upward pass per point) instead of a cold-started Gibbs chain ensemble
+  per call.
+
+Results are also emitted as machine-readable ``BENCH_api.json`` in the
+repository root so CI and later sessions can track the perf trajectory.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api.device import Device
+from repro.circuits import ParamResolver
+from repro.knowledge.cache import CompiledCircuitCache
+from repro.simulator.kc_simulator import KnowledgeCompilationSimulator
+from repro.variational import QAOACircuit, random_regular_maxcut
+
+NUM_QUBITS = 6
+NUM_POINTS = 100
+REPETITIONS = 64
+
+_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_api.json"
+
+
+@pytest.fixture(scope="module")
+def ansatz():
+    return QAOACircuit(random_regular_maxcut(NUM_QUBITS, seed=9), iterations=1)
+
+
+@pytest.fixture(scope="module")
+def sweep_points(ansatz):
+    rng = np.random.default_rng(13)
+    grid = rng.uniform(0.15, 1.4, size=(NUM_POINTS, ansatz.num_parameters))
+    return [ansatz.resolver(list(row)) for row in grid]
+
+
+def _per_circuit_sample_loop(ansatz, sweep_points):
+    """The legacy pattern: one backend, one ``sample()`` call per point."""
+    simulator = KnowledgeCompilationSimulator(seed=1, cache=CompiledCircuitCache())
+    counts = []
+    for index, resolver in enumerate(sweep_points):
+        samples = simulator.sample(
+            ansatz.circuit, REPETITIONS, resolver=resolver, seed=index
+        )
+        counts.append(samples.bitstring_counts())
+    return counts
+
+
+def _batched_device_run(ansatz, sweep_points):
+    """One batched submission through the unified execution API."""
+    simulator = KnowledgeCompilationSimulator(seed=1, cache=CompiledCircuitCache())
+    dev = Device(
+        backend="knowledge_compilation",
+        instances={"knowledge_compilation": simulator},
+    )
+    job = dev.run(ansatz.circuit, params=sweep_points, repetitions=REPETITIONS, seed=0)
+    return job.result().counts()
+
+
+class TestBatchedRunThroughput:
+    def test_batched_run_at_least_3x_per_circuit_loop(self, ansatz, sweep_points):
+        start = time.perf_counter()
+        loop_counts = _per_circuit_sample_loop(ansatz, sweep_points)
+        loop_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        batched_counts = _batched_device_run(ansatz, sweep_points)
+        batched_seconds = time.perf_counter() - start
+
+        assert len(loop_counts) == len(batched_counts) == NUM_POINTS
+        assert all(sum(c.values()) == REPETITIONS for c in batched_counts)
+        speedup = loop_seconds / max(batched_seconds, 1e-9)
+
+        _BENCH_JSON.write_text(
+            json.dumps(
+                {
+                    "benchmark": "batched_device_run_vs_per_circuit_sample_loop",
+                    "qubits": NUM_QUBITS,
+                    "points": NUM_POINTS,
+                    "repetitions": REPETITIONS,
+                    "per_circuit_loop_seconds": round(loop_seconds, 6),
+                    "batched_run_seconds": round(batched_seconds, 6),
+                    "speedup": round(speedup, 3),
+                    "points_per_second_batched": round(NUM_POINTS / batched_seconds, 3),
+                    "points_per_second_loop": round(NUM_POINTS / loop_seconds, 3),
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+
+        assert speedup >= 3.0, (
+            f"batched run only {speedup:.1f}x faster "
+            f"({loop_seconds:.2f}s loop vs {batched_seconds:.2f}s batched); "
+            f"see {_BENCH_JSON.name}"
+        )
+
+
+class TestBatchedRunTiming:
+    def test_benchmark_batched_run(self, benchmark, ansatz, sweep_points):
+        simulator = KnowledgeCompilationSimulator(seed=1, cache=CompiledCircuitCache())
+        dev = Device(
+            backend="knowledge_compilation",
+            instances={"knowledge_compilation": simulator},
+        )
+        dev.run(ansatz.circuit, params=sweep_points[:1], repetitions=4, seed=0).result()
+
+        def run_batch():
+            job = dev.run(
+                ansatz.circuit, params=sweep_points, repetitions=REPETITIONS, seed=0
+            )
+            return job.result()
+
+        result = benchmark(run_batch)
+        benchmark.extra_info["points"] = NUM_POINTS
+        benchmark.extra_info["repetitions"] = REPETITIONS
+        assert len(result) == NUM_POINTS

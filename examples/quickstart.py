@@ -1,4 +1,4 @@
-"""Quickstart: build a circuit, simulate it with every backend, sample outputs.
+"""Quickstart: submit circuits through the unified Device/Job API.
 
 Run with::
 
@@ -14,53 +14,72 @@ from repro import (
     H,
     KnowledgeCompilationSimulator,
     LineQubit,
-    StateVectorSimulator,
-    TensorNetworkSimulator,
+    Rx,
+    Symbol,
+    capability_matrix,
     depolarize,
+    device,
 )
 
 
 def main() -> None:
     # ------------------------------------------------------------------
-    # 1. Build the two-qubit Bell-state circuit (the paper's running example).
+    # 1. Build the two-qubit Bell-state circuit (the paper's running
+    #    example) plus a non-Clifford and a noisy variant.
     # ------------------------------------------------------------------
     q0, q1 = LineQubit.range(2)
     bell = Circuit([H(q0), CNOT(q0, q1)])
+    rotated = Circuit([H(q0), Rx(0.4)(q1), CNOT(q0, q1)])
+    noisy = bell.with_noise(lambda: depolarize(0.05))
     print("Circuit:")
     print(bell.to_text_diagram())
     print()
 
     # ------------------------------------------------------------------
-    # 2. Ideal simulation with three different backends.
+    # 2. One batched submission: device("auto") routes each item (Clifford
+    #    -> stabilizer tableau, everything else -> a dense backend) and
+    #    samples item i with seed + i.
     # ------------------------------------------------------------------
-    state = StateVectorSimulator().simulate(bell)
-    print("State vector      :", np.round(state.state_vector, 3))
+    job = device("auto").run([bell, rotated, noisy], repetitions=1000, seed=7)
+    for row in job.result():
+        print(f"item {row['index']} on {row['backend']:>12}: {row['counts']}")
+    print()
 
-    tensor_network = TensorNetworkSimulator()
-    print("TN amplitude <11| :", np.round(tensor_network.amplitude(bell, [1, 1]), 3))
+    # ------------------------------------------------------------------
+    # 3. A sweep spec: one parameterized circuit, many bindings, exact
+    #    output distributions from one knowledge compile.
+    # ------------------------------------------------------------------
+    theta = Symbol("theta")
+    ansatz = Circuit([H(q0), Rx(theta)(q1), CNOT(q0, q1)])
+    points = [{"theta": value} for value in np.linspace(0.0, np.pi, 5)]
+    sweep = device("kc").run(ansatz, params=points, observables=["probabilities"])
+    print("P(11) along the sweep:", np.round(sweep.result().probabilities()[:, 3], 3))
+    print()
 
-    kc = KnowledgeCompilationSimulator()
+    # ------------------------------------------------------------------
+    # 4. The backends stay directly addressable: compile once with the
+    #    knowledge-compilation simulator, cross-check noise against the
+    #    density-matrix baseline.
+    # ------------------------------------------------------------------
+    kc = KnowledgeCompilationSimulator(seed=1)
     compiled = kc.compile_circuit(bell)
     print("KC amplitude <11| :", np.round(compiled.amplitude([1, 1]), 3))
     print("Compiled AC       :", compiled.compilation_metrics())
-    print()
-
-    # ------------------------------------------------------------------
-    # 3. Sampling from the final wavefunction.
-    # ------------------------------------------------------------------
-    samples = kc.sample(compiled, 1000, seed=1)
-    print("KC Gibbs samples  :", samples.bitstring_counts())
-    print()
-
-    # ------------------------------------------------------------------
-    # 4. Add noise: 5% depolarizing after every gate, compare with the
-    #    density-matrix baseline.
-    # ------------------------------------------------------------------
-    noisy = bell.with_noise(lambda: depolarize(0.05))
     kc_rho = kc.simulate_density_matrix(noisy).density_matrix
     dense_rho = DensityMatrixSimulator().simulate(noisy).density_matrix
     print("Noisy density matrices agree:", np.allclose(kc_rho, dense_rho))
-    print("Noisy output distribution   :", np.round(np.real(np.diag(dense_rho)), 4))
+    print()
+
+    # ------------------------------------------------------------------
+    # 5. The capability matrix behind device("auto")'s routing.
+    # ------------------------------------------------------------------
+    print("Backend capability matrix:")
+    for row in capability_matrix():
+        print(
+            f"  {row['backend']:>21}: max_qubits={row['max_qubits']}, "
+            f"noise={row['noise']}, mixed_state={row['mixed_state']}, "
+            f"batched_sampling={row['batched_sampling']}"
+        )
 
 
 if __name__ == "__main__":

@@ -6,14 +6,25 @@ Simulation"* (ASPLOS 2021).
 
 Top-level convenience imports expose the most common entry points::
 
+    from repro import Circuit, LineQubit, H, CNOT, device
+
+    job = device("auto").run([bell, ghz], repetitions=1000)
+    for row in job.result():
+        print(row["backend"], row["counts"])
+
+The unified execution API (``device() -> Device.run() -> Job``) routes every
+work item to the right backend by declared capability; the simulator classes
+remain available for direct, single-backend use::
+
     from repro import (
-        Circuit, LineQubit, H, CNOT,
         KnowledgeCompilationSimulator, StateVectorSimulator,
         DensityMatrixSimulator, TensorNetworkSimulator,
     )
 
 Subpackages
 -----------
+``repro.api``            Device/Job execution API, backend registry, scheduler
+``repro.errors``         typed error hierarchy (UnsupportedCircuitError, ...)
 ``repro.circuits``       circuit IR: qubits, gates, noise channels, parameters
 ``repro.statevector``    dense state-vector baseline (qsim stand-in)
 ``repro.densitymatrix``  dense density-matrix baseline (Cirq noisy-simulator stand-in)
@@ -54,9 +65,28 @@ from .circuits import (
     depolarize,
     measure,
 )
+from .api import (
+    BackendCapabilities,
+    BatchResult,
+    Device,
+    Job,
+    backend_capabilities,
+    capability_matrix,
+    device,
+    list_backends,
+    register_backend,
+)
 from .circuits.clifford import classify_circuit, is_clifford, is_pauli_noise
 from .circuits.topology import canonicalize_circuit, circuit_topology_key
 from .densitymatrix import DensityMatrixSimulator
+from .errors import (
+    BackendCapabilityError,
+    CompilationError,
+    JobCancelledError,
+    JobError,
+    ReproError,
+    UnsupportedCircuitError,
+)
 from .knowledge.cache import CompiledCircuitCache, configure_default, default_cache
 from .simulator import DensityMatrixResult, SampleResult, Simulator, StateVectorResult
 from .simulator.hybrid import BackendDecision, HybridSimulator, select_backend
@@ -67,7 +97,7 @@ from .statevector import StateVectorSimulator
 from .tensornetwork import TensorNetworkSimulator
 from .trajectory import TrajectorySimulator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -120,4 +150,19 @@ __all__ = [
     "SweepResult",
     "resolver_grid",
     "resolver_zip",
+    "device",
+    "Device",
+    "Job",
+    "BatchResult",
+    "BackendCapabilities",
+    "backend_capabilities",
+    "capability_matrix",
+    "list_backends",
+    "register_backend",
+    "ReproError",
+    "UnsupportedCircuitError",
+    "BackendCapabilityError",
+    "CompilationError",
+    "JobError",
+    "JobCancelledError",
 ]

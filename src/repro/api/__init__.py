@@ -1,0 +1,48 @@
+"""Unified execution API: ``repro.device() -> Device.run() -> Job``.
+
+The public surface of the execution layer:
+
+* :func:`~repro.api.device.device` / :class:`~repro.api.device.Device` —
+  open an execution endpoint by backend name (or ``"auto"`` for
+  capability-driven routing) and submit circuits, circuit lists or sweep
+  specs;
+* :class:`~repro.api.scheduler.Job` — the async handle with
+  ``status()`` / ``result()`` / ``cancel()`` / ``partial_results()``;
+* :class:`~repro.api.results.BatchResult` — per-item rows of a batch;
+* the backend registry — :func:`register_backend`,
+  :func:`backend_capabilities`, :func:`list_backends`,
+  :func:`capability_matrix` — where every backend declares what it can do.
+"""
+
+from .capabilities import BackendCapabilities
+from .device import EXACT_SAMPLING_QUBITS, Device, device
+from .registry import (
+    REGISTRY,
+    BackendRegistry,
+    backend_capabilities,
+    capability_matrix,
+    create_backend,
+    list_backends,
+    register_backend,
+)
+from .results import BatchResult
+from .routing import BackendDecision, select_backend
+from .scheduler import Job
+
+__all__ = [
+    "BackendCapabilities",
+    "BackendDecision",
+    "BackendRegistry",
+    "BatchResult",
+    "Device",
+    "EXACT_SAMPLING_QUBITS",
+    "Job",
+    "REGISTRY",
+    "backend_capabilities",
+    "capability_matrix",
+    "create_backend",
+    "device",
+    "list_backends",
+    "register_backend",
+    "select_backend",
+]

@@ -1,0 +1,78 @@
+"""Declared backend capabilities consumed by the registry and router.
+
+Each backend registers one :class:`BackendCapabilities` record describing
+what it can actually do; :meth:`repro.api.device.Device` validates every
+work item against the record *before* running anything, so capability
+violations surface as :class:`~repro.errors.BackendCapabilityError` with the
+backend and limit named instead of a deep backend-specific failure.
+
+The records intentionally describe the *existing* backends — they are the
+single source of truth behind ``docs/api.md``'s capability matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: Noise-support levels, from none to arbitrary Kraus channels.
+NOISE_NONE = "none"
+NOISE_PAULI = "pauli"
+NOISE_GENERAL = "general"
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What one backend declares it can simulate.
+
+    Attributes
+    ----------
+    name:
+        Registry name (matches ``Simulator.name``).
+    max_qubits:
+        Hard qubit ceiling enforced before execution, or ``None`` for
+        "polynomial cost, effectively unbounded".  Dense backends declare
+        the count at which their state no longer fits laptop memory.
+    noise:
+        ``"none"`` (ideal circuits only), ``"pauli"`` (single-qubit Pauli
+        mixtures), or ``"general"`` (arbitrary Kraus channels).
+    clifford_only:
+        Only Clifford-group gates are accepted (the stabilizer tableau).
+    mixed_state:
+        ``simulate`` can return a mixed state for noisy circuits.  Backends
+        without it must refuse noisy ``simulate`` calls (sampling may still
+        be supported through trajectory unravelling).
+    batched_sampling:
+        The backend has a natively batched sampling path, so grouping many
+        work items onto one instance beats a per-item loop.
+    noisy_sampling:
+        ``sample`` handles noisy circuits (even when ``mixed_state`` is
+        false, e.g. via per-shot trajectories).
+    description:
+        One-line human-readable summary for the capability matrix.
+    """
+
+    name: str
+    max_qubits: Optional[int] = None
+    noise: str = NOISE_NONE
+    clifford_only: bool = False
+    mixed_state: bool = False
+    batched_sampling: bool = False
+    noisy_sampling: bool = False
+    description: str = ""
+    aliases: Tuple[str, ...] = field(default_factory=tuple)
+
+    def supports_noise(self) -> bool:
+        return self.noise != NOISE_NONE
+
+    def matrix_row(self) -> dict:
+        """Plain-dict row for the docs capability matrix."""
+        return {
+            "backend": self.name,
+            "max_qubits": "poly(n)" if self.max_qubits is None else self.max_qubits,
+            "noise": self.noise,
+            "clifford_only": self.clifford_only,
+            "mixed_state": self.mixed_state,
+            "batched_sampling": self.batched_sampling,
+            "noisy_sampling": self.noisy_sampling,
+        }

@@ -1,0 +1,853 @@
+"""The unified ``Device`` execution API: ``repro.device() -> Device.run() -> Job``.
+
+One submission surface for every workload the code base used to serve with
+bespoke harnesses:
+
+* **capability-driven routing** — ``device("auto")`` routes each work item
+  through :func:`repro.api.routing.select_backend` (the same classifier
+  ``HybridSimulator`` uses), extended with observable-aware rules (dense
+  reconstruction caps, phase-consistent state vectors, mixed-state needs);
+  fixed-name devices validate every item against the backend's declared
+  :class:`~repro.api.capabilities.BackendCapabilities` before any work runs;
+* **batched submission** — ``run()`` accepts one circuit, a list of
+  circuits, or a sweep spec (one circuit times many parameter points).
+  Work items are grouped by ``circuit_topology_key`` so one knowledge
+  compile serves every rebinding of a topology, and ideal Clifford items
+  that share a resolved circuit share one tableau run;
+* **async jobs** — ``run(block=False)`` fans the groups out over a process
+  pool and returns immediately; the :class:`~repro.api.scheduler.Job`
+  handle exposes ``status()`` / ``result()`` / ``cancel()`` and streams
+  partial results.  Item ``i`` always samples with ``seed + i``, so serial
+  and parallel runs of the same batch are bit-identical.
+
+The per-item result *rows* are plain dicts (see
+:class:`~repro.api.results.BatchResult`); the legacy ``ParameterSweep``,
+``HybridSimulator`` and ``VariationalLoop`` surfaces are now thin layers
+over this module.
+"""
+
+from __future__ import annotations
+
+import math
+import tempfile
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.parameters import ParamResolver
+from ..circuits.qubits import Qubit
+from ..circuits.topology import canonicalize_circuit
+from ..errors import BackendCapabilityError
+from ..knowledge.cache import CompiledCircuitCache
+from ..linalg.tensor_ops import bits_to_index, index_to_bits
+from ..simulator.results import SampleResult
+from ..stabilizer.simulator import DENSE_PROBABILITY_QUBITS
+from .registry import REGISTRY, backend_capabilities, create_backend
+from .results import BatchResult
+from .routing import BackendDecision, select_backend
+from .scheduler import Job, completed, submit
+
+
+def _assemble_batch(sorted_rows: List[Tuple[int, Dict]]) -> BatchResult:
+    """Job ``assemble`` hook: item rows (already index-sorted) to a BatchResult."""
+    return BatchResult([row for _, row in sorted_rows])
+
+#: Observables one work item can record (same vocabulary as ParameterSweep).
+OBSERVABLES = ("probabilities", "state_vector", "samples", "expectation")
+
+#: Exact (amplitude-based) sampling on the compiled arithmetic circuit needs
+#: the full 2^n distribution; beyond this it falls back to Gibbs chains.
+EXACT_SAMPLING_QUBITS = 16
+
+SweepPoint = Union[None, ParamResolver, Dict[str, float]]
+
+KC_BACKEND = "knowledge_compilation"
+
+
+def as_resolver(point: SweepPoint) -> Optional[ParamResolver]:
+    """Normalize one parameter point (``None`` / mapping / resolver) to a resolver."""
+    if point is None or isinstance(point, ParamResolver):
+        return point
+    return ParamResolver(dict(point))
+
+
+def _resolver_key(resolver: Optional[ParamResolver]) -> Optional[Tuple]:
+    """Hashable identity of a parameter binding (for result sharing)."""
+    if resolver is None:
+        return None
+    return tuple(sorted(resolver.as_dict().items()))
+
+
+# ----------------------------------------------------------------------
+# Work-item evaluation.  Module-level so process-pool workers can run the
+# exact same code path as the inline (serial) engine.
+# ----------------------------------------------------------------------
+def _item_seed(ctx: Dict[str, Any], index: int) -> Optional[int]:
+    """Deterministic per-item seed: ``seed + index`` (``None`` stays ``None``)."""
+    return None if ctx["seed"] is None else ctx["seed"] + index
+
+
+def _base_row(index: int, resolver: Optional[ParamResolver], backend: str, reason: str) -> Dict:
+    return {
+        "index": index,
+        "parameters": {} if resolver is None else resolver.as_dict(),
+        "backend": backend,
+        "reason": reason,
+    }
+
+
+def _record_samples(row: Dict, samples: SampleResult) -> None:
+    row["samples"] = samples
+    row["counts"] = samples.bitstring_counts()
+
+
+def _sample_from_probabilities(
+    qubits: Sequence[Qubit],
+    probabilities: np.ndarray,
+    repetitions: int,
+    rng: np.random.Generator,
+) -> SampleResult:
+    """Exact multinomial draw from a dense output distribution."""
+    probabilities = np.clip(np.asarray(probabilities, dtype=float), 0.0, None)
+    probabilities = probabilities / probabilities.sum()
+    indices = rng.choice(len(probabilities), size=repetitions, p=probabilities)
+    return SampleResult(qubits, [index_to_bits(int(i), len(qubits)) for i in indices])
+
+
+def _evaluate_kc_item(sim, compiled, index: int, resolver, reason: str, ctx: Dict) -> Dict:
+    """One item on the knowledge-compilation backend (shared compile)."""
+    observables = ctx["observables"]
+    row = _base_row(index, resolver, KC_BACKEND, reason)
+    probabilities: Optional[np.ndarray] = None
+    sampling = ctx["sampling"]
+    exact = (
+        "samples" in observables
+        and sampling in ("auto", "exact")
+        and not compiled.noise_variables
+        and compiled.num_qubits <= EXACT_SAMPLING_QUBITS
+    )
+    if sampling == "exact" and "samples" in observables and not exact:
+        raise BackendCapabilityError(
+            "exact sampling needs an ideal circuit with at most "
+            f"{EXACT_SAMPLING_QUBITS} qubits; use sampling='auto' or 'gibbs'"
+        )
+    if "probabilities" in observables or "expectation" in observables or exact:
+        probabilities = compiled.probabilities(resolver)
+    if "probabilities" in observables:
+        row["probabilities"] = probabilities
+    if "expectation" in observables:
+        row["expectation"] = float(ctx["objective"](probabilities))
+    if "state_vector" in observables:
+        row["state_vector"] = compiled.state_vector(resolver)
+    if "samples" in observables:
+        seed = _item_seed(ctx, index)
+        if exact:
+            rng = sim._rng(seed)
+            _record_samples(
+                row,
+                _sample_from_probabilities(
+                    compiled.qubits, probabilities, ctx["repetitions"], rng
+                ),
+            )
+        else:
+            _record_samples(
+                row,
+                sim.sample(compiled, ctx["repetitions"], resolver=resolver, seed=seed),
+            )
+    return row
+
+
+def _evaluate_stabilizer_item(
+    sim, circuit, index: int, resolver, reason: str, ctx: Dict, shared: Dict
+) -> Dict:
+    """One item on the tableau; ideal items sharing a binding share one run."""
+    observables = ctx["observables"]
+    row = _base_row(index, resolver, "stabilizer", reason)
+    initial_state = ctx["initial_state"]
+    if circuit.has_noise:
+        # Stochastic Pauli unravelling: every shot draws its own jump
+        # pattern, so there is no shared deterministic tableau to reuse.
+        _record_samples(
+            row,
+            sim.sample(
+                circuit,
+                ctx["repetitions"],
+                resolver=resolver,
+                qubit_order=ctx["qubit_order"],
+                seed=_item_seed(ctx, index),
+                initial_state=initial_state,
+            ),
+        )
+        return row
+    key = (ctx["circuit_pos"], _resolver_key(resolver))
+    result = shared.get(key)
+    if result is None:
+        result = sim.simulate(circuit, resolver, ctx["qubit_order"], initial_state)
+        shared[key] = result
+    if "probabilities" in observables or "expectation" in observables:
+        probabilities = result.probabilities()
+        if "probabilities" in observables:
+            row["probabilities"] = probabilities
+        if "expectation" in observables:
+            row["expectation"] = float(ctx["objective"](probabilities))
+    if "state_vector" in observables:
+        row["state_vector"] = result.state_vector
+    if "samples" in observables:
+        seed = _item_seed(ctx, index)
+        rng = np.random.default_rng(seed) if seed is not None else sim._rng()
+        _record_samples(row, result.sample(ctx["repetitions"], rng))
+    return row
+
+
+def _evaluate_generic_item(sim, name: str, circuit, index: int, resolver, reason: str, ctx: Dict) -> Dict:
+    """One item on any uniform-interface backend (simulate/sample contract)."""
+    observables = ctx["observables"]
+    row = _base_row(index, resolver, name, reason)
+    if any(o in observables for o in ("probabilities", "expectation", "state_vector")):
+        result = sim.simulate(circuit, resolver, ctx["qubit_order"], ctx["initial_state"])
+        if "probabilities" in observables or "expectation" in observables:
+            probabilities = result.probabilities()
+            if "probabilities" in observables:
+                row["probabilities"] = probabilities
+            if "expectation" in observables:
+                row["expectation"] = float(ctx["objective"](probabilities))
+        if "state_vector" in observables:
+            state = getattr(result, "state_vector", None)
+            if state is None:
+                raise BackendCapabilityError(
+                    f"backend {name!r} produces a mixed state; "
+                    "it cannot record the 'state_vector' observable"
+                )
+            row["state_vector"] = np.asarray(state)
+    if "samples" in observables:
+        _record_samples(
+            row,
+            sim.sample(
+                circuit,
+                ctx["repetitions"],
+                resolver=resolver,
+                qubit_order=ctx["qubit_order"],
+                seed=_item_seed(ctx, index),
+                initial_state=ctx["initial_state"],
+            ),
+        )
+    return row
+
+
+def _evaluate_items(
+    sim,
+    backend: str,
+    circuits: List[Circuit],
+    items: List[Tuple[int, int, Optional[ParamResolver], str]],
+    ctx: Dict,
+    group_master=None,
+) -> List[Tuple[int, Dict]]:
+    """Evaluate one backend group's items; shared by workers and inline runs.
+
+    ``group_master`` is an optional pre-compiled :class:`CompiledCircuit`
+    for the group's shared topology (the Device's per-topology memo);
+    circuits then rebind against it instead of recompiling.
+    """
+    rows: List[Tuple[int, Dict]] = []
+    if backend == KC_BACKEND:
+        # All circuits in a group share one topology: the first circuit pays
+        # the compile (or cache hit), the rest are rebound views over the
+        # same arithmetic circuit — compile-once even with caching disabled.
+        compiled_by_pos: Dict[int, Any] = {}
+        for index, pos, resolver, reason in items:
+            compiled = compiled_by_pos.get(pos)
+            if compiled is None:
+                if group_master is None:
+                    compiled = sim.compile_circuit(
+                        circuits[pos],
+                        qubit_order=ctx["qubit_order"],
+                        initial_bits=ctx["initial_bits"],
+                    )
+                    group_master = compiled
+                else:
+                    canonical = canonicalize_circuit(
+                        circuits[pos],
+                        qubit_order=ctx["qubit_order"],
+                        initial_bits=ctx["initial_bits"],
+                    )
+                    compiled = group_master.rebound_for(
+                        circuits[pos], canonical.bindings, ctx["qubit_order"]
+                    )
+                compiled_by_pos[pos] = compiled
+            rows.append((index, _evaluate_kc_item(sim, compiled, index, resolver, reason, ctx)))
+        return rows
+    if backend == "stabilizer":
+        shared: Dict = {}
+        for index, pos, resolver, reason in items:
+            item_ctx = dict(ctx, circuit_pos=pos)
+            rows.append(
+                (index, _evaluate_stabilizer_item(sim, circuits[pos], index, resolver, reason, item_ctx, shared))
+            )
+        return rows
+    for index, pos, resolver, reason in items:
+        rows.append(
+            (index, _evaluate_generic_item(sim, backend, circuits[pos], index, resolver, reason, ctx))
+        )
+    return rows
+
+
+def _worker_backend(payload: Dict):
+    """Construct the backend instance inside a pool worker."""
+    options = dict(payload["backend_options"])
+    if payload["backend"] == KC_BACKEND and payload.get("cache_dir"):
+        options["cache"] = CompiledCircuitCache(directory=payload["cache_dir"])
+    return create_backend(payload["backend"], seed=payload["ctx"]["seed"], **options)
+
+
+def _run_chunk(payload: Dict) -> List[Tuple[int, Dict]]:
+    """Process-pool task: hydrate a backend, evaluate one chunk of items."""
+    sim = _worker_backend(payload)
+    return _evaluate_items(
+        sim, payload["backend"], payload["circuits"], payload["items"], payload["ctx"]
+    )
+
+
+def persist_compile(sim, compiled, directory: str, qubit_order=None, initial_bits=None) -> None:
+    """Write a compiled artifact where pool workers will look for it."""
+    from ..simulator.kc_simulator import _encoding_fingerprint
+
+    disk = CompiledCircuitCache(directory=directory)
+    key = sim.cache_key_for(
+        compiled.circuit,
+        qubit_order=qubit_order,
+        initial_bits=initial_bits,
+        elide_internal=compiled.elided,
+    )
+    if disk.load_payload(key) is None:
+        disk.store_payload(
+            key,
+            {
+                "arithmetic_circuit": compiled.arithmetic_circuit,
+                "fingerprint": _encoding_fingerprint(compiled.encoding),
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+class Device:
+    """One execution endpoint: a fixed backend, or capability-driven routing.
+
+    Parameters
+    ----------
+    backend:
+        A registered backend name, or ``"auto"`` (alias ``"hybrid"``) for
+        per-item routing through the Clifford/topology classifiers.
+    seed:
+        Seeds every backend instance this device creates.
+    fallback, noisy_fallback:
+        Backend names for the non-Clifford route under ``"auto"``.
+        ``fallback`` defaults to ``"state_vector"``; ``noisy_fallback``
+        defaults to ``"density_matrix"`` when ``fallback`` is defaulted and
+        to ``fallback`` itself otherwise (mixed-state queries need it).
+    instances:
+        Pre-built backend instances to use instead of fresh registry
+        creations (how the legacy shims wrap their existing simulators).
+    backend_options:
+        Extra constructor keywords for backends this device creates,
+        keyed by backend name.
+    """
+
+    def __init__(
+        self,
+        backend: str = "auto",
+        seed: Optional[int] = None,
+        fallback: Optional[str] = None,
+        noisy_fallback: Optional[str] = None,
+        instances: Optional[Dict[str, Any]] = None,
+        backend_options: Optional[Dict[str, Dict]] = None,
+    ):
+        self._instances: Dict[str, Any] = dict(instances or {})
+        self._backend_options: Dict[str, Dict] = dict(backend_options or {})
+        # Per-topology memo of knowledge compiles this device performed, so
+        # repeated run() calls reuse the artifact even when the simulator's
+        # own cache is disabled (cache=None isolation setups).
+        self._kc_masters: "OrderedDict[str, Any]" = OrderedDict()
+        if backend in ("auto", "hybrid"):
+            self.backend = "auto"
+        else:
+            self.backend = self._resolve(backend)
+        self.seed = seed
+        if fallback is None:
+            self._fallback = "state_vector"
+            self._noisy_fallback = (
+                self._resolve(noisy_fallback) if noisy_fallback else "density_matrix"
+            )
+        else:
+            self._fallback = self._resolve(fallback)
+            self._noisy_fallback = (
+                self._resolve(noisy_fallback) if noisy_fallback else self._fallback
+            )
+        #: The decision taken by the most recent simulate/sample call.
+        self.last_decision: Optional[BackendDecision] = None
+
+    # ------------------------------------------------------------------
+    def _resolve(self, name: str) -> str:
+        """Canonical backend name: an attached instance's name, or a registry name."""
+        if name in self._instances:
+            return name
+        return REGISTRY.resolve(name)
+
+    def backend_instance(self, name: str):
+        """The (lazily created, cached) backend instance for ``name``."""
+        if name in self._instances:
+            return self._instances[name]
+        name = REGISTRY.resolve(name)
+        instance = self._instances.get(name)
+        if instance is None:
+            instance = create_backend(
+                name, seed=self.seed, **self._backend_options.get(name, {})
+            )
+            self._instances[name] = instance
+        return instance
+
+    def capabilities(self):
+        """Declared capabilities of this device's backend (fixed devices only)."""
+        if self.backend == "auto":
+            raise BackendCapabilityError("device('auto') routes per item; ask a fixed device")
+        return backend_capabilities(self.backend)
+
+    def _kc_group_master(self, sim, circuit: Circuit, topology: str, ctx: Dict):
+        """This device's memoized knowledge compile for ``topology``."""
+        master = self._kc_masters.get(topology)
+        if master is None:
+            master = sim.compile_circuit(
+                circuit,
+                qubit_order=ctx["qubit_order"],
+                initial_bits=ctx["initial_bits"],
+            )
+            self._kc_masters[topology] = master
+            while len(self._kc_masters) > 8:
+                self._kc_masters.popitem(last=False)
+        else:
+            self._kc_masters.move_to_end(topology)
+        return master
+
+    def compiled_master(
+        self,
+        circuit: Circuit,
+        qubit_order: Optional[Sequence[Qubit]] = None,
+        initial_bits: Optional[Sequence[int]] = None,
+    ):
+        """The device's memoized compile for ``circuit``'s topology, rebound to it.
+
+        Returns ``None`` when no run has compiled that topology yet.
+        """
+        order = list(qubit_order) if qubit_order is not None else None
+        canonical = canonicalize_circuit(circuit, qubit_order=order, initial_bits=initial_bits)
+        master = self._kc_masters.get(canonical.topology_key)
+        if master is None:
+            return None
+        return master.rebound_for(circuit, canonical.bindings, order)
+
+    def ensure_compiled(
+        self,
+        circuit: Circuit,
+        qubit_order: Optional[Sequence[Qubit]] = None,
+        initial_bits: Optional[Sequence[int]] = None,
+    ):
+        """Compile ``circuit``'s topology now (through the device memo).
+
+        Later ``run()`` batches over the same topology reuse the artifact —
+        one exponential compile total, even with the simulator's own cache
+        disabled.  Returns the compile rebound to ``circuit``.
+        """
+        order = list(qubit_order) if qubit_order is not None else None
+        canonical = canonicalize_circuit(circuit, qubit_order=order, initial_bits=initial_bits)
+        ctx = {
+            "qubit_order": order,
+            "initial_bits": list(initial_bits) if initial_bits is not None else None,
+        }
+        sim = self.backend_instance(KC_BACKEND)
+        master = self._kc_group_master(sim, circuit, canonical.topology_key, ctx)
+        return master.rebound_for(circuit, canonical.bindings, order)
+
+    def _fallback_name(self, circuit: Circuit, sampling: bool) -> str:
+        if not sampling and circuit.has_noise:
+            return self._noisy_fallback
+        return self._fallback
+
+    # ------------------------------------------------------------------
+    # Single-item entry points (the legacy Simulator-shaped surface).
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        circuit: Circuit,
+        resolver: Optional[ParamResolver] = None,
+        sampling: bool = True,
+    ) -> BackendDecision:
+        """The routing decision for one circuit (without running it)."""
+        if self.backend != "auto":
+            return BackendDecision(self.backend, "fixed backend")
+        return select_backend(
+            circuit,
+            resolver,
+            fallback=self._fallback_name(circuit, sampling),
+            sampling=sampling,
+        )
+
+    def simulate(
+        self,
+        circuit: Circuit,
+        resolver: Optional[ParamResolver] = None,
+        qubit_order: Optional[Sequence[Qubit]] = None,
+        initial_state: int = 0,
+    ):
+        """Run one circuit on the routed backend, returning its native result."""
+        decision = self.decide(circuit, resolver, sampling=False)
+        self.last_decision = decision
+        return self.backend_instance(decision.backend).simulate(
+            circuit, resolver, qubit_order, initial_state
+        )
+
+    def sample(
+        self,
+        circuit: Circuit,
+        repetitions: int,
+        resolver: Optional[ParamResolver] = None,
+        qubit_order: Optional[Sequence[Qubit]] = None,
+        seed: Optional[int] = None,
+        initial_state: int = 0,
+    ) -> SampleResult:
+        """Draw samples from one circuit on the routed backend."""
+        decision = self.decide(circuit, resolver, sampling=True)
+        self.last_decision = decision
+        return self.backend_instance(decision.backend).sample(
+            circuit,
+            repetitions,
+            resolver=resolver,
+            qubit_order=qubit_order,
+            seed=seed,
+            initial_state=initial_state,
+        )
+
+    # ------------------------------------------------------------------
+    # Batched submission.
+    # ------------------------------------------------------------------
+    def _route_item(
+        self,
+        circuit: Circuit,
+        resolver: Optional[ParamResolver],
+        observables: Sequence[str],
+        num_qubits: int,
+    ) -> BackendDecision:
+        sampling_only = all(o == "samples" for o in observables)
+        wants_dense = "probabilities" in observables or "expectation" in observables
+        if self.backend != "auto":
+            decision = BackendDecision(self.backend, "fixed backend")
+        else:
+            decision = self.decide(circuit, resolver, sampling=sampling_only)
+            if decision.backend == "stabilizer" and not sampling_only:
+                if "state_vector" in observables:
+                    decision = BackendDecision(
+                        self._fallback_name(circuit, sampling=False),
+                        "state-vector observable needs phase-consistent amplitudes",
+                    )
+                elif wants_dense and num_qubits > DENSE_PROBABILITY_QUBITS:
+                    decision = BackendDecision(
+                        self._fallback_name(circuit, sampling=False),
+                        f"dense probabilities capped at {DENSE_PROBABILITY_QUBITS} qubits",
+                    )
+        self._validate_capabilities(decision.backend, circuit, observables, num_qubits)
+        return decision
+
+    def _validate_capabilities(
+        self,
+        name: str,
+        circuit: Circuit,
+        observables: Sequence[str],
+        num_qubits: int,
+    ) -> None:
+        if name not in REGISTRY:
+            return  # attached instance with no declared capabilities
+        caps = backend_capabilities(name)
+        if caps.max_qubits is not None and num_qubits > caps.max_qubits:
+            raise BackendCapabilityError(
+                f"backend {name!r} is capped at {caps.max_qubits} qubits "
+                f"(work item has {num_qubits})"
+            )
+        if circuit.has_noise:
+            if not caps.supports_noise():
+                raise BackendCapabilityError(
+                    f"backend {name!r} supports ideal circuits only; "
+                    "route noisy work to a noise-capable backend"
+                )
+            if "state_vector" in observables:
+                raise BackendCapabilityError(
+                    "noisy circuits have no state vector; request 'probabilities' instead"
+                )
+            if "samples" in observables and not caps.noisy_sampling:
+                raise BackendCapabilityError(
+                    f"backend {name!r} cannot sample noisy circuits"
+                )
+            if (
+                "probabilities" in observables or "expectation" in observables
+            ) and not caps.mixed_state:
+                raise BackendCapabilityError(
+                    f"backend {name!r} cannot produce a mixed-state output "
+                    "distribution; use density_matrix, trajectory or knowledge_compilation"
+                )
+
+    def _normalize_items(
+        self, circuits, params
+    ) -> List[Tuple[Circuit, Optional[ParamResolver]]]:
+        if isinstance(circuits, Circuit):
+            base: List[Circuit] = [circuits]
+            single = True
+        else:
+            base = list(circuits)
+            single = False
+            for circuit in base:
+                if not isinstance(circuit, Circuit):
+                    raise TypeError(f"run() expects circuits, got {type(circuit).__name__}")
+        if not base:
+            raise ValueError("run() needs at least one circuit")
+        if params is None:
+            return [(circuit, None) for circuit in base]
+        points = [as_resolver(point) for point in params]
+        if single:
+            # Sweep spec: one circuit crossed with every parameter point.
+            return [(base[0], point) for point in points]
+        if len(points) != len(base):
+            raise ValueError(
+                f"params length {len(points)} does not match circuit count {len(base)}"
+            )
+        return list(zip(base, points))
+
+    def run(
+        self,
+        circuits,
+        params: Optional[Sequence[SweepPoint]] = None,
+        observables: Optional[Sequence[str]] = None,
+        repetitions: int = 0,
+        seed: Optional[int] = 0,
+        jobs: int = 1,
+        block: bool = True,
+        qubit_order: Optional[Sequence[Qubit]] = None,
+        initial_bits: Optional[Sequence[int]] = None,
+        objective=None,
+        sampling: str = "auto",
+    ) -> Job:
+        """Submit a batch of work items and return its :class:`Job`.
+
+        Parameters
+        ----------
+        circuits:
+            A single :class:`~repro.circuits.circuit.Circuit`, a sequence of
+            circuits, or — together with ``params`` — a sweep spec (one
+            circuit evaluated at every parameter point).
+        params:
+            Parameter points (resolvers / ``{symbol: value}`` mappings /
+            ``None``).  With one circuit this is a sweep; with a circuit
+            list it must match one-to-one.
+        observables:
+            Any of ``"samples"``, ``"probabilities"``, ``"state_vector"``,
+            ``"expectation"``.  Defaults to ``("samples",)`` when
+            ``repetitions > 0`` and ``("probabilities",)`` otherwise.
+        repetitions:
+            Samples per item (``"samples"`` is implied when positive).
+        seed:
+            Base seed; item ``i`` draws with ``seed + i``, making results
+            independent of ``jobs`` and of grouping.  ``None`` leaves
+            sampling nondeterministic.
+        jobs:
+            Worker processes.  ``1`` (default) runs inline on this device's
+            own backend instances.
+        block:
+            ``False`` returns immediately; the job completes in the
+            background (a pool is used even for ``jobs=1``).
+        qubit_order, initial_bits:
+            Shared qubit order / starting basis state for every item.
+        objective:
+            Required by ``"expectation"``: maps a probability vector to a
+            scalar.  Must be picklable when the job runs on a pool.
+        sampling:
+            ``"auto"`` (default) draws exact samples from the compiled
+            distribution on the knowledge-compilation backend when the item
+            is ideal and small enough, ``"exact"`` requires that path,
+            ``"gibbs"`` always runs the Gibbs chains.
+
+        Raises
+        ------
+        BackendCapabilityError
+            If any item exceeds the routed backend's declared capabilities
+            (raised before any work runs).
+        ValueError
+            For unknown observables or inconsistent arguments.
+        """
+        items = self._normalize_items(circuits, params)
+        if observables is None:
+            observables = ("samples",) if repetitions > 0 else ("probabilities",)
+        observables = list(observables)
+        if repetitions and "samples" not in observables:
+            observables.append("samples")
+        unknown = set(observables) - set(OBSERVABLES)
+        if unknown:
+            raise ValueError(f"unknown observables: {sorted(unknown)}")
+        if "expectation" in observables and objective is None:
+            raise ValueError("the 'expectation' observable requires an objective callable")
+        if "samples" in observables and repetitions <= 0:
+            raise ValueError("the 'samples' observable requires repetitions > 0")
+        if sampling not in ("auto", "exact", "gibbs"):
+            raise ValueError(f"sampling must be 'auto', 'exact' or 'gibbs', got {sampling!r}")
+
+        ctx = {
+            "observables": observables,
+            "repetitions": repetitions,
+            "seed": seed,
+            "qubit_order": list(qubit_order) if qubit_order is not None else None,
+            "initial_bits": list(initial_bits) if initial_bits is not None else None,
+            "initial_state": bits_to_index(initial_bits) if initial_bits else 0,
+            "objective": objective,
+            "sampling": sampling,
+        }
+
+        # Route every item, then group by (backend, topology): one compile
+        # per distinct topology, one classification-and-canonicalization per
+        # distinct circuit object.
+        topology_of: Dict[int, str] = {}
+        groups: "OrderedDict[Tuple[str, str], Dict]" = OrderedDict()
+        for index, (circuit, resolver) in enumerate(items):
+            num_qubits = (
+                len(ctx["qubit_order"]) if ctx["qubit_order"] is not None else circuit.num_qubits
+            )
+            decision = self._route_item(circuit, resolver, observables, num_qubits)
+            topology = topology_of.get(id(circuit))
+            if topology is None:
+                topology = canonicalize_circuit(
+                    circuit, qubit_order=ctx["qubit_order"], initial_bits=ctx["initial_bits"]
+                ).topology_key
+                topology_of[id(circuit)] = topology
+            group = groups.get((decision.backend, topology))
+            if group is None:
+                group = {"circuits": [], "positions": {}, "items": []}
+                groups[(decision.backend, topology)] = group
+            pos = group["positions"].get(id(circuit))
+            if pos is None:
+                pos = len(group["circuits"])
+                group["circuits"].append(circuit)
+                group["positions"][id(circuit)] = pos
+            group["items"].append((index, pos, resolver, decision.reason))
+
+        if jobs <= 1 and block:
+            rows: List[Tuple[int, Dict]] = []
+            for (backend, topology), group in groups.items():
+                sim = self.backend_instance(backend)
+                master = (
+                    self._kc_group_master(sim, group["circuits"][0], topology, ctx)
+                    if backend == KC_BACKEND
+                    else None
+                )
+                rows.extend(
+                    _evaluate_items(
+                        sim, backend, group["circuits"], group["items"], ctx,
+                        group_master=master,
+                    )
+                )
+            return completed(rows, assemble=_assemble_batch)
+        return self._run_pooled(groups, ctx, jobs=jobs, block=block)
+
+    # ------------------------------------------------------------------
+    def _run_pooled(self, groups, ctx, jobs: int, block: bool) -> Job:
+        cleanup: Optional[tempfile.TemporaryDirectory] = None
+        cache_dir: Optional[str] = None
+        kc_groups = [
+            (topology, group)
+            for (backend, topology), group in groups.items()
+            if backend == KC_BACKEND
+        ]
+        kc_options: Dict[str, Any] = {}
+        if kc_groups:
+            sim = self.backend_instance(KC_BACKEND)
+            kc_options = {
+                "order_method": sim.order_method,
+                "elide_internal": sim.elide_internal,
+            }
+            cache = sim.cache
+            if cache is not None and cache.directory is not None:
+                cache_dir = cache.directory
+            else:
+                cleanup = tempfile.TemporaryDirectory(prefix="repro-device-cache-")
+                cache_dir = cleanup.name
+            # Compile (or fetch — the device memoizes per topology) each
+            # distinct topology once in the parent and persist it, so
+            # workers hydrate instead of recompiling.
+            for topology, group in kc_groups:
+                compiled = self._kc_group_master(sim, group["circuits"][0], topology, ctx)
+                persist_compile(
+                    sim,
+                    compiled,
+                    cache_dir,
+                    qubit_order=ctx["qubit_order"],
+                    initial_bits=ctx["initial_bits"],
+                )
+
+        total_items = sum(len(group["items"]) for group in groups.values())
+        chunk_size = max(1, math.ceil(total_items / max(1, jobs * 2)))
+        tasks = []
+        for (backend, _topology), group in groups.items():
+            options = kc_options if backend == KC_BACKEND else self._backend_options.get(backend, {})
+            for start in range(0, len(group["items"]), chunk_size):
+                tasks.append(
+                    (
+                        _run_chunk,
+                        {
+                            "backend": backend,
+                            "backend_options": options,
+                            "cache_dir": cache_dir if backend == KC_BACKEND else None,
+                            "circuits": group["circuits"],
+                            "items": group["items"][start : start + chunk_size],
+                            "ctx": ctx,
+                        },
+                    )
+                )
+        job = submit(tasks, jobs=jobs, block=block, assemble=_assemble_batch)
+        if cleanup is not None:
+            if block and job.done():
+                cleanup.cleanup()
+            else:
+                # Keep the temporary cache alive as long as the job handle;
+                # TemporaryDirectory's finalizer removes it afterwards.
+                job._owned_tmpdir = cleanup
+        return job
+
+    def __repr__(self) -> str:
+        if self.backend == "auto":
+            return f"<Device auto fallback={self._fallback!r} noisy={self._noisy_fallback!r}>"
+        return f"<Device backend={self.backend!r}>"
+
+
+def device(
+    backend: str = "auto",
+    seed: Optional[int] = None,
+    fallback: Optional[str] = None,
+    noisy_fallback: Optional[str] = None,
+    **backend_options,
+) -> Device:
+    """Open an execution device: ``repro.device("auto").run([...])``.
+
+    ``backend`` is a registered backend name (see
+    :func:`repro.api.registry.list_backends`) or ``"auto"`` for
+    capability-driven per-item routing.  Extra keyword arguments are passed
+    to the backend's constructor (fixed-name devices only).
+    """
+    options: Optional[Dict[str, Dict]] = None
+    if backend_options:
+        if backend in ("auto", "hybrid"):
+            raise BackendCapabilityError(
+                "backend options require a fixed backend name, not 'auto'"
+            )
+        options = {REGISTRY.resolve(backend): backend_options}
+    return Device(
+        backend=backend,
+        seed=seed,
+        fallback=fallback,
+        noisy_fallback=noisy_fallback,
+        backend_options=options,
+    )

@@ -1,0 +1,58 @@
+"""Per-circuit backend routing shared by ``Device`` and ``HybridSimulator``.
+
+:func:`select_backend` is the single routing rule of the code base: it
+classifies one circuit (via :func:`repro.circuits.clifford.classify_circuit`)
+and names the backend that should run it.  ``Device`` extends the rule with
+observable-aware constraints (dense reconstruction caps, phase-consistent
+state vectors) in :meth:`repro.api.device.Device` — both layers produce
+:class:`BackendDecision` records so callers can assert *why* a circuit went
+where it did.
+
+Routing rules
+-------------
+* all gates Clifford, no noise  -> ``stabilizer`` for both entry points;
+* all gates Clifford, all noise single-qubit Pauli mixtures ->
+  ``stabilizer`` for ``sample`` (stochastic Pauli unravelling); ``simulate``
+  falls back, because a tableau holds a pure stabilizer state, not a mixed
+  state;
+* anything else -> the fallback backend, with the blocking operation named
+  in the decision's reason.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+from ..circuits.circuit import Circuit
+from ..circuits.clifford import classify_circuit
+from ..circuits.parameters import ParamResolver
+
+
+class BackendDecision(NamedTuple):
+    """One routing decision: the chosen backend name plus the reason."""
+
+    backend: str
+    reason: str
+
+
+def select_backend(
+    circuit: Circuit,
+    resolver: Optional[ParamResolver] = None,
+    fallback: str = "state_vector",
+    sampling: bool = True,
+) -> BackendDecision:
+    """Choose the backend for ``circuit``: ``"stabilizer"`` or ``fallback``.
+
+    ``sampling=False`` asks for the ``simulate`` route, where noisy circuits
+    always fall back (a tableau cannot represent a mixed state).
+    """
+    classification = classify_circuit(circuit, resolver)
+    if classification.clifford and classification.pauli_noise:
+        if classification.has_noise:
+            if sampling:
+                return BackendDecision("stabilizer", "clifford + pauli-noise")
+            return BackendDecision(
+                fallback, "noisy simulate needs a mixed-state representation"
+            )
+        return BackendDecision("stabilizer", "clifford")
+    return BackendDecision(fallback, classification.blocker or "non-clifford circuit")

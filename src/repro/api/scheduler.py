@@ -1,0 +1,282 @@
+"""Async job scheduling over a process pool.
+
+The execution layer behind :meth:`repro.api.device.Device.run` and the
+experiment harness.  A :class:`Job` owns a set of *tasks* — picklable
+``(function, payload)`` pairs where ``function`` is module-level and returns
+``[(item_index, row), ...]`` — and runs them either inline (serial,
+blocking) or on a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* ``Job.status()`` reports ``pending`` / ``running`` / ``done`` /
+  ``failed`` / ``cancelled``;
+* ``Job.result()`` blocks for completion and returns the assembled rows in
+  item order;
+* ``Job.partial_results()`` and ``Job.stream()`` expose per-item rows as
+  tasks complete (streaming partial results);
+* ``Job.cancel()`` cancels every not-yet-started task; tasks already
+  running finish, and their rows stay available through
+  ``partial_results()``.
+
+Worker failures propagate with their **original exception type**: the
+worker catches the error, returns it as data, and the parent re-raises it
+with the worker traceback attached as the ``__cause__`` (a
+:class:`~repro.errors.JobError` carrying the formatted remote traceback).
+Unpicklable exceptions degrade to a :class:`~repro.errors.JobError`
+describing the original.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import traceback
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import JobCancelledError, JobError
+
+#: Job lifecycle states.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+
+class _RemoteFailure:
+    """A worker exception captured as data so its type survives the pool."""
+
+    def __init__(self, error: BaseException):
+        self.traceback = "".join(
+            traceback.format_exception(type(error), error, error.__traceback__)
+        )
+        try:
+            pickle.dumps(error)
+            self.error: BaseException = error
+        except Exception:
+            self.error = JobError(f"unpicklable worker error: {error!r}")
+
+    def reraise(self) -> None:
+        raise self.error from JobError(f"worker traceback:\n{self.traceback}")
+
+
+def run_task(task: Tuple[Callable, Any]):
+    """Module-level worker entry point: run one task, capture failures as data."""
+    function, payload = task
+    try:
+        return function(payload)
+    except BaseException as error:  # noqa: BLE001 - repackaged for the parent
+        return _RemoteFailure(error)
+
+
+class Job:
+    """Handle on one batch submission (see the module docstring).
+
+    Created by :func:`submit`; not constructed directly by users.
+    """
+
+    def __init__(self, assemble: Optional[Callable[[List[Tuple[int, Any]]], Any]] = None):
+        self._assemble = assemble
+        self._lock = threading.Condition()
+        self._rows: Dict[int, Any] = {}
+        self._status = PENDING
+        self._failure: Optional[_RemoteFailure] = None
+        self._futures: List[Future] = []
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._pending_tasks = 0
+
+    # ------------------------------------------------------------------
+    # Construction paths (used by submit()).
+    # ------------------------------------------------------------------
+    def _run_inline(self, tasks: Sequence[Tuple[Callable, Any]]) -> "Job":
+        self._status = RUNNING
+        for task in tasks:
+            with self._lock:
+                if self._status == CANCELLED:
+                    return self
+            outcome = run_task(task)
+            self._record(outcome)
+            if self._failure is not None:
+                break
+        with self._lock:
+            if self._status == RUNNING:
+                self._status = FAILED if self._failure is not None else DONE
+            self._lock.notify_all()
+        return self
+
+    def _run_pooled(self, tasks: Sequence[Tuple[Callable, Any]], jobs: int) -> "Job":
+        self._status = RUNNING
+        self._executor = ProcessPoolExecutor(max_workers=max(1, min(jobs, len(tasks))))
+        self._pending_tasks = len(tasks)
+        for task in tasks:
+            future = self._executor.submit(run_task, task)
+            self._futures.append(future)
+            future.add_done_callback(self._on_task_done)
+        return self
+
+    # ------------------------------------------------------------------
+    def _record(self, outcome: Any) -> None:
+        with self._lock:
+            if isinstance(outcome, _RemoteFailure):
+                if self._failure is None:
+                    self._failure = outcome
+            else:
+                for index, row in outcome:
+                    self._rows[index] = row
+            self._lock.notify_all()
+
+    def _on_task_done(self, future: Future) -> None:
+        if not future.cancelled():
+            try:
+                self._record(future.result())
+            except BaseException as error:  # pool infrastructure failure
+                self._record(_RemoteFailure(error))
+        with self._lock:
+            self._pending_tasks -= 1
+            if self._pending_tasks == 0:
+                if self._status == RUNNING:
+                    self._status = FAILED if self._failure is not None else DONE
+                self._shutdown()
+            self._lock.notify_all()
+
+    def _shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    # Public lifecycle API.
+    # ------------------------------------------------------------------
+    def status(self) -> str:
+        """One of ``pending`` / ``running`` / ``done`` / ``failed`` / ``cancelled``."""
+        with self._lock:
+            return self._status
+
+    def done(self) -> bool:
+        """True once no further rows will arrive."""
+        return self.status() in (DONE, FAILED, CANCELLED)
+
+    def cancel(self) -> bool:
+        """Cancel every not-yet-started task.
+
+        Tasks already running finish and their rows remain available via
+        :meth:`partial_results`.  Returns ``True`` if the job had not already
+        completed.
+        """
+        with self._lock:
+            if self._status in (DONE, FAILED, CANCELLED):
+                return False
+            self._status = CANCELLED
+            futures = list(self._futures)
+            self._lock.notify_all()
+        # Done callbacks fire for cancelled futures too, so the pending-task
+        # bookkeeping in _on_task_done reaches zero on its own.
+        for future in futures:
+            future.cancel()
+        return True
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state (or ``timeout``)."""
+        with self._lock:
+            return self._lock.wait_for(
+                lambda: self._status in (DONE, FAILED, CANCELLED)
+                and self._pending_tasks == 0,
+                timeout=timeout,
+            )
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Assembled rows in item order; raises on failure or cancellation.
+
+        Raises
+        ------
+        JobCancelledError
+            If :meth:`cancel` was called before completion.
+        TimeoutError
+            If the job is still running after ``timeout`` seconds.
+        Exception
+            A worker failure re-raised with its original type, the remote
+            traceback attached as ``__cause__``.
+        """
+        if not self.wait(timeout):
+            raise TimeoutError(f"job still {self.status()} after {timeout}s")
+        with self._lock:
+            if self._failure is not None:
+                self._failure.reraise()
+            if self._status == CANCELLED:
+                raise JobCancelledError(
+                    f"job cancelled with {len(self._rows)} item(s) completed; "
+                    "use partial_results() to retrieve them"
+                )
+            rows = sorted(self._rows.items())
+        return self._assemble(rows) if self._assemble else [row for _, row in rows]
+
+    def partial_results(self) -> Dict[int, Any]:
+        """Item-index -> row for every item completed so far (streaming reads)."""
+        with self._lock:
+            return dict(self._rows)
+
+    def stream(self, timeout: Optional[float] = None) -> Iterator[Tuple[int, Any]]:
+        """Yield ``(item_index, row)`` pairs as they complete, in arrival order.
+
+        Stops once the job reaches a terminal state; a worker failure is
+        re-raised (original type) after every already-completed row has been
+        yielded.
+        """
+        seen: set = set()
+        while True:
+            with self._lock:
+                fresh = [(i, row) for i, row in sorted(self._rows.items()) if i not in seen]
+                terminal = self._status in (DONE, FAILED, CANCELLED) and self._pending_tasks == 0
+                if not fresh and not terminal:
+                    if not self._lock.wait(timeout):
+                        raise TimeoutError("no job progress before timeout")
+                    continue
+            for index, row in fresh:
+                seen.add(index)
+                yield index, row
+            if terminal and not fresh:
+                with self._lock:
+                    failure = self._failure
+                if failure is not None:
+                    failure.reraise()
+                return
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return f"<Job status={self._status} completed={len(self._rows)}>"
+
+
+def completed(
+    rows: Sequence[Tuple[int, Any]],
+    assemble: Optional[Callable[[List[Tuple[int, Any]]], Any]] = None,
+) -> Job:
+    """A job already in the ``done`` state holding ``rows`` (inline runs)."""
+    job = Job(assemble=assemble)
+    job._rows = dict(rows)
+    job._status = DONE
+    return job
+
+
+def submit(
+    tasks: Sequence[Tuple[Callable, Any]],
+    jobs: int = 1,
+    block: bool = True,
+    assemble: Optional[Callable[[List[Tuple[int, Any]]], Any]] = None,
+) -> Job:
+    """Run ``tasks`` and return the :class:`Job` handle.
+
+    ``jobs <= 1`` with ``block=True`` executes inline in this process (no
+    pool, no pickling of results).  Everything else fans out over a process
+    pool of ``max(1, jobs)`` workers; with ``block=True`` the call waits for
+    completion before returning, with ``block=False`` it returns
+    immediately and the job completes in the background.
+    """
+    job = Job(assemble=assemble)
+    if not tasks:
+        job._status = DONE
+        return job
+    if jobs <= 1 and block:
+        return job._run_inline(tasks)
+    job._run_pooled(tasks, jobs=max(1, jobs))
+    if block:
+        job.wait()
+    return job

@@ -135,6 +135,7 @@ class DensityMatrixSimulator(Simulator):
         resolver: Optional[ParamResolver] = None,
         qubit_order: Optional[Sequence[Qubit]] = None,
         seed: Optional[int] = None,
+        initial_state: int = 0,
     ) -> SampleResult:
         """Draw measurement samples from the exact output distribution.
 
@@ -145,13 +146,14 @@ class DensityMatrixSimulator(Simulator):
             qubit_order: Qubit-to-basis-position order.
             seed: Per-call seed for reproducibility in isolation; ``None``
                 draws from the backend's default generator.
+            initial_state: Computational-basis index of the starting state.
 
         Returns:
             A :class:`SampleResult` of ``repetitions`` bitstrings sampled
             from the diagonal of the final density matrix.
         """
         rng = self._rng(seed)
-        result = self.simulate(circuit, resolver, qubit_order)
+        result = self.simulate(circuit, resolver, qubit_order, initial_state)
         return result.sample(repetitions, rng)
 
     def _run(

@@ -1,0 +1,61 @@
+"""Typed error hierarchy for the ``repro`` public API.
+
+Every failure the execution layer can route on derives from
+:class:`ReproError`.  The concrete classes double-inherit from the builtin
+exception each call site historically raised (``ValueError`` or
+``RuntimeError``), so code written against the old untyped contract —
+``except ValueError`` around a backend call — keeps working, while new code
+can catch the precise class:
+
+``UnsupportedCircuitError``
+    The circuit itself is outside the backend's input class (a non-Clifford
+    gate on the stabilizer tableau, a noise channel on an ideal-only
+    backend).  Routing layers treat this as "pick another backend".
+``BackendCapabilityError``
+    The request exceeds a declared backend capability (too many qubits for a
+    dense reconstruction, a mixed-state query on a pure-state backend, an
+    unknown backend name).  Raised *before* any simulation work happens.
+``CompilationError``
+    The knowledge-compilation pipeline failed to lower the circuit
+    (unbound symbols at compile time, malformed encodings).
+``JobError`` / ``JobCancelledError``
+    Job-lifecycle failures from the async scheduler: ``JobError`` wraps a
+    worker failure that could not be represented by its original type;
+    ``JobCancelledError`` is raised by ``Job.result()`` after ``cancel()``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every typed ``repro`` error."""
+
+
+class UnsupportedCircuitError(ReproError, ValueError):
+    """The circuit is outside the backend's supported input class."""
+
+
+class BackendCapabilityError(ReproError, ValueError):
+    """The request exceeds a backend's declared capabilities."""
+
+
+class CompilationError(ReproError, RuntimeError):
+    """The knowledge-compilation pipeline failed to compile the circuit."""
+
+
+class JobError(ReproError, RuntimeError):
+    """A job failed in a way that could not be re-raised as its original type."""
+
+
+class JobCancelledError(JobError):
+    """``Job.result()`` was called on a cancelled job."""
+
+
+__all__ = [
+    "ReproError",
+    "UnsupportedCircuitError",
+    "BackendCapabilityError",
+    "CompilationError",
+    "JobError",
+    "JobCancelledError",
+]

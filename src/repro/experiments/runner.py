@@ -27,9 +27,9 @@ import importlib
 import os
 import sys
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, NamedTuple, Optional, Sequence
 
+from ..api import scheduler
 from ..knowledge import cache as compile_cache
 from .common import ExperimentResult
 
@@ -86,10 +86,16 @@ def execute_spec(spec: ExperimentSpec) -> List[ExperimentResult]:
 
 
 def _worker_init(cache_dir: Optional[str]) -> None:
-    """Pool initializer: point the worker's default compile cache at the shared directory."""
-    if cache_dir:
+    """Point this process's default compile cache at the shared directory."""
+    if cache_dir and os.environ.get(compile_cache.CACHE_DIR_ENV) != cache_dir:
         os.environ[compile_cache.CACHE_DIR_ENV] = cache_dir
         compile_cache.configure_default(directory=cache_dir)
+
+
+def _spec_task(payload: Dict) -> List:
+    """Scheduler task: hydrate the shared cache, run one spec."""
+    _worker_init(payload.get("cache_dir"))
+    return [(payload["index"], execute_spec(payload["spec"]))]
 
 
 def run_specs(
@@ -99,12 +105,13 @@ def run_specs(
 ) -> List[ExperimentResult]:
     """Execute ``specs`` and return their results flattened, in spec order.
 
-    With ``jobs > 1`` the specs are distributed over a process pool whose
-    workers share ``cache_dir`` (a temporary directory when omitted) as an
-    on-disk compiled-circuit cache: the first worker to need a topology
-    compiles and persists it, the rest hydrate the pickle.  A serial run
-    with an explicit ``cache_dir`` points this process's default cache at
-    the same directory, so repeated invocations reuse compiles across runs.
+    With ``jobs > 1`` the specs are submitted as one job to the unified
+    scheduler (:mod:`repro.api.scheduler`), whose pool workers share
+    ``cache_dir`` (a temporary directory when omitted) as an on-disk
+    compiled-circuit cache: the first worker to need a topology compiles
+    and persists it, the rest hydrate the pickle.  A serial run with an
+    explicit ``cache_dir`` points this process's default cache at the same
+    directory, so repeated invocations reuse compiles across runs.
     """
     if jobs <= 1:
         if cache_dir is not None:
@@ -115,12 +122,12 @@ def run_specs(
         cleanup = tempfile.TemporaryDirectory(prefix="repro-runner-cache-")
         cache_dir = cleanup.name
     try:
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(specs)) or 1,
-            initializer=_worker_init,
-            initargs=(cache_dir,),
-        ) as pool:
-            blocks = list(pool.map(execute_spec, specs))
+        tasks = [
+            (_spec_task, {"index": index, "spec": spec, "cache_dir": cache_dir})
+            for index, spec in enumerate(specs)
+        ]
+        job = scheduler.submit(tasks, jobs=min(jobs, len(specs)) or 1, block=True)
+        blocks = job.result()
     finally:
         if cleanup is not None:
             cleanup.cleanup()

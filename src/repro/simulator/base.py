@@ -59,6 +59,7 @@ class Simulator:
         resolver: Optional[ParamResolver] = None,
         qubit_order: Optional[Sequence[Qubit]] = None,
         seed: Optional[int] = None,
+        initial_state: int = 0,
     ) -> SampleResult:
         """Draw measurement samples from the circuit's final wavefunction.
 
@@ -70,6 +71,8 @@ class Simulator:
                 significant bit); defaults to the circuit's sorted qubits.
             seed: Per-call seed making this call reproducible in isolation;
                 ``None`` draws from the backend's default generator.
+            initial_state: Computational-basis index of the starting state
+                (same contract as :meth:`simulate`); every backend honors it.
 
         Returns:
             A :class:`SampleResult` of ``repetitions`` bitstrings.

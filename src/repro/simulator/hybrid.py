@@ -4,74 +4,42 @@ A large slice of the benchmark suite — Bell/GHZ preparation, Deutsch–Jozsa,
 Bernstein–Vazirani, Simon, hidden shift, error-correction-style Clifford
 skeletons — is pure Clifford and therefore ``O(poly(n))`` on the stabilizer
 tableau, while everything else needs a dense (or knowledge-compiled)
-backend.  This module makes that choice automatic:
+backend.
 
-* :func:`select_backend` classifies a circuit (via
-  :func:`repro.circuits.clifford.classify_circuit`) and names the backend
-  that should run it, with a human-readable reason;
-* :class:`HybridSimulator` is a drop-in :class:`~repro.simulator.base.Simulator`
-  that owns a :class:`~repro.stabilizer.StabilizerSimulator` plus a
-  configurable fallback backend and routes every ``simulate`` / ``sample``
-  call per circuit.  The routing actually taken is recorded in
-  :attr:`HybridSimulator.last_decision` so tests (and the experiment
-  harness) can assert dispatch behaviour.
+This module is now a thin compatibility layer over the unified execution
+API (:mod:`repro.api`):
 
-Routing rules
--------------
-* all gates Clifford, no noise  -> ``stabilizer`` for both entry points;
-* all gates Clifford, all noise single-qubit Pauli mixtures ->
-  ``stabilizer`` for ``sample`` (stochastic Pauli unravelling); ``simulate``
-  falls back, because a tableau holds a pure stabilizer state, not a mixed
-  state;
-* anything else -> the fallback backend, with the blocking operation named
-  in the decision's reason.
+* :func:`select_backend` and :class:`BackendDecision` are re-exported from
+  :mod:`repro.api.routing` — the single routing rule shared with
+  ``repro.device("auto")``;
+* :class:`HybridSimulator` keeps the drop-in
+  :class:`~repro.simulator.base.Simulator` surface (``simulate`` /
+  ``sample`` / ``decide`` / ``last_decision``) but delegates routing and
+  execution to an internal :class:`~repro.api.device.Device` built over its
+  own backend instances, so per-call behaviour (including default-generator
+  sequencing) is unchanged.
 
-Noisy ``simulate`` calls need a mixed-state representation, so they route
-to a separate ``noisy_fallback`` (a density-matrix simulator by default)
-rather than the pure-state fallback.
+Routing rules are documented in :mod:`repro.api.routing`; noisy
+``simulate`` calls route to a separate ``noisy_fallback`` (a density-matrix
+simulator by default) because they need a mixed-state representation.
 """
 
 from __future__ import annotations
 
-from typing import NamedTuple, Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
+from ..api.routing import BackendDecision, select_backend
 from ..circuits.circuit import Circuit
-from ..circuits.clifford import classify_circuit
+
+if TYPE_CHECKING:  # imported lazily at runtime (device.py imports this package)
+    from ..api.device import Device
 from ..circuits.parameters import ParamResolver
 from ..circuits.qubits import Qubit
 from ..stabilizer import StabilizerSimulator
 from .base import Simulator
 from .results import SampleResult
 
-
-class BackendDecision(NamedTuple):
-    """One routing decision: the chosen backend name plus the reason."""
-
-    backend: str
-    reason: str
-
-
-def select_backend(
-    circuit: Circuit,
-    resolver: Optional[ParamResolver] = None,
-    fallback: str = "state_vector",
-    sampling: bool = True,
-) -> BackendDecision:
-    """Choose the backend for ``circuit``: ``"stabilizer"`` or ``fallback``.
-
-    ``sampling=False`` asks for the ``simulate`` route, where noisy circuits
-    always fall back (a tableau cannot represent a mixed state).
-    """
-    classification = classify_circuit(circuit, resolver)
-    if classification.clifford and classification.pauli_noise:
-        if classification.has_noise:
-            if sampling:
-                return BackendDecision("stabilizer", "clifford + pauli-noise")
-            return BackendDecision(
-                fallback, "noisy simulate needs a mixed-state representation"
-            )
-        return BackendDecision("stabilizer", "clifford")
-    return BackendDecision(fallback, classification.blocker or "non-clifford circuit")
+__all__ = ["BackendDecision", "HybridSimulator", "select_backend"]
 
 
 class HybridSimulator(Simulator):
@@ -114,14 +82,33 @@ class HybridSimulator(Simulator):
         self.fallback = fallback
         self.noisy_fallback = noisy_fallback if noisy_fallback is not None else fallback
         self.stabilizer = StabilizerSimulator(seed=seed)
+        # Instances are keyed by backend name; two *distinct* fallback
+        # instances sharing a name would collide, so the noisy one gets a
+        # synthetic key in that case (the Device resolves attached-instance
+        # keys before consulting the registry).
+        noisy_key = self.noisy_fallback.name
+        if noisy_key == self.fallback.name and self.noisy_fallback is not self.fallback:
+            noisy_key = f"{noisy_key}#noisy"
+        from ..api.device import Device
+
+        self._device = Device(
+            backend="auto",
+            seed=seed,
+            fallback=self.fallback.name,
+            noisy_fallback=noisy_key,
+            instances={
+                "stabilizer": self.stabilizer,
+                self.fallback.name: self.fallback,
+                noisy_key: self.noisy_fallback,
+            },
+        )
         #: The decision taken by the most recent ``simulate``/``sample`` call.
         self.last_decision: Optional[BackendDecision] = None
 
-    def _fallback_for(self, circuit: Circuit, sampling: bool) -> Simulator:
-        """``sample`` always uses ``fallback``; noisy ``simulate`` needs mixed states."""
-        if not sampling and circuit.has_noise:
-            return self.noisy_fallback
-        return self.fallback
+    @property
+    def device(self) -> "Device":
+        """The underlying :class:`~repro.api.device.Device` (batched runs)."""
+        return self._device
 
     def decide(
         self,
@@ -130,12 +117,7 @@ class HybridSimulator(Simulator):
         sampling: bool = True,
     ) -> BackendDecision:
         """The routing :func:`select_backend` would take for ``circuit``."""
-        return select_backend(
-            circuit,
-            resolver,
-            fallback=self._fallback_for(circuit, sampling).name,
-            sampling=sampling,
-        )
+        return self._device.decide(circuit, resolver, sampling=sampling)
 
     def simulate(
         self,
@@ -150,13 +132,9 @@ class HybridSimulator(Simulator):
         route and the fallback backend's native result otherwise; both expose
         ``qubits``, ``probabilities()`` and ``sample()``.
         """
-        decision = self.decide(circuit, resolver, sampling=False)
-        self.last_decision = decision
-        if decision.backend == "stabilizer":
-            return self.stabilizer.simulate(circuit, resolver, qubit_order, initial_state)
-        return self._fallback_for(circuit, sampling=False).simulate(
-            circuit, resolver, qubit_order, initial_state
-        )
+        result = self._device.simulate(circuit, resolver, qubit_order, initial_state)
+        self.last_decision = self._device.last_decision
+        return result
 
     def sample(
         self,
@@ -165,13 +143,19 @@ class HybridSimulator(Simulator):
         resolver: Optional[ParamResolver] = None,
         qubit_order: Optional[Sequence[Qubit]] = None,
         seed: Optional[int] = None,
+        initial_state: int = 0,
     ) -> SampleResult:
         """Draw samples from the routed backend (tableau when possible)."""
-        decision = self.decide(circuit, resolver, sampling=True)
-        self.last_decision = decision
-        if decision.backend == "stabilizer":
-            return self.stabilizer.sample(circuit, repetitions, resolver, qubit_order, seed)
-        return self.fallback.sample(circuit, repetitions, resolver, qubit_order, seed)
+        result = self._device.sample(
+            circuit,
+            repetitions,
+            resolver=resolver,
+            qubit_order=qubit_order,
+            seed=seed,
+            initial_state=initial_state,
+        )
+        self.last_decision = self._device.last_decision
+        return result
 
     def __repr__(self) -> str:
         return f"<HybridSimulator fallback={type(self.fallback).__name__}>"

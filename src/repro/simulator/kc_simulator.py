@@ -29,6 +29,7 @@ from ..circuits.parameters import ParameterValue, ParamResolver
 from ..circuits.qubits import Qubit
 from ..circuits.topology import bind_canonical_parameters, canonicalize_circuit
 from ..cnf.encoder import CNFEncoding, encode_bayesnet
+from ..errors import CompilationError, UnsupportedCircuitError
 from ..knowledge.arithmetic_circuit import ArithmeticCircuit
 from ..knowledge.cache import CompiledCircuitCache, default_cache
 from ..knowledge.compiler import KnowledgeCompiler
@@ -467,7 +468,7 @@ class CompiledCircuit:
     def state_vector(self, resolver: Optional[ParamResolver] = None) -> np.ndarray:
         """Full final state vector of an ideal circuit (exponential; validation only)."""
         if self.noise_variables:
-            raise ValueError("circuit is noisy; use density_matrix()")
+            raise UnsupportedCircuitError("circuit is noisy; use density_matrix()")
         return self.amplitudes(self._all_bitstrings(), resolver=resolver)
 
     def _noise_branch_product(self):
@@ -665,7 +666,15 @@ class KnowledgeCompilationSimulator(Simulator):
         if arithmetic_circuit is None:
             compiler = KnowledgeCompiler(order_method=self.order_method)
             state_bits = [bit for bits in encoding.node_bits.values() for bit in bits]
-            root, manager, _stats = compiler.compile(encoding.cnf, decision_variables=state_bits)
+            try:
+                root, manager, _stats = compiler.compile(
+                    encoding.cnf, decision_variables=state_bits
+                )
+            except (RecursionError, MemoryError, ValueError) as error:
+                raise CompilationError(
+                    f"d-DNNF compilation failed for a {len(template.all_qubits())}-qubit "
+                    f"circuit ({self.order_method} ordering): {error}"
+                ) from error
 
             if elide:
                 elidable: List[int] = []
@@ -749,6 +758,7 @@ class KnowledgeCompilationSimulator(Simulator):
         resolver: Optional[ParamResolver] = None,
         qubit_order: Optional[Sequence[Qubit]] = None,
         seed: Optional[int] = None,
+        initial_state: int = 0,
         burn_in_sweeps: Optional[int] = None,
         steps_per_sample: int = 1,
         num_chains: Optional[int] = None,
@@ -757,7 +767,10 @@ class KnowledgeCompilationSimulator(Simulator):
 
         ``num_chains`` controls the size of the lockstep chain ensemble (see
         :class:`repro.sampling.gibbs.GibbsSampler`); the default lets the
-        sampler pick one based on ``repetitions``.
+        sampler pick one based on ``repetitions``.  A non-zero
+        ``initial_state`` is baked into the compile (same contract as
+        :meth:`simulate`); a :class:`CompiledCircuit` input already fixed its
+        starting state at compile time and rejects the argument.
 
         Seedless calls reuse a cached sampler per compiled circuit, so
         repeated sampling continues the warm chain ensemble and skips the
@@ -768,11 +781,15 @@ class KnowledgeCompilationSimulator(Simulator):
         """
         from ..sampling.gibbs import GibbsSampler
 
-        compiled = (
-            circuit
-            if isinstance(circuit, CompiledCircuit)
-            else self.compile_circuit(circuit, qubit_order=qubit_order)
-        )
+        if isinstance(circuit, CompiledCircuit):
+            if initial_state != 0:
+                raise ValueError(
+                    "a CompiledCircuit fixes its initial state at compile time; "
+                    "pass initial_bits to compile_circuit instead of initial_state"
+                )
+            compiled = circuit
+        else:
+            compiled = self._compiled_with_initial_state(circuit, qubit_order, initial_state)
         if seed is not None:
             sampler = GibbsSampler(compiled, resolver=resolver, rng=self._rng(seed))
         else:

@@ -15,7 +15,8 @@ where a density matrix (or even one dense state vector) is unthinkable.
 Shots are grouped by their jump pattern so the common no-jump pattern runs
 the tableau once and replays only measurement randomness.
 
-Non-Clifford gates and non-Pauli channels raise ``ValueError`` with the
+Non-Clifford gates and non-Pauli channels raise
+:class:`~repro.errors.UnsupportedCircuitError` with the
 blocking operation named; the :class:`~repro.simulator.hybrid.HybridSimulator`
 catches this class of circuit *before* construction via
 :func:`repro.circuits.clifford.classify_circuit` and routes it to a dense
@@ -33,6 +34,7 @@ from ..circuits.clifford import CliffordOp, channel_pauli_mixture, operation_cli
 from ..circuits.noise import NoiseOperation
 from ..circuits.parameters import ParamResolver
 from ..circuits.qubits import Qubit
+from ..errors import UnsupportedCircuitError
 from ..linalg.tensor_ops import index_to_bits
 from ..simulator.base import Simulator
 from ..simulator.results import SampleResult
@@ -139,11 +141,12 @@ class StabilizerSimulator(Simulator):
             A :class:`StabilizerResult` holding the final tableau.
 
         Raises:
-            ValueError: If the circuit contains noise (use :meth:`sample`),
-                or a gate that is not recognized as Clifford.
+            UnsupportedCircuitError: If the circuit contains noise (use
+                :meth:`sample`), or a gate that is not recognized as
+                Clifford.
         """
         if circuit.has_noise:
-            raise ValueError(
+            raise UnsupportedCircuitError(
                 "StabilizerSimulator.simulate only supports ideal circuits; "
                 "sample() handles Pauli-noise circuits stochastically"
             )
@@ -182,7 +185,8 @@ class StabilizerSimulator(Simulator):
             A :class:`SampleResult` of ``repetitions`` bitstrings.
 
         Raises:
-            ValueError: For non-Clifford gates or non-Pauli noise channels.
+            UnsupportedCircuitError: For non-Clifford gates or non-Pauli
+                noise channels.
         """
         if repetitions <= 0:
             raise ValueError("repetitions must be positive")
@@ -231,7 +235,7 @@ class StabilizerSimulator(Simulator):
                 if entry is None:
                     mixture = channel_pauli_mixture(operation.channel, resolver)
                     if mixture is None:
-                        raise ValueError(
+                        raise UnsupportedCircuitError(
                             f"stabilizer backend requires single-qubit Pauli mixture "
                             f"noise; got {operation!r}"
                         )
@@ -246,7 +250,7 @@ class StabilizerSimulator(Simulator):
                 continue
             ops = operation_clifford_ops(operation, positions, resolver)
             if ops is None:
-                raise ValueError(
+                raise UnsupportedCircuitError(
                     f"stabilizer backend requires Clifford gates; got non-Clifford "
                     f"operation {operation!r}"
                 )

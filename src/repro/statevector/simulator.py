@@ -18,6 +18,7 @@ from ..circuits.circuit import Circuit
 from ..circuits.noise import NoiseOperation
 from ..circuits.parameters import ParamResolver
 from ..circuits.qubits import Qubit
+from ..errors import UnsupportedCircuitError
 from ..linalg.tensor_ops import apply_unitary_to_state, basis_state
 from ..simulator.base import Simulator
 from ..simulator.results import SampleResult, StateVectorResult
@@ -52,12 +53,12 @@ class StateVectorSimulator(Simulator):
             A :class:`StateVectorResult` holding the final ``2^n`` vector.
 
         Raises:
-            ValueError: If the circuit contains noise operations; use
-                :meth:`simulate_trajectory` or the density-matrix simulator
-                for those.
+            UnsupportedCircuitError: If the circuit contains noise
+                operations; use :meth:`simulate_trajectory` or the
+                density-matrix simulator for those.
         """
         if circuit.has_noise:
-            raise ValueError(
+            raise UnsupportedCircuitError(
                 "StateVectorSimulator.simulate only supports ideal circuits; "
                 "use simulate_trajectory for noisy circuits"
             )
@@ -104,6 +105,7 @@ class StateVectorSimulator(Simulator):
         resolver: Optional[ParamResolver] = None,
         qubit_order: Optional[Sequence[Qubit]] = None,
         seed: Optional[int] = None,
+        initial_state: int = 0,
     ) -> SampleResult:
         """Draw samples from the final wavefunction.
 
@@ -118,19 +120,20 @@ class StateVectorSimulator(Simulator):
             qubit_order: Qubit-to-basis-position order.
             seed: Per-call seed for reproducibility in isolation; ``None``
                 draws from the backend's default generator.
+            initial_state: Computational-basis index of the starting state.
 
         Returns:
             A :class:`SampleResult` of ``repetitions`` bitstrings.
         """
         rng = self._rng(seed)
         if not circuit.has_noise:
-            result = self.simulate(circuit, resolver, qubit_order)
+            result = self.simulate(circuit, resolver, qubit_order, initial_state)
             return result.sample(repetitions, rng)
         qubits = list(qubit_order) if qubit_order is not None else circuit.all_qubits()
         samples: List[Tuple[int, ...]] = []
         for _ in range(repetitions):
             trajectory = StateVectorResult(
-                qubits, self._run(circuit, resolver, qubits, 0, rng=rng)[1]
+                qubits, self._run(circuit, resolver, qubits, initial_state, rng=rng)[1]
             )
             samples.extend(trajectory.sample(1, rng).samples)
         return SampleResult(qubits, samples)

@@ -18,6 +18,7 @@ from ..circuits.circuit import Circuit
 from ..circuits.noise import NoiseOperation
 from ..circuits.parameters import ParamResolver
 from ..circuits.qubits import Qubit
+from ..errors import UnsupportedCircuitError
 from .tensor import Tensor
 
 
@@ -60,7 +61,7 @@ def circuit_to_network(
     indices remain open and contraction yields the full state tensor.
     """
     if circuit.has_noise:
-        raise ValueError("tensor network construction supports ideal circuits only")
+        raise UnsupportedCircuitError("tensor network construction supports ideal circuits only")
     qubits = list(qubit_order) if qubit_order is not None else circuit.all_qubits()
     index_of: Dict[Qubit, int] = {q: i for i, q in enumerate(qubits)}
     num_qubits = len(qubits)
@@ -83,7 +84,7 @@ def circuit_to_network(
         if op.is_measurement:
             continue
         if isinstance(op, NoiseOperation):
-            raise ValueError("tensor network construction supports ideal circuits only")
+            raise UnsupportedCircuitError("tensor network construction supports ideal circuits only")
         targets = [index_of[q] for q in op.qubits]
         k = len(targets)
         in_indices = [wire_segment[t] for t in targets]

@@ -41,6 +41,7 @@ class TensorNetworkSimulator(Simulator):
         bits: Sequence[int],
         resolver: Optional[ParamResolver] = None,
         qubit_order: Optional[Sequence[Qubit]] = None,
+        initial_bits: Optional[Sequence[int]] = None,
     ) -> complex:
         """Amplitude of ``bits`` in the circuit's final state.
 
@@ -49,15 +50,24 @@ class TensorNetworkSimulator(Simulator):
             bits: One output bit per qubit (first qubit = most significant).
             resolver: Binds any symbolic parameters.
             qubit_order: Qubit-to-basis-position order.
+            initial_bits: Starting basis state bits (``|0...0>`` when
+                omitted).
 
         Returns:
-            The complex amplitude ``<bits|C|0...0>`` from one contraction.
+            The complex amplitude ``<bits|C|initial>`` from one contraction.
 
         Raises:
-            ValueError: If the circuit contains noise operations (raised by
-                the network builder; this backend is ideal-only).
+            UnsupportedCircuitError: If the circuit contains noise
+                operations (raised by the network builder; this backend is
+                ideal-only).
         """
-        network = circuit_to_network(circuit, output_bits=bits, resolver=resolver, qubit_order=qubit_order)
+        network = circuit_to_network(
+            circuit,
+            output_bits=bits,
+            resolver=resolver,
+            qubit_order=qubit_order,
+            initial_bits=initial_bits,
+        )
         return contract_network(network, self.contraction_method).scalar()
 
     def simulate(
@@ -95,6 +105,7 @@ class TensorNetworkSimulator(Simulator):
         qubit_order: Optional[Sequence[Qubit]] = None,
         seed: Optional[int] = None,
         burn_in: int = 16,
+        initial_state: int = 0,
     ) -> SampleResult:
         """Metropolis sampling over output bitstrings using amplitude queries.
 
@@ -110,6 +121,7 @@ class TensorNetworkSimulator(Simulator):
             seed: Per-call seed; ``None`` uses the backend's default
                 generator.
             burn_in: Discarded equilibration steps before recording.
+            initial_state: Computational-basis index of the starting state.
 
         Returns:
             A :class:`SampleResult` of ``repetitions`` bitstrings (the
@@ -118,14 +130,18 @@ class TensorNetworkSimulator(Simulator):
         rng = self._rng(seed)
         qubits = list(qubit_order) if qubit_order is not None else circuit.all_qubits()
         num_qubits = len(qubits)
+        initial_bits = index_to_bits(initial_state, num_qubits) if initial_state else None
+
+        def weight_of(bits: Tuple[int, ...]) -> float:
+            return abs(self.amplitude(circuit, bits, resolver, qubits, initial_bits)) ** 2
 
         current = tuple(int(b) for b in rng.integers(0, 2, size=num_qubits))
-        current_weight = abs(self.amplitude(circuit, current, resolver, qubits)) ** 2
+        current_weight = weight_of(current)
         # Ensure the chain starts from a state with non-zero weight.
         attempts = 0
         while current_weight <= 0.0 and attempts < 4 * num_qubits + 16:
             current = tuple(int(b) for b in rng.integers(0, 2, size=num_qubits))
-            current_weight = abs(self.amplitude(circuit, current, resolver, qubits)) ** 2
+            current_weight = weight_of(current)
             attempts += 1
 
         samples: List[Tuple[int, ...]] = []
@@ -135,7 +151,7 @@ class TensorNetworkSimulator(Simulator):
             proposal = list(current)
             proposal[flip] ^= 1
             proposal_tuple = tuple(proposal)
-            proposal_weight = abs(self.amplitude(circuit, proposal_tuple, resolver, qubits)) ** 2
+            proposal_weight = weight_of(proposal_tuple)
             accept = proposal_weight > 0 and (
                 current_weight <= 0 or rng.random() < min(1.0, proposal_weight / current_weight)
             )

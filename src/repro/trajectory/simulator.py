@@ -339,6 +339,7 @@ class TrajectorySimulator(Simulator):
         qubit_order: Optional[Sequence[Qubit]] = None,
         seed: Optional[int] = None,
         num_trajectories: Optional[int] = None,
+        initial_state: int = 0,
     ) -> SampleResult:
         """Draw measurement samples from the noisy circuit's output distribution.
 
@@ -358,6 +359,7 @@ class TrajectorySimulator(Simulator):
             seed: Per-call seed; ``None`` uses the backend's default
                 generator.
             num_trajectories: Optional cap on the trajectory ensemble size.
+            initial_state: Computational-basis index of the starting state.
 
         Returns:
             A :class:`SampleResult` of ``repetitions`` bitstrings.
@@ -377,7 +379,9 @@ class TrajectorySimulator(Simulator):
             num_trajectories = min(int(num_trajectories), repetitions)
             if num_trajectories < 1:
                 raise ValueError("num_trajectories must be positive")
-        qubits, chunks = self._prepared_run(circuit, resolver, qubit_order, 0, num_trajectories)
+        qubits, chunks = self._prepared_run(
+            circuit, resolver, qubit_order, initial_state, num_trajectories
+        )
         num_qubits = len(qubits)
         # Round-robin allocation: the first (repetitions % T) trajectories
         # contribute one extra sample.

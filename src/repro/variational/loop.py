@@ -1,11 +1,16 @@
-"""The hybrid quantum-classical variational loop.
+"""The hybrid quantum-classical variational loop (thin layer over ``Device``).
 
-Ties together an ansatz (QAOA or VQE), a simulator backend and a classical
+Ties together an ansatz (QAOA or VQE), an execution backend and a classical
 optimizer: each optimizer iteration binds the current parameters, draws
 samples from the circuit's output distribution, and evaluates the problem
-objective on those samples.  When the backend is the knowledge-compilation
-simulator, the circuit is compiled once up front and only the weight values
-change per iteration — the reuse the paper's toolchain is designed around.
+objective on those samples.  The simulator instance is wrapped in a
+fixed-backend :class:`~repro.api.device.Device`: dense backends sample
+through ``Device.run`` rows, and the knowledge-compilation backend
+compiles once through the device's per-topology memo — the
+compile-once/rebind-per-iteration economics the paper's toolchain is
+designed around — then samples the precompiled circuit directly so the
+legacy Gibbs semantics (warm chains, per-seed streams) are preserved
+bit-for-bit.
 """
 
 from __future__ import annotations
@@ -14,6 +19,8 @@ from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..api.device import Device
+from ..api.registry import REGISTRY
 from ..simulator.base import Simulator
 from ..simulator.kc_simulator import CompiledCircuit, KnowledgeCompilationSimulator
 from .optimizer import NelderMeadOptimizer, OptimizationResult
@@ -73,23 +80,47 @@ class VariationalLoop:
         self._executions = 0
         self._trace: List[float] = []
 
+        # Wrap the backend in a fixed-name Device so every objective
+        # evaluation goes through the unified execution API (registered
+        # backends only — a custom Simulator subclass keeps the direct
+        # call path).
+        self._device: Optional[Device] = None
+        if simulator.name in REGISTRY:
+            self._device = Device(
+                backend=simulator.name, instances={simulator.name: simulator}, seed=seed
+            )
+
         if isinstance(simulator, KnowledgeCompilationSimulator):
             # Compile the parameterized circuit structure once; every
-            # objective evaluation below re-binds parameters only.  The
-            # simulator's topology cache means separate loops over the same
-            # ansatz topology (e.g. restarts, gradient probes) also share
-            # this compile.
-            self._compiled = simulator.compile_circuit(ansatz.circuit)
+            # objective evaluation below re-binds parameters only (Gibbs
+            # sampling against the shared compile — the legacy semantics,
+            # bit-identical per seed).  The device memo shares the artifact
+            # with any batched run over the same topology.
+            if self._device is not None:
+                self._compiled = self._device.ensure_compiled(ansatz.circuit)
+            else:
+                self._compiled = simulator.compile_circuit(ansatz.circuit)
 
     # ------------------------------------------------------------------
     def _sample(self, resolver):
         self._executions += 1
-        target = self._compiled if self._compiled is not None else self.ansatz.circuit
         seed = None if self.seed is None else self.seed + self._executions
         if self._compiled is not None:
+            # Knowledge-compilation fast path: sample the precompiled
+            # circuit directly — no per-iteration canonicalization, and the
+            # sampling semantics (warm Gibbs chains, per-seed streams) stay
+            # exactly what they were before the Device API existed.
             return self.simulator.sample(
-                target, self.samples_per_evaluation, resolver=resolver, seed=seed
+                self._compiled, self.samples_per_evaluation, resolver=resolver, seed=seed
             )
+        if self._device is not None:
+            job = self._device.run(
+                self.ansatz.circuit,
+                params=[resolver],
+                repetitions=self.samples_per_evaluation,
+                seed=seed,
+            )
+            return job.result().sample_results()[0]
         resolved = self.ansatz.circuit.resolve_parameters(resolver)
         return self.simulator.sample(resolved, self.samples_per_evaluation, seed=seed)
 

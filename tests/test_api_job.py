@@ -1,0 +1,153 @@
+"""Job lifecycle tests: cancellation, error propagation, seeding parity.
+
+The satellite contract of the Device/Job redesign:
+
+* cancelling a job mid-batch stops not-yet-started tasks, keeps completed
+  rows reachable, and makes ``result()`` raise ``JobCancelledError``;
+* a worker exception crosses the process boundary with its **original**
+  type (the remote traceback attached as ``__cause__``);
+* serial (``jobs=1``), pooled (``jobs>1``) and async (``block=False``)
+  runs of the same seeded batch are bit-identical (``seed + index``
+  fan-out is independent of scheduling).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import (
+    CNOT,
+    Circuit,
+    H,
+    JobCancelledError,
+    LineQubit,
+    Rx,
+    UnsupportedCircuitError,
+    depolarize,
+    device,
+)
+from repro.api import scheduler
+from repro.errors import BackendCapabilityError
+
+
+def _echo_task(payload):
+    return [(payload["index"], payload["value"])]
+
+
+def _slow_task(payload):
+    time.sleep(payload.get("sleep", 0.2))
+    return [(payload["index"], payload["value"])]
+
+
+def _failing_task(payload):
+    raise UnsupportedCircuitError(f"boom on {payload['index']}")
+
+
+class TestSchedulerLifecycle:
+    def test_inline_job_is_done_immediately(self):
+        job = scheduler.submit([(_echo_task, {"index": i, "value": i * i}) for i in range(4)])
+        assert job.status() == scheduler.DONE
+        assert job.result() == [0, 1, 4, 9]
+
+    def test_async_job_completes_in_background(self):
+        tasks = [(_echo_task, {"index": i, "value": i}) for i in range(6)]
+        job = scheduler.submit(tasks, jobs=2, block=False)
+        assert job.result(timeout=60) == list(range(6))
+        assert job.status() == scheduler.DONE
+
+    def test_cancel_mid_batch_keeps_partial_results(self):
+        # One worker, staggered tasks: cancel as soon as the first row lands.
+        tasks = [(_slow_task, {"index": i, "value": i, "sleep": 0.3}) for i in range(8)]
+        job = scheduler.submit(tasks, jobs=1, block=False)
+        deadline = time.time() + 30
+        while not job.partial_results() and time.time() < deadline:
+            time.sleep(0.02)
+        assert job.cancel()
+        job.wait(timeout=30)
+        assert job.status() == scheduler.CANCELLED
+        partial = job.partial_results()
+        assert 1 <= len(partial) < len(tasks)
+        with pytest.raises(JobCancelledError):
+            job.result()
+        # Cancelling a finished job is a no-op.
+        assert not job.cancel()
+
+    def test_worker_failure_reraises_original_type(self):
+        tasks = [(_echo_task, {"index": 0, "value": 0}), (_failing_task, {"index": 1})]
+        job = scheduler.submit(tasks, jobs=2, block=True)
+        assert job.status() == scheduler.FAILED
+        with pytest.raises(UnsupportedCircuitError, match="boom on 1"):
+            job.result()
+        # The remote traceback rides along as the cause.
+        try:
+            job.result()
+        except UnsupportedCircuitError as error:
+            assert "worker traceback" in str(error.__cause__)
+
+    def test_inline_failure_reraises_original_type(self):
+        job = scheduler.submit([(_failing_task, {"index": 0})])
+        with pytest.raises(UnsupportedCircuitError):
+            job.result()
+
+    def test_stream_yields_rows_in_arrival_order(self):
+        tasks = [(_echo_task, {"index": i, "value": -i}) for i in range(5)]
+        job = scheduler.submit(tasks, jobs=2, block=False)
+        rows = dict(job.stream(timeout=60))
+        assert rows == {i: -i for i in range(5)}
+
+
+@pytest.fixture(scope="module")
+def mixed_batch():
+    q = LineQubit.range(3)
+    bell = Circuit([H(q[0]), CNOT(q[0], q[1])])
+    rotated = [
+        Circuit([H(q[0]), Rx(0.1 + 0.2 * k)(q[1]), CNOT(q[1], q[2])]) for k in range(4)
+    ]
+    noisy = bell.with_noise(lambda: depolarize(0.05))
+    return [bell, noisy, *rotated, bell, noisy]
+
+
+class TestDeviceJobLifecycle:
+    def test_serial_parallel_and_async_runs_are_identical(self, mixed_batch):
+        runs = {}
+        for label, kwargs in {
+            "serial": dict(jobs=1, block=True),
+            "parallel": dict(jobs=2, block=True),
+            "async": dict(jobs=2, block=False),
+        }.items():
+            job = device("auto", seed=11).run(
+                mixed_batch, repetitions=40, seed=17, **kwargs
+            )
+            result = job.result(timeout=120)
+            runs[label] = (result.backends(), result.counts())
+        assert runs["serial"] == runs["parallel"] == runs["async"]
+
+    def test_worker_exception_keeps_original_type_through_device(self, mixed_batch):
+        noisy = mixed_batch[1]
+        job = device("kc", seed=0).run(
+            [noisy, noisy], repetitions=10, sampling="exact", jobs=2, block=False
+        )
+        with pytest.raises(BackendCapabilityError, match="exact sampling"):
+            job.result(timeout=120)
+        assert job.status() == scheduler.FAILED
+
+    def test_device_job_cancellation(self, mixed_batch):
+        # Enough repetitions that the single worker cannot drain the queue
+        # before cancel() lands.
+        job = device("auto", seed=3).run(
+            mixed_batch * 6, repetitions=2000, seed=5, jobs=1, block=False
+        )
+        job.cancel()
+        job.wait(timeout=120)
+        assert job.status() == scheduler.CANCELLED
+        with pytest.raises(JobCancelledError):
+            job.result()
+        assert len(job.partial_results()) < len(mixed_batch) * 6
+
+    def test_streaming_partial_results(self, mixed_batch):
+        job = device("auto", seed=1).run(
+            mixed_batch, repetitions=10, seed=2, jobs=2, block=False
+        )
+        seen = sorted(index for index, _row in job.stream(timeout=120))
+        assert seen == list(range(len(mixed_batch)))

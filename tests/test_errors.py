@@ -1,0 +1,96 @@
+"""The typed ``repro.errors`` hierarchy (satellite contract).
+
+Backends used to raise bare ``ValueError``/``RuntimeError``; callers can
+now route on failure class while old ``except ValueError`` code keeps
+working (every circuit/capability error double-inherits the builtin it
+replaced).
+"""
+
+import pytest
+
+from repro import (
+    CNOT,
+    Circuit,
+    H,
+    LineQubit,
+    StabilizerSimulator,
+    StateVectorSimulator,
+    TensorNetworkSimulator,
+    TOFFOLI,
+    depolarize,
+)
+from repro.circuits.noise import AmplitudeDampingChannel
+from repro.errors import (
+    BackendCapabilityError,
+    CompilationError,
+    JobCancelledError,
+    JobError,
+    ReproError,
+    UnsupportedCircuitError,
+)
+
+
+class TestHierarchy:
+    def test_every_error_is_a_repro_error(self):
+        for cls in (
+            UnsupportedCircuitError,
+            BackendCapabilityError,
+            CompilationError,
+            JobError,
+            JobCancelledError,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_backward_compatible_builtin_bases(self):
+        # Old call sites catching ValueError/RuntimeError must keep working.
+        assert issubclass(UnsupportedCircuitError, ValueError)
+        assert issubclass(BackendCapabilityError, ValueError)
+        assert issubclass(CompilationError, RuntimeError)
+        assert issubclass(JobCancelledError, JobError)
+
+
+class TestBackendRaises:
+    def test_statevector_rejects_noisy_simulate(self):
+        q = LineQubit.range(2)
+        noisy = Circuit([H(q[0]), CNOT(q[0], q[1])]).with_noise(lambda: depolarize(0.1))
+        with pytest.raises(UnsupportedCircuitError):
+            StateVectorSimulator().simulate(noisy)
+
+    def test_stabilizer_rejects_non_clifford_gate(self):
+        q = LineQubit.range(3)
+        circuit = Circuit([H(q[0]), TOFFOLI(q[0], q[1], q[2])])
+        with pytest.raises(UnsupportedCircuitError, match="Clifford"):
+            StabilizerSimulator().simulate(circuit)
+
+    def test_stabilizer_rejects_non_pauli_noise(self):
+        q = LineQubit.range(1)
+        circuit = Circuit([H(q[0])]).with_noise(lambda: AmplitudeDampingChannel(0.2))
+        with pytest.raises(UnsupportedCircuitError, match="Pauli"):
+            StabilizerSimulator().sample(circuit, 5, seed=0)
+
+    def test_stabilizer_rejects_noisy_simulate(self):
+        q = LineQubit.range(1)
+        circuit = Circuit([H(q[0])]).with_noise(lambda: depolarize(0.1))
+        with pytest.raises(UnsupportedCircuitError, match="ideal circuits"):
+            StabilizerSimulator().simulate(circuit)
+
+    def test_tensornetwork_rejects_noise(self):
+        q = LineQubit.range(2)
+        noisy = Circuit([H(q[0]), CNOT(q[0], q[1])]).with_noise(lambda: depolarize(0.1))
+        with pytest.raises(UnsupportedCircuitError, match="ideal circuits"):
+            TensorNetworkSimulator().sample(noisy, 5, seed=0)
+
+    def test_kc_noisy_state_vector_query(self):
+        from repro import KnowledgeCompilationSimulator
+
+        q = LineQubit.range(2)
+        noisy = Circuit([H(q[0]), CNOT(q[0], q[1])]).with_noise(lambda: depolarize(0.1))
+        compiled = KnowledgeCompilationSimulator(seed=0).compile_circuit(noisy)
+        with pytest.raises(UnsupportedCircuitError, match="noisy"):
+            compiled.state_vector()
+
+    def test_errors_still_catchable_as_valueerror(self):
+        q = LineQubit.range(3)
+        circuit = Circuit([H(q[0]), TOFFOLI(q[0], q[1], q[2])])
+        with pytest.raises(ValueError):
+            StabilizerSimulator().simulate(circuit)

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Guard the public API surface against unreviewed changes.
+
+Snapshots ``repro.__all__`` plus the signature of every public callable
+(functions, classes and their public methods/properties) into
+``tools/public_api.json``.  CI runs this script in check mode: any drift —
+a removed export, a changed signature, a new public method — fails the
+build until the snapshot is regenerated *deliberately* with ``--update``
+and the diff reviewed.
+
+Usage::
+
+    python tools/check_public_api.py            # check against the snapshot
+    python tools/check_public_api.py --update   # regenerate the snapshot
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import re
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+SNAPSHOT_PATH = _REPO_ROOT / "tools" / "public_api.json"
+
+
+#: Default-value reprs that embed a memory address (sentinel objects) are
+#: unstable across interpreter runs; normalize them.
+_ADDRESS_RE = re.compile(r"<(?P<what>[\w. ]+) at 0x[0-9a-fA-F]+>")
+
+
+def _signature_of(obj) -> str:
+    try:
+        return _ADDRESS_RE.sub(r"<\g<what>>", str(inspect.signature(obj)))
+    except (TypeError, ValueError):
+        return "(...)"
+
+
+def _describe_class(cls) -> dict:
+    members = {}
+    for name, member in sorted(vars(cls).items()):
+        if name.startswith("_") and name != "__init__":
+            continue
+        if isinstance(member, property):
+            members[name] = "<property>"
+        elif isinstance(member, (staticmethod, classmethod)):
+            members[name] = _signature_of(member.__func__)
+        elif callable(member):
+            members[name] = _signature_of(member)
+    return members
+
+
+def build_snapshot() -> dict:
+    import repro
+
+    exports = {}
+    for name in sorted(repro.__all__):
+        obj = getattr(repro, name)
+        if inspect.isclass(obj):
+            exports[name] = {"kind": "class", "members": _describe_class(obj)}
+        elif callable(obj):
+            exports[name] = {"kind": "function", "signature": _signature_of(obj)}
+        else:
+            exports[name] = {"kind": "value", "type": type(obj).__name__}
+    return {"all": sorted(repro.__all__), "exports": exports}
+
+
+def _diff(expected: dict, actual: dict) -> list:
+    problems = []
+    removed = sorted(set(expected["all"]) - set(actual["all"]))
+    added = sorted(set(actual["all"]) - set(expected["all"]))
+    if removed:
+        problems.append(f"removed exports: {removed}")
+    if added:
+        problems.append(f"new exports (snapshot them with --update): {added}")
+    for name in sorted(set(expected["all"]) & set(actual["all"])):
+        if expected["exports"][name] != actual["exports"][name]:
+            problems.append(
+                f"signature change in {name!r}:\n"
+                f"  snapshot: {json.dumps(expected['exports'][name], sort_keys=True)}\n"
+                f"  current : {json.dumps(actual['exports'][name], sort_keys=True)}"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update", action="store_true", help="regenerate the snapshot file"
+    )
+    arguments = parser.parse_args(argv)
+
+    actual = build_snapshot()
+    if arguments.update:
+        SNAPSHOT_PATH.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {SNAPSHOT_PATH.relative_to(_REPO_ROOT)} "
+              f"({len(actual['all'])} exports)")
+        return 0
+
+    if not SNAPSHOT_PATH.exists():
+        print("no snapshot found; run `python tools/check_public_api.py --update`")
+        return 1
+    expected = json.loads(SNAPSHOT_PATH.read_text())
+    problems = _diff(expected, actual)
+    if problems:
+        print("public API drift detected:")
+        for problem in problems:
+            print(f"- {problem}")
+        print("\nif intentional, regenerate with `python tools/check_public_api.py --update`")
+        return 1
+    print(f"public API matches the snapshot ({len(actual['all'])} exports)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
