@@ -69,12 +69,16 @@ from .api import (
     BackendCapabilities,
     BatchResult,
     Device,
+    FaultInjector,
     Job,
+    JobJournal,
+    RetryPolicy,
     backend_capabilities,
     capability_matrix,
     device,
     list_backends,
     register_backend,
+    resume_job,
 )
 from .circuits.clifford import classify_circuit, is_clifford, is_pauli_noise
 from .circuits.topology import canonicalize_circuit, circuit_topology_key
@@ -84,8 +88,12 @@ from .errors import (
     CompilationError,
     JobCancelledError,
     JobError,
+    JobTimeoutError,
+    MemoryBudgetError,
     ReproError,
+    TransientError,
     UnsupportedCircuitError,
+    WorkerCrashedError,
 )
 from .knowledge.cache import CompiledCircuitCache, configure_default, default_cache
 from .simulator import DensityMatrixResult, SampleResult, Simulator, StateVectorResult
@@ -97,7 +105,7 @@ from .statevector import StateVectorSimulator
 from .tensornetwork import TensorNetworkSimulator
 from .trajectory import TrajectorySimulator
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -159,10 +167,18 @@ __all__ = [
     "capability_matrix",
     "list_backends",
     "register_backend",
+    "RetryPolicy",
+    "FaultInjector",
+    "JobJournal",
+    "resume_job",
     "ReproError",
     "UnsupportedCircuitError",
     "BackendCapabilityError",
     "CompilationError",
+    "MemoryBudgetError",
+    "TransientError",
     "JobError",
     "JobCancelledError",
+    "JobTimeoutError",
+    "WorkerCrashedError",
 ]

@@ -11,11 +11,18 @@ The public surface of the execution layer:
 * :class:`~repro.api.results.BatchResult` — per-item rows of a batch;
 * the backend registry — :func:`register_backend`,
   :func:`backend_capabilities`, :func:`list_backends`,
-  :func:`capability_matrix` — where every backend declares what it can do.
+  :func:`capability_matrix` — where every backend declares what it can do;
+* fault tolerance — :class:`~repro.api.faults.RetryPolicy`,
+  :class:`~repro.api.faults.ItemFailure`,
+  :class:`~repro.api.faults.FaultInjector`,
+  :class:`~repro.api.journal.JobJournal` and
+  :func:`~repro.api.journal.resume_job` (see ``docs/robustness.md``).
 """
 
 from .capabilities import BackendCapabilities
 from .device import EXACT_SAMPLING_QUBITS, Device, device
+from .faults import DEFAULT_RETRYABLE, NO_RETRY, FaultInjector, ItemFailure, RetryPolicy
+from .journal import JOB_DIR_ENV, JobJournal, new_job_id, resume_job
 from .registry import (
     REGISTRY,
     BackendRegistry,
@@ -34,15 +41,24 @@ __all__ = [
     "BackendDecision",
     "BackendRegistry",
     "BatchResult",
+    "DEFAULT_RETRYABLE",
     "Device",
     "EXACT_SAMPLING_QUBITS",
+    "FaultInjector",
+    "ItemFailure",
+    "JOB_DIR_ENV",
     "Job",
+    "JobJournal",
+    "NO_RETRY",
     "REGISTRY",
+    "RetryPolicy",
     "backend_capabilities",
     "capability_matrix",
     "create_backend",
     "device",
     "list_backends",
+    "new_job_id",
     "register_backend",
+    "resume_job",
     "select_backend",
 ]

@@ -48,6 +48,16 @@ class BackendCapabilities:
     noisy_sampling:
         ``sample`` handles noisy circuits (even when ``mixed_state`` is
         false, e.g. via per-shot trajectories).
+    memory_exponent:
+        Memory-cost metadata for pre-dispatch budgeting: the backend's
+        working state scales as ``16 * (2**memory_exponent)**n`` bytes
+        (``1`` for a dense ``2^n`` state vector, ``2`` for a ``4^n`` density
+        matrix / superoperator).  ``None`` means polynomial in ``n`` —
+        exempt from memory-budget guards.
+    default_item_timeout:
+        Suggested per-item wall-clock budget (seconds) for fault-tolerant
+        submissions that pass ``item_timeout="auto"``; ``None`` leaves items
+        unbounded on this backend.
     description:
         One-line human-readable summary for the capability matrix.
     """
@@ -59,11 +69,25 @@ class BackendCapabilities:
     mixed_state: bool = False
     batched_sampling: bool = False
     noisy_sampling: bool = False
+    memory_exponent: Optional[int] = None
+    default_item_timeout: Optional[float] = None
     description: str = ""
     aliases: Tuple[str, ...] = field(default_factory=tuple)
 
     def supports_noise(self) -> bool:
         return self.noise != NOISE_NONE
+
+    def estimated_memory_bytes(self, num_qubits: int) -> Optional[int]:
+        """Estimated dense working-state bytes for one ``num_qubits`` item.
+
+        ``None`` when the backend's footprint is polynomial in ``n`` (the
+        memory-budget guard then lets the item through).  The estimate is
+        the dominant complex128 allocation — ``16 * 2**(exponent * n)`` —
+        and deliberately ignores constant factors like trajectory batching.
+        """
+        if self.memory_exponent is None:
+            return None
+        return 16 * (1 << (self.memory_exponent * num_qubits))
 
     def matrix_row(self) -> dict:
         """Plain-dict row for the docs capability matrix."""
@@ -75,4 +99,9 @@ class BackendCapabilities:
             "mixed_state": self.mixed_state,
             "batched_sampling": self.batched_sampling,
             "noisy_sampling": self.noisy_sampling,
+            "memory": (
+                "poly(n)"
+                if self.memory_exponent is None
+                else f"16*{1 << self.memory_exponent}^n B"
+            ),
         }

@@ -39,11 +39,13 @@ from ..circuits.circuit import Circuit
 from ..circuits.parameters import ParamResolver
 from ..circuits.qubits import Qubit
 from ..circuits.topology import canonicalize_circuit
-from ..errors import BackendCapabilityError
+from ..errors import BackendCapabilityError, MemoryBudgetError, ReproError
 from ..knowledge.cache import CompiledCircuitCache
 from ..linalg.tensor_ops import bits_to_index, index_to_bits
 from ..simulator.results import SampleResult
 from ..stabilizer.simulator import DENSE_PROBABILITY_QUBITS
+from .faults import FaultInjector, ItemFailure, RetryPolicy
+from .journal import JobJournal
 from .registry import REGISTRY, backend_capabilities, create_backend
 from .results import BatchResult
 from .routing import BackendDecision, select_backend
@@ -87,6 +89,13 @@ def _resolver_key(resolver: Optional[ParamResolver]) -> Optional[Tuple]:
 def _item_seed(ctx: Dict[str, Any], index: int) -> Optional[int]:
     """Deterministic per-item seed: ``seed + index`` (``None`` stays ``None``)."""
     return None if ctx["seed"] is None else ctx["seed"] + index
+
+
+def _maybe_inject_fault(ctx: Dict[str, Any], index: int) -> None:
+    """Chaos hook: let a configured fault injector fail this (item, attempt)."""
+    injector = ctx.get("fault_injector")
+    if injector is not None:
+        injector(index, ctx.get("attempt", 0))
 
 
 def _base_row(index: int, resolver: Optional[ParamResolver], backend: str, reason: str) -> Dict:
@@ -243,20 +252,26 @@ def _evaluate_items(
     items: List[Tuple[int, int, Optional[ParamResolver], str]],
     ctx: Dict,
     group_master=None,
+    memo: Optional[Dict] = None,
 ) -> List[Tuple[int, Dict]]:
     """Evaluate one backend group's items; shared by workers and inline runs.
 
     ``group_master`` is an optional pre-compiled :class:`CompiledCircuit`
     for the group's shared topology (the Device's per-topology memo);
-    circuits then rebind against it instead of recompiling.
+    circuits then rebind against it instead of recompiling.  ``memo`` is an
+    optional mutable dict shared across calls of the *same group in the same
+    process* (the inline fault-tolerant engine submits one call per item):
+    it carries the per-position rebind / shared-tableau memos that a single
+    batched call keeps in locals, so per-item dispatch stays compile-once.
     """
     rows: List[Tuple[int, Dict]] = []
     if backend == KC_BACKEND:
         # All circuits in a group share one topology: the first circuit pays
         # the compile (or cache hit), the rest are rebound views over the
         # same arithmetic circuit — compile-once even with caching disabled.
-        compiled_by_pos: Dict[int, Any] = {}
+        compiled_by_pos: Dict[int, Any] = {} if memo is None else memo
         for index, pos, resolver, reason in items:
+            _maybe_inject_fault(ctx, index)
             compiled = compiled_by_pos.get(pos)
             if compiled is None:
                 if group_master is None:
@@ -279,14 +294,16 @@ def _evaluate_items(
             rows.append((index, _evaluate_kc_item(sim, compiled, index, resolver, reason, ctx)))
         return rows
     if backend == "stabilizer":
-        shared: Dict = {}
+        shared: Dict = {} if memo is None else memo
         for index, pos, resolver, reason in items:
+            _maybe_inject_fault(ctx, index)
             item_ctx = dict(ctx, circuit_pos=pos)
             rows.append(
                 (index, _evaluate_stabilizer_item(sim, circuits[pos], index, resolver, reason, item_ctx, shared))
             )
         return rows
     for index, pos, resolver, reason in items:
+        _maybe_inject_fault(ctx, index)
         rows.append(
             (index, _evaluate_generic_item(sim, backend, circuits[pos], index, resolver, reason, ctx))
         )
@@ -304,8 +321,27 @@ def _worker_backend(payload: Dict):
 def _run_chunk(payload: Dict) -> List[Tuple[int, Dict]]:
     """Process-pool task: hydrate a backend, evaluate one chunk of items."""
     sim = _worker_backend(payload)
+    ctx = dict(payload["ctx"], attempt=payload.get("attempt", 0))
     return _evaluate_items(
-        sim, payload["backend"], payload["circuits"], payload["items"], payload["ctx"]
+        sim, payload["backend"], payload["circuits"], payload["items"], ctx
+    )
+
+
+def _run_chunk_local(payload: Dict) -> List[Tuple[int, Dict]]:
+    """Inline fault-tolerant task: evaluate items on this process's backend.
+
+    The payload carries live (unpicklable is fine — never crosses a process
+    boundary) simulator instances and the device's memoized group master.
+    """
+    ctx = dict(payload["ctx"], attempt=payload.get("attempt", 0))
+    return _evaluate_items(
+        payload["sim"],
+        payload["backend"],
+        payload["circuits"],
+        payload["items"],
+        ctx,
+        group_master=payload.get("master"),
+        memo=payload.get("memo"),
     )
 
 
@@ -365,6 +401,16 @@ class Device:
     ):
         self._instances: Dict[str, Any] = dict(instances or {})
         self._backend_options: Dict[str, Dict] = dict(backend_options or {})
+        # Constructor spec for job manifests: enough to re-create an
+        # equivalent device in a resume (attached instances are rebuilt
+        # fresh from the registry — they may not be picklable).
+        self._config: Dict[str, Any] = {
+            "backend": backend,
+            "seed": seed,
+            "fallback": fallback,
+            "noisy_fallback": noisy_fallback,
+            "backend_options": dict(backend_options or {}),
+        }
         # Per-topology memo of knowledge compiles this device performed, so
         # repeated run() calls reuse the artifact even when the simulator's
         # own cache is disabled (cache=None isolation setups).
@@ -557,6 +603,50 @@ class Device:
         self._validate_capabilities(decision.backend, circuit, observables, num_qubits)
         return decision
 
+    def _memory_guard(
+        self,
+        decision: BackendDecision,
+        circuit: Circuit,
+        observables: Sequence[str],
+        num_qubits: int,
+        budget: Optional[int],
+    ) -> BackendDecision:
+        """Reject or reroute items whose dense footprint exceeds ``budget``.
+
+        Auto-routing devices degrade gracefully: an over-budget dense route
+        falls back to a capable backend with a smaller footprint (the
+        ``4^n`` density matrix downgrades to ``2^n`` Monte Carlo
+        trajectories; Clifford work already routes to the poly(n) tableau).
+        Fixed devices, and items no cheaper backend can serve, raise a typed
+        :class:`~repro.errors.MemoryBudgetError` *before* any allocation.
+        """
+        if budget is None or decision.backend not in REGISTRY:
+            return decision
+        caps = backend_capabilities(decision.backend)
+        estimate = caps.estimated_memory_bytes(num_qubits)
+        if estimate is None or estimate <= budget:
+            return decision
+        if self.backend == "auto" and "state_vector" not in observables:
+            for candidate in ("trajectory",):
+                candidate_caps = backend_capabilities(candidate)
+                candidate_cost = candidate_caps.estimated_memory_bytes(num_qubits)
+                if candidate_cost is not None and candidate_cost > budget:
+                    continue
+                try:
+                    self._validate_capabilities(candidate, circuit, observables, num_qubits)
+                except BackendCapabilityError:
+                    continue
+                return BackendDecision(
+                    candidate,
+                    f"memory budget: {decision.backend} needs ~{estimate:,} B "
+                    f"(> {budget:,} B); downgraded to {candidate}",
+                )
+        raise MemoryBudgetError(
+            f"work item needs ~{estimate:,} B on backend {decision.backend!r} "
+            f"({num_qubits} qubits), exceeding the {budget:,} B memory budget, "
+            "and no cheaper capable backend exists"
+        )
+
     def _validate_capabilities(
         self,
         name: str,
@@ -633,6 +723,13 @@ class Device:
         initial_bits: Optional[Sequence[int]] = None,
         objective=None,
         sampling: str = "auto",
+        retry: Optional[RetryPolicy] = None,
+        item_timeout: Union[None, float, str] = None,
+        checkpoint: Optional[str] = None,
+        job_id: Optional[str] = None,
+        on_error: str = "raise",
+        memory_budget: Optional[int] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> Job:
         """Submit a batch of work items and return its :class:`Job`.
 
@@ -672,6 +769,38 @@ class Device:
             distribution on the knowledge-compilation backend when the item
             is ideal and small enough, ``"exact"`` requires that path,
             ``"gibbs"`` always runs the Gibbs chains.
+        retry:
+            A :class:`~repro.api.faults.RetryPolicy`; failed items re-run
+            (with their original ``seed + index``) up to
+            ``retry.max_attempts`` times when the failure is retryable
+            (transient errors, crashed workers, item timeouts by default).
+        item_timeout:
+            Per-item wall-clock budget in seconds; a stuck worker is killed
+            and the item fails with
+            :class:`~repro.errors.JobTimeoutError` (retryable).  ``"auto"``
+            uses the largest ``default_item_timeout`` declared by the routed
+            backends.  Forces pooled execution so the item can be reaped.
+        checkpoint:
+            Journal directory: every finished item is durably checkpointed
+            (atomic, fingerprinted) so :func:`repro.resume_job` can replay
+            the batch after a crash without re-running completed items.
+        job_id:
+            Identifier within ``checkpoint`` (generated when omitted; read
+            it back from ``Job.job_id``).  Requires ``checkpoint``.
+        on_error:
+            ``"raise"`` (default) raises an aggregated
+            :class:`~repro.errors.JobError` when items fail terminally;
+            ``"partial"`` returns the successful rows and records the
+            failures on ``Job.failures()``.
+        memory_budget:
+            Per-item byte budget checked pre-dispatch against the routed
+            backend's declared dense footprint.  Auto devices downgrade an
+            over-budget density-matrix route to trajectory sampling when
+            capabilities allow; otherwise the item fails with
+            :class:`~repro.errors.MemoryBudgetError` before any allocation.
+        fault_injector:
+            Test-only chaos hook (:class:`~repro.api.faults.FaultInjector`)
+            invoked before every item evaluation.
 
         Raises
         ------
@@ -696,6 +825,12 @@ class Device:
             raise ValueError("the 'samples' observable requires repetitions > 0")
         if sampling not in ("auto", "exact", "gibbs"):
             raise ValueError(f"sampling must be 'auto', 'exact' or 'gibbs', got {sampling!r}")
+        if on_error not in ("raise", "partial"):
+            raise ValueError(f"on_error must be 'raise' or 'partial', got {on_error!r}")
+        if isinstance(item_timeout, str) and item_timeout != "auto":
+            raise ValueError(f"item_timeout must be a number, None or 'auto', got {item_timeout!r}")
+        if job_id is not None and checkpoint is None:
+            raise ValueError("job_id requires a checkpoint directory")
 
         ctx = {
             "observables": observables,
@@ -706,18 +841,70 @@ class Device:
             "initial_state": bits_to_index(initial_bits) if initial_bits else 0,
             "objective": objective,
             "sampling": sampling,
+            "fault_injector": fault_injector,
         }
+
+        # Journal: load checkpointed rows first, so already-finished items
+        # are excluded *before* routing and grouping — a fully checkpointed
+        # resume performs zero compiles and zero evaluations.
+        journal: Optional[JobJournal] = None
+        preloaded: Dict[int, Dict] = {}
+        if checkpoint is not None:
+            journal = JobJournal(checkpoint, job_id)
+            if not journal.has_manifest():
+                journal.write_manifest(
+                    {
+                        "device": self._config,
+                        "run": {
+                            "circuits": [circuit for circuit, _ in items],
+                            "params": [resolver for _, resolver in items],
+                            "observables": list(observables),
+                            "repetitions": repetitions,
+                            "seed": seed,
+                            "jobs": jobs,
+                            "qubit_order": ctx["qubit_order"],
+                            "initial_bits": ctx["initial_bits"],
+                            "objective": objective,
+                            "sampling": sampling,
+                            "retry": retry,
+                            "item_timeout": item_timeout,
+                            "on_error": on_error,
+                            "memory_budget": memory_budget,
+                        },
+                    }
+                )
+            preloaded = {
+                index: row
+                for index, row in journal.load_rows().items()
+                if 0 <= index < len(items)
+            }
 
         # Route every item, then group by (backend, topology): one compile
         # per distinct topology, one classification-and-canonicalization per
-        # distinct circuit object.
+        # distinct circuit object.  Pre-dispatch rejections (capability or
+        # memory-budget violations) become per-item failure records under
+        # on_error="partial" instead of failing the whole submission.
+        prefailures: List[ItemFailure] = []
+        routed_backends: List[str] = []
         topology_of: Dict[int, str] = {}
         groups: "OrderedDict[Tuple[str, str], Dict]" = OrderedDict()
         for index, (circuit, resolver) in enumerate(items):
+            if index in preloaded:
+                continue
             num_qubits = (
                 len(ctx["qubit_order"]) if ctx["qubit_order"] is not None else circuit.num_qubits
             )
-            decision = self._route_item(circuit, resolver, observables, num_qubits)
+            try:
+                decision = self._route_item(circuit, resolver, observables, num_qubits)
+                decision = self._memory_guard(
+                    decision, circuit, observables, num_qubits, memory_budget
+                )
+            except ReproError as error:
+                if on_error == "partial":
+                    prefailures.append(ItemFailure((index,), error, 1))
+                    continue
+                raise
+            routed_backends.append(decision.backend)
             topology = topology_of.get(id(circuit))
             if topology is None:
                 topology = canonicalize_circuit(
@@ -735,8 +922,53 @@ class Device:
                 group["positions"][id(circuit)] = pos
             group["items"].append((index, pos, resolver, decision.reason))
 
-        if jobs <= 1 and block:
-            rows: List[Tuple[int, Dict]] = []
+        if item_timeout == "auto":
+            declared = [
+                backend_capabilities(name).default_item_timeout
+                for name in set(routed_backends)
+                if name in REGISTRY
+            ]
+            declared = [value for value in declared if value is not None]
+            item_timeout = max(declared) if declared else None
+
+        fault_tolerant = (
+            retry is not None
+            or item_timeout is not None
+            or journal is not None
+            or fault_injector is not None
+            or on_error == "partial"
+        )
+        if not fault_tolerant:
+            if jobs <= 1 and block:
+                rows: List[Tuple[int, Dict]] = []
+                for (backend, topology), group in groups.items():
+                    sim = self.backend_instance(backend)
+                    master = (
+                        self._kc_group_master(sim, group["circuits"][0], topology, ctx)
+                        if backend == KC_BACKEND
+                        else None
+                    )
+                    rows.extend(
+                        _evaluate_items(
+                            sim, backend, group["circuits"], group["items"], ctx,
+                            group_master=master,
+                        )
+                    )
+                return completed(rows, assemble=_assemble_batch)
+            return self._run_pooled(groups, ctx, jobs=jobs, block=block)
+
+        fault = {
+            "retry": retry,
+            "item_timeout": item_timeout,
+            "on_error": on_error,
+            "journal": journal,
+            "preloaded_rows": list(preloaded.items()),
+            "prefailures": prefailures,
+        }
+        # Item timeouts need a killable worker per item, so they force the
+        # pooled engine even for jobs=1.
+        if jobs <= 1 and block and item_timeout is None:
+            tasks = []
             for (backend, topology), group in groups.items():
                 sim = self.backend_instance(backend)
                 master = (
@@ -744,17 +976,43 @@ class Device:
                     if backend == KC_BACKEND
                     else None
                 )
-                rows.extend(
-                    _evaluate_items(
-                        sim, backend, group["circuits"], group["items"], ctx,
-                        group_master=master,
+                # One shared memo per group keeps per-item dispatch
+                # compile-once: rebinds / shared tableaux computed by one
+                # item task are reused by the rest (tasks run serially in
+                # this process).
+                group_memo: Dict = {}
+                for item in group["items"]:
+                    tasks.append(
+                        (
+                            _run_chunk_local,
+                            {
+                                "sim": sim,
+                                "backend": backend,
+                                "circuits": group["circuits"],
+                                "items": [item],
+                                "ctx": ctx,
+                                "master": master,
+                                "memo": group_memo,
+                            },
+                            (item[0],),
+                            f"item-{item[0]}",
+                        )
                     )
-                )
-            return completed(rows, assemble=_assemble_batch)
-        return self._run_pooled(groups, ctx, jobs=jobs, block=block)
+            return submit(
+                tasks,
+                jobs=1,
+                block=True,
+                assemble=_assemble_batch,
+                retry=retry,
+                on_error=on_error,
+                journal=journal,
+                preloaded_rows=fault["preloaded_rows"],
+                prefailures=prefailures,
+            )
+        return self._run_pooled(groups, ctx, jobs=jobs, block=block, fault=fault)
 
     # ------------------------------------------------------------------
-    def _run_pooled(self, groups, ctx, jobs: int, block: bool) -> Job:
+    def _run_pooled(self, groups, ctx, jobs: int, block: bool, fault=None) -> Job:
         cleanup: Optional[tempfile.TemporaryDirectory] = None
         cache_dir: Optional[str] = None
         kc_groups = [
@@ -790,24 +1048,43 @@ class Device:
 
         total_items = sum(len(group["items"]) for group in groups.values())
         chunk_size = max(1, math.ceil(total_items / max(1, jobs * 2)))
+        if fault is not None:
+            # Fault-tolerant pools retry, time out and checkpoint *per item*,
+            # so every task carries exactly one item.
+            chunk_size = 1
         tasks = []
         for (backend, _topology), group in groups.items():
             options = kc_options if backend == KC_BACKEND else self._backend_options.get(backend, {})
             for start in range(0, len(group["items"]), chunk_size):
-                tasks.append(
-                    (
-                        _run_chunk,
-                        {
-                            "backend": backend,
-                            "backend_options": options,
-                            "cache_dir": cache_dir if backend == KC_BACKEND else None,
-                            "circuits": group["circuits"],
-                            "items": group["items"][start : start + chunk_size],
-                            "ctx": ctx,
-                        },
-                    )
-                )
-        job = submit(tasks, jobs=jobs, block=block, assemble=_assemble_batch)
+                chunk = group["items"][start : start + chunk_size]
+                payload = {
+                    "backend": backend,
+                    "backend_options": options,
+                    "cache_dir": cache_dir if backend == KC_BACKEND else None,
+                    "circuits": group["circuits"],
+                    "items": chunk,
+                    "ctx": ctx,
+                }
+                if fault is not None:
+                    indices = tuple(item[0] for item in chunk)
+                    tasks.append((_run_chunk, payload, indices, f"item-{indices[0]}"))
+                else:
+                    tasks.append((_run_chunk, payload))
+        if fault is not None:
+            job = submit(
+                tasks,
+                jobs=jobs,
+                block=block,
+                assemble=_assemble_batch,
+                retry=fault["retry"],
+                item_timeout=fault["item_timeout"],
+                on_error=fault["on_error"],
+                journal=fault["journal"],
+                preloaded_rows=fault["preloaded_rows"],
+                prefailures=fault["prefailures"],
+            )
+        else:
+            job = submit(tasks, jobs=jobs, block=block, assemble=_assemble_batch)
         if cleanup is not None:
             if block and job.done():
                 cleanup.cleanup()

@@ -1,0 +1,214 @@
+"""Fault-tolerance policy objects: retries, failure records, chaos injection.
+
+Three small, picklable building blocks consumed by the scheduler and the
+``Device`` execution layer:
+
+* :class:`RetryPolicy` — how many times a failed work item re-runs, with
+  exponential backoff and *deterministic* jitter (derived from the item key,
+  not an RNG, so two runs of the same faulted batch sleep identically), and
+  which error classes count as retryable.  Retried items re-run with their
+  original ``seed + index``, so a faulted run converges to the bit-identical
+  result of a fault-free one;
+* :class:`ItemFailure` — the per-item record kept when an item exhausts its
+  retries.  ``Job.result(on_error="raise")`` aggregates these on a
+  :class:`~repro.errors.JobError`; ``on_error="partial"`` returns the
+  successful rows and leaves the records on ``Job.failures()``;
+* :class:`FaultInjector` — a seeded chaos harness for the test suites: on a
+  configured ``(item index, attempt)`` schedule it raises transient errors,
+  SIGKILLs its own worker process mid-item, or hangs past the item timeout.
+  It is plain data (picklable) so it rides into pool workers unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import signal
+import time
+from typing import Callable, Dict, Optional, Tuple, Type
+
+from ..errors import JobTimeoutError, TransientError, WorkerCrashedError
+
+#: Error classes the default policy treats as retryable: declared-transient
+#: failures, dead workers, and per-item timeouts.  Deterministic input errors
+#: (capability violations, bad circuits, ``ValueError``) are never retried —
+#: re-running them burns a worker to reproduce the same failure.
+DEFAULT_RETRYABLE: Tuple[Type[BaseException], ...] = (
+    TransientError,
+    WorkerCrashedError,
+    JobTimeoutError,
+)
+
+
+def _unit_interval(key: str) -> float:
+    """Deterministic pseudo-uniform draw in ``[0, 1)`` from a string key."""
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """When and how failed work items re-run.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts per item (first run included); ``3`` means the item
+        may re-run twice.
+    backoff_base:
+        Delay before the first retry, in seconds.
+    backoff_factor:
+        Multiplier applied per additional attempt (exponential backoff).
+    backoff_max:
+        Ceiling on any single delay.
+    jitter:
+        Fractional spread added to each delay, ``delay * (1 + jitter * u)``
+        with ``u`` drawn deterministically from the item key and attempt
+        number — retried schedules are reproducible run-to-run.
+    retryable:
+        Exception classes worth re-running.  Anything else fails the item
+        immediately (deterministic errors re-fail identically).
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.1
+    retryable: Tuple[Type[BaseException], ...] = DEFAULT_RETRYABLE
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+
+    def is_retryable(self, error: BaseException) -> bool:
+        """True when ``error`` is an instance of a retryable class."""
+        return isinstance(error, tuple(self.retryable))
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based)."""
+        base = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** max(0, attempt - 1),
+        )
+        if self.jitter <= 0.0 or base <= 0.0:
+            return base
+        return min(
+            self.backoff_max,
+            base * (1.0 + self.jitter * _unit_interval(f"{key}:{attempt}")),
+        )
+
+
+#: A policy that never retries (classification still applies to reporting).
+NO_RETRY = RetryPolicy(max_attempts=1, backoff_base=0.0, jitter=0.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class ItemFailure:
+    """One work item's terminal failure after exhausting its retries.
+
+    Attributes
+    ----------
+    indices:
+        Batch item indices the failed task covered (one per item for
+        fault-tolerant submissions).
+    error:
+        The final exception (original type where picklable).
+    attempts:
+        How many times the item ran before giving up.
+    traceback:
+        Formatted traceback of the final attempt (empty for pre-dispatch
+        failures such as capability or memory-budget rejections).
+    """
+
+    indices: Tuple[int, ...]
+    error: BaseException
+    attempts: int
+    traceback: str = ""
+
+    def describe(self) -> str:
+        where = ",".join(map(str, self.indices)) if self.indices else "?"
+        return (
+            f"item {where}: {type(self.error).__name__}: {self.error} "
+            f"(after {self.attempts} attempt(s))"
+        )
+
+
+class FaultInjector:
+    """Seeded chaos harness: fail configured items on configured attempts.
+
+    Each schedule maps a batch item index to the number of *leading attempts*
+    to fault: ``transient={3: 2}`` raises :class:`TransientError` on item 3's
+    attempts 0 and 1, so a policy with ``max_attempts >= 3`` converges.  With
+    ``kill`` the injector SIGKILLs its own process — only meaningful inside a
+    pool worker (never inject kills into an inline run).  ``hang`` sleeps for
+    ``hang_seconds`` so a per-item timeout can reap the worker.  ``rate``
+    faults a deterministic pseudo-random ``rate`` fraction of first attempts
+    (keyed on ``seed`` and the item index) with transient errors.
+
+    Instances hold only plain data, pickle cleanly into workers, and keep a
+    per-process count of injected faults in :attr:`injected`.
+    """
+
+    def __init__(
+        self,
+        transient: Optional[Dict[int, int]] = None,
+        kill: Optional[Dict[int, int]] = None,
+        hang: Optional[Dict[int, int]] = None,
+        hang_seconds: float = 30.0,
+        rate: float = 0.0,
+        seed: int = 0,
+    ):
+        self.transient = dict(transient or {})
+        self.kill = dict(kill or {})
+        self.hang = dict(hang or {})
+        self.hang_seconds = float(hang_seconds)
+        self.rate = float(rate)
+        self.seed = int(seed)
+        #: Faults injected by *this process* (workers count independently).
+        self.injected = 0
+
+    def __call__(self, index: int, attempt: int) -> None:
+        """Invoked at the start of every item evaluation; may not return."""
+        if attempt < self.kill.get(index, 0):
+            self.injected += 1
+            os.kill(os.getpid(), signal.SIGKILL)
+        if attempt < self.hang.get(index, 0):
+            self.injected += 1
+            time.sleep(self.hang_seconds)
+        if attempt < self.transient.get(index, 0):
+            self.injected += 1
+            raise TransientError(
+                f"injected transient fault (item {index}, attempt {attempt})"
+            )
+        if (
+            self.rate > 0.0
+            and attempt == 0
+            and _unit_interval(f"chaos:{self.seed}:{index}") < self.rate
+        ):
+            self.injected += 1
+            raise TransientError(f"injected transient fault (item {index}, rate)")
+
+    def __repr__(self) -> str:
+        parts = []
+        for name in ("transient", "kill", "hang"):
+            schedule = getattr(self, name)
+            if schedule:
+                parts.append(f"{name}={schedule}")
+        if self.rate:
+            parts.append(f"rate={self.rate}")
+        return f"FaultInjector({', '.join(parts)})"
+
+
+#: Type of the optional per-item fault hook carried in the execution context.
+FaultHook = Callable[[int, int], None]
+
+
+__all__ = [
+    "DEFAULT_RETRYABLE",
+    "FaultInjector",
+    "ItemFailure",
+    "NO_RETRY",
+    "RetryPolicy",
+]

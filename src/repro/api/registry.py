@@ -161,6 +161,8 @@ register_backend(
         noise=NOISE_GENERAL,
         mixed_state=False,
         noisy_sampling=True,
+        memory_exponent=1,
+        default_item_timeout=300.0,
         description="dense 2^n state vector; noisy sampling via per-shot trajectories",
         aliases=("sv", "statevector"),
     ),
@@ -173,6 +175,8 @@ register_backend(
         noise=NOISE_GENERAL,
         mixed_state=True,
         noisy_sampling=True,
+        memory_exponent=2,
+        default_item_timeout=300.0,
         description="exact 4^n density matrix via fused superoperator programs",
         aliases=("dm", "densitymatrix"),
     ),
@@ -184,6 +188,8 @@ register_backend(
         max_qubits=_DENSE_STATE_MAX_QUBITS,
         noise=NOISE_NONE,
         mixed_state=False,
+        memory_exponent=1,
+        default_item_timeout=300.0,
         description="amplitude queries by network contraction; MCMC sampling",
         aliases=("tn", "tensornetwork"),
     ),
@@ -199,6 +205,8 @@ register_backend(
         mixed_state=True,
         batched_sampling=True,
         noisy_sampling=True,
+        memory_exponent=1,
+        default_item_timeout=300.0,
         description="batched (B, 2^n) lockstep Monte Carlo wavefunction ensembles",
     ),
     _trajectory_factory,
@@ -212,6 +220,7 @@ register_backend(
         mixed_state=False,
         batched_sampling=True,
         noisy_sampling=True,
+        default_item_timeout=120.0,
         description="Aaronson-Gottesman tableau; poly(n) Clifford circuits",
     ),
     _stabilizer_factory,
@@ -224,6 +233,7 @@ register_backend(
         mixed_state=True,
         batched_sampling=True,
         noisy_sampling=True,
+        default_item_timeout=600.0,
         description="compile-once d-DNNF arithmetic circuit; vectorized rebinding",
         aliases=("kc",),
     ),

@@ -1,10 +1,10 @@
-"""Async job scheduling over a process pool.
+"""Async job scheduling over a process pool, with optional fault tolerance.
 
 The execution layer behind :meth:`repro.api.device.Device.run` and the
 experiment harness.  A :class:`Job` owns a set of *tasks* — picklable
 ``(function, payload)`` pairs where ``function`` is module-level and returns
 ``[(item_index, row), ...]`` — and runs them either inline (serial,
-blocking) or on a :class:`~concurrent.futures.ProcessPoolExecutor`:
+blocking) or on a process pool:
 
 * ``Job.status()`` reports ``pending`` / ``running`` / ``done`` /
   ``failed`` / ``cancelled``;
@@ -13,8 +13,8 @@ blocking) or on a :class:`~concurrent.futures.ProcessPoolExecutor`:
 * ``Job.partial_results()`` and ``Job.stream()`` expose per-item rows as
   tasks complete (streaming partial results);
 * ``Job.cancel()`` cancels every not-yet-started task; tasks already
-  running finish, and their rows stay available through
-  ``partial_results()``.
+  running finish (fault-tolerant pools kill them), and their completed rows
+  stay available through ``partial_results()``.
 
 Worker failures propagate with their **original exception type**: the
 worker catches the error, returns it as data, and the parent re-raises it
@@ -22,17 +22,53 @@ with the worker traceback attached as the ``__cause__`` (a
 :class:`~repro.errors.JobError` carrying the formatted remote traceback).
 Unpicklable exceptions degrade to a :class:`~repro.errors.JobError`
 describing the original.
+
+Fault tolerance
+---------------
+Passing any of ``retry`` / ``item_timeout`` / ``journal`` /
+``on_error="partial"`` to :func:`submit` switches the job onto the
+fault-tolerant engine:
+
+* each task re-runs under its :class:`~repro.api.faults.RetryPolicy`
+  (exponential backoff, deterministic jitter, retryable-error
+  classification); the task's payload is re-dispatched verbatim, so retried
+  items keep their original ``seed + index`` and a faulted run converges to
+  the bit-identical fault-free result;
+* pooled tasks each run in a **dedicated worker process** (killed workers
+  take down only their own task): a worker that dies without reporting —
+  SIGKILL, OOM — is detected and its task re-dispatched as a
+  :class:`~repro.errors.WorkerCrashedError`; a worker that exceeds
+  ``item_timeout`` seconds of wall clock is killed and its task re-dispatched
+  as a :class:`~repro.errors.JobTimeoutError`;
+* a task that exhausts its retries becomes an
+  :class:`~repro.api.faults.ItemFailure` record; the job *keeps going*.
+  ``Job.result(on_error="raise")`` (the default) then raises a
+  :class:`~repro.errors.JobError` aggregating every record, while
+  ``on_error="partial"`` returns the successful rows (failures stay
+  inspectable on ``Job.failures()``);
+* every completed row checkpoints to the optional
+  :class:`~repro.api.journal.JobJournal` the moment it lands, so a later
+  :func:`~repro.api.journal.resume_job` replays nothing already done.
 """
 
 from __future__ import annotations
 
 import pickle
 import threading
+import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..errors import JobCancelledError, JobError
+from ..errors import (
+    JobCancelledError,
+    JobError,
+    JobTimeoutError,
+    WorkerCrashedError,
+)
+from .faults import ItemFailure, RetryPolicy
 
 #: Job lifecycle states.
 PENDING = "pending"
@@ -40,6 +76,9 @@ RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
 CANCELLED = "cancelled"
+
+#: Poll interval of the fault-tolerant dispatcher (seconds).
+_POLL_SECONDS = 0.05
 
 
 class _RemoteFailure:
@@ -60,12 +99,74 @@ class _RemoteFailure:
 
 
 def run_task(task: Tuple[Callable, Any]):
-    """Module-level worker entry point: run one task, capture failures as data."""
-    function, payload = task
+    """Module-level worker entry point: run one task, capture failures as data.
+
+    Accepts the plain ``(function, payload)`` pair and the extended
+    ``(function, payload, indices, key)`` form interchangeably.
+    """
+    function, payload = task[0], task[1]
     try:
         return function(payload)
     except BaseException as error:  # noqa: BLE001 - repackaged for the parent
         return _RemoteFailure(error)
+
+
+class _TaskState:
+    """Bookkeeping for one task in the fault-tolerant engine."""
+
+    __slots__ = (
+        "function",
+        "payload",
+        "indices",
+        "key",
+        "attempts",
+        "not_before",
+        "process",
+        "conn",
+        "deadline",
+    )
+
+    def __init__(self, function, payload, indices: Tuple[int, ...], key: str):
+        self.function = function
+        self.payload = payload
+        self.indices = indices
+        self.key = key
+        self.attempts = 0
+        self.not_before = 0.0
+        self.process = None
+        self.conn = None
+        self.deadline: Optional[float] = None
+
+    def task(self) -> Tuple[Callable, Any]:
+        """The dispatchable pair; dict payloads learn their attempt number."""
+        payload = self.payload
+        if isinstance(payload, dict):
+            payload = dict(payload, attempt=self.attempts)
+        return (self.function, payload)
+
+
+def _normalize_tasks(tasks: Sequence) -> List[_TaskState]:
+    states: List[_TaskState] = []
+    for position, task in enumerate(tasks):
+        function, payload = task[0], task[1]
+        indices = tuple(task[2]) if len(task) > 2 and task[2] is not None else ()
+        key = task[3] if len(task) > 3 and task[3] else f"task-{position}"
+        states.append(_TaskState(function, payload, indices, key))
+    return states
+
+
+def _child_entry(conn, function, payload) -> None:
+    """Entry point of a dedicated (fault-tolerant) worker process."""
+    outcome = run_task((function, payload))
+    try:
+        conn.send(outcome)
+    except Exception as error:  # unpicklable rows degrade to a typed failure
+        try:
+            conn.send(_RemoteFailure(JobError(f"unpicklable worker result: {error!r}")))
+        except Exception:
+            pass
+    finally:
+        conn.close()
 
 
 class Job:
@@ -80,9 +181,14 @@ class Job:
         self._rows: Dict[int, Any] = {}
         self._status = PENDING
         self._failure: Optional[_RemoteFailure] = None
+        self._failures: List[ItemFailure] = []
         self._futures: List[Future] = []
         self._executor: Optional[ProcessPoolExecutor] = None
         self._pending_tasks = 0
+        self._journal = None
+        self._on_error = "raise"
+        #: Journal identifier when the submission checkpoints (else ``None``).
+        self.job_id: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Construction paths (used by submit()).
@@ -114,6 +220,214 @@ class Job:
         return self
 
     # ------------------------------------------------------------------
+    # Fault-tolerant construction paths.
+    # ------------------------------------------------------------------
+    def _run_inline_resilient(
+        self, states: List[_TaskState], retry: Optional[RetryPolicy]
+    ) -> "Job":
+        """Serial fault-tolerant run: retries and failure records, no pool."""
+        self._status = RUNNING
+        for state in states:
+            with self._lock:
+                if self._status == CANCELLED:
+                    return self
+            while True:
+                outcome = run_task(state.task())
+                state.attempts += 1
+                if not isinstance(outcome, _RemoteFailure):
+                    self._record(outcome)
+                    break
+                error = outcome.error
+                if (
+                    retry is not None
+                    and retry.is_retryable(error)
+                    and state.attempts < retry.max_attempts
+                ):
+                    time.sleep(retry.delay(state.attempts, key=state.key))
+                    with self._lock:
+                        if self._status == CANCELLED:
+                            return self
+                    continue
+                self._add_failure(
+                    ItemFailure(state.indices, error, state.attempts, outcome.traceback)
+                )
+                break
+        with self._lock:
+            if self._status == RUNNING:
+                self._status = FAILED if self._failures else DONE
+            self._lock.notify_all()
+        return self
+
+    def _run_pooled_resilient(
+        self,
+        states: List[_TaskState],
+        jobs: int,
+        retry: Optional[RetryPolicy],
+        item_timeout: Optional[float],
+    ) -> "Job":
+        """Fan tasks out over dedicated worker processes (crash containment)."""
+        self._status = RUNNING
+        self._pending_tasks = len(states)
+        thread = threading.Thread(
+            target=self._resilient_loop,
+            args=(states, max(1, jobs), retry, item_timeout),
+            daemon=True,
+            name="repro-job-dispatcher",
+        )
+        thread.start()
+        return self
+
+    def _resilient_loop(
+        self,
+        states: List[_TaskState],
+        jobs: int,
+        retry: Optional[RetryPolicy],
+        item_timeout: Optional[float],
+    ) -> None:
+        import multiprocessing
+        from multiprocessing.connection import wait as connection_wait
+
+        context = multiprocessing.get_context()
+        pending: deque = deque(states)
+        delayed: List[_TaskState] = []
+        running: Dict[Any, _TaskState] = {}
+
+        def spawn(state: _TaskState) -> None:
+            function, payload = state.task()
+            parent_conn, child_conn = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_child_entry, args=(child_conn, function, payload), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            state.process, state.conn = process, parent_conn
+            state.deadline = (
+                time.monotonic() + item_timeout if item_timeout is not None else None
+            )
+            running[parent_conn] = state
+
+        def reap(state: _TaskState) -> None:
+            running.pop(state.conn, None)
+            if state.conn is not None:
+                try:
+                    state.conn.close()
+                except OSError:
+                    pass
+            if state.process is not None:
+                state.process.join(timeout=5)
+            state.process = state.conn = None
+
+        def settle_failure(state: _TaskState, error: BaseException, tb: str) -> None:
+            """Retry the task or record its terminal failure."""
+            if (
+                retry is not None
+                and retry.is_retryable(error)
+                and state.attempts < retry.max_attempts
+            ):
+                state.not_before = time.monotonic() + retry.delay(
+                    state.attempts, key=state.key
+                )
+                delayed.append(state)
+                return
+            self._add_failure(ItemFailure(state.indices, error, state.attempts, tb))
+            self._task_finished()
+
+        try:
+            while True:
+                with self._lock:
+                    cancelled = self._status == CANCELLED
+                if cancelled:
+                    break
+                now = time.monotonic()
+                for state in [s for s in delayed if s.not_before <= now]:
+                    delayed.remove(state)
+                    pending.append(state)
+                while pending and len(running) < jobs:
+                    spawn(pending.popleft())
+                if not running and not pending and not delayed:
+                    break
+                if not running:
+                    time.sleep(_POLL_SECONDS)
+                    continue
+                ready = connection_wait(list(running), timeout=_POLL_SECONDS)
+                for conn in ready:
+                    state = running[conn]
+                    state.attempts += 1
+                    try:
+                        outcome = conn.recv()
+                    except (EOFError, OSError):
+                        outcome = None  # died before (or while) reporting
+                    reap(state)
+                    if outcome is None:
+                        settle_failure(
+                            state,
+                            WorkerCrashedError(
+                                f"worker for {state.key} died without reporting "
+                                f"a result (attempt {state.attempts})"
+                            ),
+                            "",
+                        )
+                    elif isinstance(outcome, _RemoteFailure):
+                        settle_failure(state, outcome.error, outcome.traceback)
+                    else:
+                        self._record(outcome)
+                        self._task_finished()
+                now = time.monotonic()
+                for conn, state in list(running.items()):
+                    process = state.process
+                    if process is not None and not process.is_alive():
+                        if conn.poll():
+                            # Exited normally with its result still buffered
+                            # in the pipe; the next connection_wait drains it.
+                            continue
+                        # Dead without a readable result: crashed worker.
+                        state.attempts += 1
+                        reap(state)
+                        settle_failure(
+                            state,
+                            WorkerCrashedError(
+                                f"worker for {state.key} crashed "
+                                f"(exit code {process.exitcode}, attempt {state.attempts})"
+                            ),
+                            "",
+                        )
+                    elif state.deadline is not None and now > state.deadline:
+                        state.attempts += 1
+                        if process is not None:
+                            process.kill()
+                        reap(state)
+                        settle_failure(
+                            state,
+                            JobTimeoutError(
+                                f"{state.key} exceeded its {item_timeout}s item "
+                                f"timeout; worker killed (attempt {state.attempts})"
+                            ),
+                            "",
+                        )
+        finally:
+            # Cancelled (or dispatcher failure): kill whatever still runs and
+            # zero the countdown so wait()ers wake up.
+            for state in list(running.values()):
+                if state.process is not None:
+                    state.process.kill()
+                reap(state)
+            with self._lock:
+                self._pending_tasks = 0
+                if self._status == RUNNING:
+                    self._status = FAILED if self._failures else DONE
+                self._lock.notify_all()
+
+    def _task_finished(self) -> None:
+        with self._lock:
+            self._pending_tasks -= 1
+            self._lock.notify_all()
+
+    def _add_failure(self, failure: ItemFailure) -> None:
+        with self._lock:
+            self._failures.append(failure)
+            self._lock.notify_all()
+
+    # ------------------------------------------------------------------
     def _record(self, outcome: Any) -> None:
         with self._lock:
             if isinstance(outcome, _RemoteFailure):
@@ -122,12 +436,23 @@ class Job:
             else:
                 for index, row in outcome:
                     self._rows[index] = row
+                    if self._journal is not None:
+                        self._journal.checkpoint_row(index, row)
             self._lock.notify_all()
 
     def _on_task_done(self, future: Future) -> None:
         if not future.cancelled():
             try:
                 self._record(future.result())
+            except BrokenProcessPool as error:
+                self._record(
+                    _RemoteFailure(
+                        WorkerCrashedError(
+                            "a process-pool worker died abruptly; submit with "
+                            f"retry=RetryPolicy(...) for crash containment ({error!r})"
+                        )
+                    )
+                )
             except BaseException as error:  # pool infrastructure failure
                 self._record(_RemoteFailure(error))
         with self._lock:
@@ -155,12 +480,18 @@ class Job:
         """True once no further rows will arrive."""
         return self.status() in (DONE, FAILED, CANCELLED)
 
+    def failures(self) -> List[ItemFailure]:
+        """Per-item failure records of a fault-tolerant run (terminal only)."""
+        with self._lock:
+            return list(self._failures)
+
     def cancel(self) -> bool:
         """Cancel every not-yet-started task.
 
-        Tasks already running finish and their rows remain available via
-        :meth:`partial_results`.  Returns ``True`` if the job had not already
-        completed.
+        Plain pooled tasks already running finish (their rows remain
+        available via :meth:`partial_results`); fault-tolerant workers are
+        killed.  Idempotent: returns ``True`` only on the call that actually
+        cancelled, ``False`` once the job is already terminal.
         """
         with self._lock:
             if self._status in (DONE, FAILED, CANCELLED):
@@ -169,43 +500,81 @@ class Job:
             futures = list(self._futures)
             self._lock.notify_all()
         # Done callbacks fire for cancelled futures too, so the pending-task
-        # bookkeeping in _on_task_done reaches zero on its own.
+        # bookkeeping in _on_task_done reaches zero on its own.  The
+        # fault-tolerant dispatcher notices the state change and kills its
+        # worker processes itself.
         for future in futures:
             future.cancel()
         return True
 
     def wait(self, timeout: Optional[float] = None) -> bool:
-        """Block until the job reaches a terminal state (or ``timeout``)."""
+        """Block until the job reaches a terminal state.
+
+        Returns ``True`` on completion; raises :class:`JobTimeoutError`
+        (TimeoutError-compatible) when ``timeout`` seconds elapse first.
+        """
         with self._lock:
-            return self._lock.wait_for(
+            finished = self._lock.wait_for(
                 lambda: self._status in (DONE, FAILED, CANCELLED)
                 and self._pending_tasks == 0,
                 timeout=timeout,
             )
+            if not finished:
+                raise JobTimeoutError(
+                    f"job still {self._status} after {timeout}s "
+                    f"({len(self._rows)} item(s) completed)"
+                )
+        return True
 
-    def result(self, timeout: Optional[float] = None) -> Any:
+    def result(self, timeout: Optional[float] = None, on_error: Optional[str] = None) -> Any:
         """Assembled rows in item order; raises on failure or cancellation.
+
+        Parameters
+        ----------
+        timeout:
+            Seconds to wait for completion.
+        on_error:
+            ``"raise"`` (default) raises when any item failed terminally —
+            the original exception type for plain jobs, a
+            :class:`~repro.errors.JobError` aggregating every per-item
+            :class:`~repro.api.faults.ItemFailure` for fault-tolerant jobs.
+            ``"partial"`` returns the successfully completed rows instead;
+            the records stay available via :meth:`failures`.  Defaults to
+            the submission's ``on_error``.
 
         Raises
         ------
         JobCancelledError
             If :meth:`cancel` was called before completion.
-        TimeoutError
-            If the job is still running after ``timeout`` seconds.
+        JobTimeoutError
+            If the job is still running after ``timeout`` seconds
+            (``TimeoutError``-compatible).
         Exception
             A worker failure re-raised with its original type, the remote
             traceback attached as ``__cause__``.
         """
-        if not self.wait(timeout):
-            raise TimeoutError(f"job still {self.status()} after {timeout}s")
+        if on_error is None:
+            on_error = self._on_error
+        if on_error not in ("raise", "partial"):
+            raise ValueError(f"on_error must be 'raise' or 'partial', got {on_error!r}")
+        self.wait(timeout)
         with self._lock:
-            if self._failure is not None:
-                self._failure.reraise()
             if self._status == CANCELLED:
                 raise JobCancelledError(
                     f"job cancelled with {len(self._rows)} item(s) completed; "
                     "use partial_results() to retrieve them"
                 )
+            if on_error == "raise":
+                if self._failure is not None:
+                    self._failure.reraise()
+                if self._failures:
+                    summary = "; ".join(f.describe() for f in self._failures[:5])
+                    if len(self._failures) > 5:
+                        summary += f"; ... {len(self._failures) - 5} more"
+                    raise JobError(
+                        f"{len(self._failures)} item(s) failed after retries: {summary}",
+                        failures=self._failures,
+                    ) from self._failures[0].error
             rows = sorted(self._rows.items())
         return self._assemble(rows) if self._assemble else [row for _, row in rows]
 
@@ -228,7 +597,7 @@ class Job:
                 terminal = self._status in (DONE, FAILED, CANCELLED) and self._pending_tasks == 0
                 if not fresh and not terminal:
                     if not self._lock.wait(timeout):
-                        raise TimeoutError("no job progress before timeout")
+                        raise JobTimeoutError("no job progress before timeout")
                     continue
             for index, row in fresh:
                 seen.add(index)
@@ -236,13 +605,20 @@ class Job:
             if terminal and not fresh:
                 with self._lock:
                     failure = self._failure
+                    failures = list(self._failures)
                 if failure is not None:
                     failure.reraise()
+                if failures and self._on_error == "raise":
+                    raise JobError(
+                        f"{len(failures)} item(s) failed after retries",
+                        failures=failures,
+                    ) from failures[0].error
                 return
 
     def __repr__(self) -> str:
         with self._lock:
-            return f"<Job status={self._status} completed={len(self._rows)}>"
+            extra = f" failures={len(self._failures)}" if self._failures else ""
+            return f"<Job status={self._status} completed={len(self._rows)}{extra}>"
 
 
 def completed(
@@ -257,26 +633,70 @@ def completed(
 
 
 def submit(
-    tasks: Sequence[Tuple[Callable, Any]],
+    tasks: Sequence,
     jobs: int = 1,
     block: bool = True,
     assemble: Optional[Callable[[List[Tuple[int, Any]]], Any]] = None,
+    retry: Optional[RetryPolicy] = None,
+    item_timeout: Optional[float] = None,
+    on_error: str = "raise",
+    journal=None,
+    preloaded_rows: Optional[Sequence[Tuple[int, Any]]] = None,
+    prefailures: Optional[Sequence[ItemFailure]] = None,
 ) -> Job:
     """Run ``tasks`` and return the :class:`Job` handle.
+
+    Tasks are ``(function, payload)`` pairs, optionally extended to
+    ``(function, payload, indices, key)`` — ``indices`` names the batch item
+    indices the task covers (for failure records) and ``key`` is a stable
+    identity used for deterministic backoff jitter.
 
     ``jobs <= 1`` with ``block=True`` executes inline in this process (no
     pool, no pickling of results).  Everything else fans out over a process
     pool of ``max(1, jobs)`` workers; with ``block=True`` the call waits for
     completion before returning, with ``block=False`` it returns
     immediately and the job completes in the background.
+
+    Fault tolerance (see the module docstring) engages when any of
+    ``retry`` / ``item_timeout`` / ``journal`` / ``on_error="partial"`` is
+    given.  ``item_timeout`` needs process isolation to kill a stuck worker,
+    so it forces the pooled engine even for ``jobs=1``.  ``preloaded_rows``
+    (e.g. journal checkpoints from a previous life of the job) and
+    ``prefailures`` (pre-dispatch rejections) seed the job before any task
+    runs.
     """
+    if on_error not in ("raise", "partial"):
+        raise ValueError(f"on_error must be 'raise' or 'partial', got {on_error!r}")
     job = Job(assemble=assemble)
+    job._journal = journal
+    job._on_error = on_error
+    if journal is not None:
+        job.job_id = journal.job_id
+    if preloaded_rows:
+        job._rows.update(dict(preloaded_rows))
+    if prefailures:
+        job._failures.extend(prefailures)
+    fault_tolerant = (
+        retry is not None
+        or item_timeout is not None
+        or journal is not None
+        or on_error == "partial"
+        or prefailures
+    )
     if not tasks:
-        job._status = DONE
+        job._status = FAILED if job._failures else DONE
         return job
-    if jobs <= 1 and block:
-        return job._run_inline(tasks)
-    job._run_pooled(tasks, jobs=max(1, jobs))
+    if not fault_tolerant:
+        if jobs <= 1 and block:
+            return job._run_inline(list(tasks))
+        job._run_pooled(list(tasks), jobs=max(1, jobs))
+        if block:
+            job.wait()
+        return job
+    states = _normalize_tasks(tasks)
+    if jobs <= 1 and block and item_timeout is None:
+        return job._run_inline_resilient(states, retry)
+    job._run_pooled_resilient(states, jobs=max(1, jobs), retry=retry, item_timeout=item_timeout)
     if block:
         job.wait()
     return job

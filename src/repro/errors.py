@@ -20,8 +20,26 @@ can catch the precise class:
     (unbound symbols at compile time, malformed encodings).
 ``JobError`` / ``JobCancelledError``
     Job-lifecycle failures from the async scheduler: ``JobError`` wraps a
-    worker failure that could not be represented by its original type;
+    worker failure that could not be represented by its original type (and
+    aggregates per-item :class:`~repro.api.faults.ItemFailure` records on its
+    ``failures`` attribute when a fault-tolerant job exhausts its retries);
     ``JobCancelledError`` is raised by ``Job.result()`` after ``cancel()``.
+``JobTimeoutError``
+    A deadline expired: ``Job.result(timeout=...)`` / ``Job.wait(timeout=...)``
+    ran out of time, or a work item exceeded its per-item wall-clock budget
+    and its worker was killed.  Inherits :class:`TimeoutError`, so code
+    catching the builtin keeps working.
+``WorkerCrashedError``
+    A pool worker died without reporting a result (SIGKILL, OOM kill,
+    ``BrokenProcessPool``).  Retryable by default: the scheduler resurrects
+    the worker and re-dispatches only the in-flight items.
+``TransientError``
+    A failure the caller declares to be transient (flaky I/O, injected
+    chaos).  The default :class:`~repro.api.faults.RetryPolicy` retries it.
+``MemoryBudgetError``
+    A work item's estimated dense ``2^n`` footprint exceeds the submission's
+    memory budget and no capable cheaper backend exists.  Raised *before*
+    the allocation is attempted.
 """
 
 from __future__ import annotations
@@ -39,23 +57,53 @@ class BackendCapabilityError(ReproError, ValueError):
     """The request exceeds a backend's declared capabilities."""
 
 
+class MemoryBudgetError(BackendCapabilityError):
+    """The item's estimated memory footprint exceeds the submission budget."""
+
+
 class CompilationError(ReproError, RuntimeError):
     """The knowledge-compilation pipeline failed to compile the circuit."""
 
 
+class TransientError(ReproError, RuntimeError):
+    """A transient failure; the default retry policy re-runs the item."""
+
+
 class JobError(ReproError, RuntimeError):
-    """A job failed in a way that could not be re-raised as its original type."""
+    """A job failed in a way that could not be re-raised as its original type.
+
+    Fault-tolerant jobs aggregate their per-item failure records here: the
+    ``failures`` attribute holds one :class:`~repro.api.faults.ItemFailure`
+    per item that exhausted its retries.
+    """
+
+    def __init__(self, *args, failures=None):
+        super().__init__(*args)
+        #: Per-item failure records (fault-tolerant jobs), else ``()``.
+        self.failures = tuple(failures or ())
 
 
 class JobCancelledError(JobError):
     """``Job.result()`` was called on a cancelled job."""
 
 
+class JobTimeoutError(JobError, TimeoutError):
+    """A job- or item-level deadline expired (TimeoutError-compatible)."""
+
+
+class WorkerCrashedError(JobError):
+    """A pool worker died (SIGKILL / OOM / broken pool) without a result."""
+
+
 __all__ = [
     "ReproError",
     "UnsupportedCircuitError",
     "BackendCapabilityError",
+    "MemoryBudgetError",
     "CompilationError",
+    "TransientError",
     "JobError",
     "JobCancelledError",
+    "JobTimeoutError",
+    "WorkerCrashedError",
 ]

@@ -30,6 +30,7 @@ import tempfile
 from typing import Dict, List, NamedTuple, Optional, Sequence
 
 from ..api import scheduler
+from ..api.faults import RetryPolicy
 from ..knowledge import cache as compile_cache
 from .common import ExperimentResult
 
@@ -102,6 +103,7 @@ def run_specs(
     specs: Sequence[ExperimentSpec],
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    retries: int = 0,
 ) -> List[ExperimentResult]:
     """Execute ``specs`` and return their results flattened, in spec order.
 
@@ -112,21 +114,35 @@ def run_specs(
     and persists it, the rest hydrate the pickle.  A serial run with an
     explicit ``cache_dir`` points this process's default cache at the same
     directory, so repeated invocations reuse compiles across runs.
+
+    ``retries > 0`` re-runs specs whose workers crash or hit transient
+    errors (up to ``retries`` extra attempts each); every spec re-runs
+    with its original seeds, so a retried sweep is bit-identical to a
+    fault-free one.
     """
+    retry = RetryPolicy(max_attempts=retries + 1) if retries > 0 else None
     if jobs <= 1:
         if cache_dir is not None:
             _worker_init(cache_dir)
-        return [result for spec in specs for result in execute_spec(spec)]
+        if retry is None:
+            return [result for spec in specs for result in execute_spec(spec)]
     cleanup: Optional[tempfile.TemporaryDirectory] = None
     if cache_dir is None:
         cleanup = tempfile.TemporaryDirectory(prefix="repro-runner-cache-")
         cache_dir = cleanup.name
     try:
         tasks = [
-            (_spec_task, {"index": index, "spec": spec, "cache_dir": cache_dir})
+            (
+                _spec_task,
+                {"index": index, "spec": spec, "cache_dir": cache_dir},
+                (index,),
+                f"spec-{spec.name}",
+            )
             for index, spec in enumerate(specs)
         ]
-        job = scheduler.submit(tasks, jobs=min(jobs, len(specs)) or 1, block=True)
+        job = scheduler.submit(
+            tasks, jobs=min(jobs, len(specs)) or 1, block=True, retry=retry
+        )
         blocks = job.result()
     finally:
         if cleanup is not None:
@@ -143,11 +159,12 @@ def run_all(
     quick: bool = False,
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    retries: int = 0,
 ) -> List[ExperimentResult]:
     """Run every experiment and return the collected results."""
     if jobs is None:
         jobs = default_jobs()
-    return run_specs(build_specs(quick=quick), jobs=jobs, cache_dir=cache_dir)
+    return run_specs(build_specs(quick=quick), jobs=jobs, cache_dir=cache_dir, retries=retries)
 
 
 def main(argv=None) -> int:
@@ -165,6 +182,10 @@ def main(argv=None) -> int:
         "--only", action="append", default=None, metavar="NAME",
         help="run only specs whose name contains NAME (repeatable)",
     )
+    parser.add_argument(
+        "--retries", type=int, default=0,
+        help="extra attempts per spec on worker crashes / transient errors (default: 0)",
+    )
     parser.add_argument("--list", action="store_true", help="list spec names and exit")
     arguments = parser.parse_args(argv)
 
@@ -174,7 +195,9 @@ def main(argv=None) -> int:
             print(spec.name)
         return 0
     jobs = arguments.jobs if arguments.jobs is not None else default_jobs()
-    for result in run_specs(specs, jobs=jobs, cache_dir=arguments.cache_dir):
+    for result in run_specs(
+        specs, jobs=jobs, cache_dir=arguments.cache_dir, retries=arguments.retries
+    ):
         print(result.summary())
         print()
     return 0

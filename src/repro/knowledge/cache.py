@@ -156,7 +156,14 @@ class CompiledCircuitCache:
         return payload
 
     def store_payload(self, key: str, payload: Dict[str, Any]) -> None:
-        """Atomically write the disk payload for ``key`` (no-op without a directory)."""
+        """Atomically write the disk payload for ``key`` (no-op without a directory).
+
+        The payload is pickled to a temporary file, flushed to stable
+        storage, and published with ``os.replace`` — a concurrent reader (or
+        a crash at any point) sees either the old complete file or the new
+        complete file, never a torn write.  Failures of any kind degrade to
+        "not cached" and always remove the temporary file.
+        """
         path = self._path_for(key)
         if path is None:
             return
@@ -166,12 +173,20 @@ class CompiledCircuitCache:
         try:
             with os.fdopen(descriptor, "wb") as handle:
                 pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(temporary, path)
-        except OSError:
+        except (OSError, pickle.PicklingError, AttributeError, TypeError, ValueError):
             try:
                 os.unlink(temporary)
             except OSError:
                 pass
+        except BaseException:
+            try:
+                os.unlink(temporary)
+            except OSError:
+                pass
+            raise
 
     def __repr__(self) -> str:
         return (

@@ -207,6 +207,11 @@ class ParameterSweep:
         objective: Optional[Callable[[np.ndarray], float]] = None,
         seed: Optional[int] = 0,
         jobs: int = 1,
+        retry=None,
+        item_timeout=None,
+        checkpoint: Optional[str] = None,
+        job_id: Optional[str] = None,
+        on_error: str = "raise",
     ) -> SweepResult:
         """Evaluate every point and collect per-point observables.
 
@@ -231,6 +236,12 @@ class ParameterSweep:
             Worker processes.  With ``jobs > 1`` the compiled artifact is
             persisted to the simulator cache's directory (a temporary
             directory when it has none) and workers hydrate from it.
+        retry, item_timeout, checkpoint, job_id, on_error:
+            Fault-tolerance options forwarded to
+            :meth:`repro.api.device.Device.run` — per-point retries, per-point
+            wall-clock budgets, durable checkpointing for
+            :func:`repro.resume_job`, and partial-result aggregation (see
+            ``docs/robustness.md``).
 
         Returns
         -------
@@ -259,6 +270,11 @@ class ParameterSweep:
             # shared compile (exact amplitude sampling stays a Device-level
             # opt-in).
             sampling="gibbs",
+            retry=retry,
+            item_timeout=item_timeout,
+            checkpoint=checkpoint,
+            job_id=job_id,
+            on_error=on_error,
         )
         batch = job.result()
         if self._compiled is None and any(row["backend"] == KC_BACKEND for row in batch.rows):

@@ -21,8 +21,10 @@ from repro import (
     Circuit,
     H,
     JobCancelledError,
+    JobTimeoutError,
     LineQubit,
     Rx,
+    TransientError,
     UnsupportedCircuitError,
     depolarize,
     device,
@@ -151,3 +153,127 @@ class TestDeviceJobLifecycle:
         )
         seen = sorted(index for index, _row in job.stream(timeout=120))
         assert seen == list(range(len(mixed_batch)))
+
+
+class TestJobTimeouts:
+    def test_wait_timeout_raises_job_timeout_error(self):
+        tasks = [(_slow_task, {"index": 0, "value": 0, "sleep": 5.0})]
+        job = scheduler.submit(tasks, jobs=1, block=False)
+        try:
+            with pytest.raises(JobTimeoutError):
+                job.wait(timeout=0.1)
+        finally:
+            job.cancel()
+            job.wait(timeout=60)
+
+    def test_result_timeout_raises_job_timeout_error(self):
+        tasks = [(_slow_task, {"index": 0, "value": 0, "sleep": 5.0})]
+        job = scheduler.submit(tasks, jobs=1, block=False)
+        try:
+            with pytest.raises(JobTimeoutError):
+                job.result(timeout=0.1)
+        finally:
+            job.cancel()
+            job.wait(timeout=60)
+
+    def test_job_timeout_error_is_timeout_error_compatible(self):
+        # Callers catching the builtin TimeoutError keep working.
+        tasks = [(_slow_task, {"index": 0, "value": 0, "sleep": 5.0})]
+        job = scheduler.submit(tasks, jobs=1, block=False)
+        try:
+            with pytest.raises(TimeoutError):
+                job.wait(timeout=0.1)
+        finally:
+            job.cancel()
+            job.wait(timeout=60)
+
+    def test_wait_returns_true_on_completion(self):
+        job = scheduler.submit([(_echo_task, {"index": 0, "value": 7})])
+        assert job.wait(timeout=1) is True
+        assert job.wait() is True  # terminal jobs never block
+
+
+class TestCancelRaces:
+    def test_cancel_mid_item_keeps_completed_partials(self):
+        # Fault-tolerant pooled engine: cancel while an item is mid-flight;
+        # rows completed before the cancel stay reachable.
+        tasks = [
+            (_slow_task, {"index": i, "value": i, "sleep": 0.05 if i < 2 else 2.0}, (i,), f"item-{i}")
+            for i in range(6)
+        ]
+        job = scheduler.submit(
+            tasks, jobs=1, block=False, retry=scheduler.RetryPolicy(max_attempts=1)
+        )
+        deadline = time.time() + 30
+        while len(job.partial_results()) < 2 and time.time() < deadline:
+            time.sleep(0.02)
+        assert job.cancel()
+        job.wait(timeout=60)
+        assert job.status() == scheduler.CANCELLED
+        partial = job.partial_results()
+        assert 2 <= len(partial) < len(tasks)
+        assert partial[0] == 0 and partial[1] == 1
+        with pytest.raises(JobCancelledError):
+            job.result()
+
+    def test_cancel_after_completion_is_noop(self):
+        job = scheduler.submit([(_echo_task, {"index": 0, "value": 1})])
+        assert job.status() == scheduler.DONE
+        assert not job.cancel()
+        assert job.status() == scheduler.DONE
+        assert job.result() == [1]  # result still reachable after the no-op
+
+    def test_double_cancel_is_idempotent(self):
+        tasks = [(_slow_task, {"index": i, "value": i, "sleep": 0.5}) for i in range(4)]
+        job = scheduler.submit(tasks, jobs=1, block=False)
+        first = job.cancel()
+        second = job.cancel()
+        assert first
+        assert not second
+        job.wait(timeout=60)
+        assert job.status() == scheduler.CANCELLED
+
+    def test_cancel_during_retry_backoff_stops_promptly(self):
+        # The inline resilient loop must observe the cancel while sleeping
+        # out a retry delay instead of burning the full attempt budget.
+        def _always_transient(payload):
+            raise TransientError("never succeeds")
+
+        policy = scheduler.RetryPolicy(
+            max_attempts=50, backoff_base=0.2, backoff_factor=1.0, jitter=0.0
+        )
+        tasks = [(_always_transient, {"index": 0}, (0,), "item-0")]
+        started = time.time()
+
+        import threading
+
+        job_holder = {}
+
+        def _cancel_soon():
+            deadline = time.time() + 10
+            while "job" not in job_holder and time.time() < deadline:
+                time.sleep(0.01)
+            time.sleep(0.3)
+            job_holder["job"].cancel()
+
+        canceller = threading.Thread(target=_cancel_soon)
+        canceller.start()
+        job = scheduler.submit(tasks, jobs=2, block=False, retry=policy)
+        job_holder["job"] = job
+        job.wait(timeout=60)
+        canceller.join()
+        assert job.status() == scheduler.CANCELLED
+        assert time.time() - started < 30
+
+    def test_cancelled_fault_tolerant_job_raises_cancelled_not_job_error(self):
+        tasks = [
+            (_slow_task, {"index": i, "value": i, "sleep": 1.0}, (i,), f"item-{i}")
+            for i in range(4)
+        ]
+        job = scheduler.submit(
+            tasks, jobs=1, block=False, retry=scheduler.RetryPolicy(max_attempts=2)
+        )
+        job.cancel()
+        job.wait(timeout=60)
+        with pytest.raises(JobCancelledError):
+            job.result()

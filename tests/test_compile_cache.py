@@ -231,6 +231,52 @@ class TestDiskCache:
             simulator.compile_circuit(Circuit([H(q[0])] * depth))
         assert len(cache) == 2
 
+    def test_unpicklable_payload_never_leaks_temp_files(self, tmp_path):
+        # A payload pickling failure must degrade to "not cached" — no
+        # exception, no orphaned .tmp file, no torn destination file.
+        cache = CompiledCircuitCache(directory=str(tmp_path))
+        cache.store_payload("bad-key", {"value": lambda: None})
+        leftovers = os.listdir(tmp_path)
+        assert leftovers == []
+        assert cache.load_payload("bad-key") is None
+
+    def test_failed_write_preserves_previous_payload(self, tmp_path):
+        cache = CompiledCircuitCache(directory=str(tmp_path))
+        cache.store_payload("key", {"value": 1})
+        cache.store_payload("key", {"value": lambda: None})  # fails to pickle
+        payload = cache.load_payload("key")
+        assert payload is not None and payload["value"] == 1
+
+    def test_concurrent_writers_never_produce_torn_reads(self, tmp_path):
+        # Many threads hammering the same key: every read observes a complete
+        # payload (os.replace publication), never a partial pickle.
+        import threading
+
+        cache = CompiledCircuitCache(directory=str(tmp_path))
+        blob = {"data": list(range(5000))}
+        errors = []
+
+        def writer(worker):
+            for iteration in range(20):
+                cache.store_payload("shared", dict(blob, worker=worker, i=iteration))
+
+        def reader():
+            for _ in range(200):
+                payload = cache.load_payload("shared")
+                if payload is not None and payload["data"] != blob["data"]:
+                    errors.append("torn read")
+
+        threads = [threading.Thread(target=writer, args=(w,)) for w in range(4)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        final = cache.load_payload("shared")
+        assert final is not None and final["data"] == blob["data"]
+        assert not [name for name in os.listdir(tmp_path) if name.endswith(".tmp")]
+
 
 class TestSweepEngine:
     def test_resolver_helpers(self):
