@@ -1,0 +1,24 @@
+"""Repo-root shim so ``python -m reprolint`` works from a plain checkout.
+
+The real package lives in ``tools/reprolint/``; this module puts ``tools/``
+first on ``sys.path`` and re-executes the CLI from there.  CI and scripts
+that already set ``PYTHONPATH=tools`` import the package directly.
+"""
+
+import os
+import sys
+
+_TOOLS = os.path.join(os.path.dirname(os.path.abspath(__file__)), "tools")
+# tools/ must sit *ahead* of the repo root, or importing the package name
+# resolves back to this shim (PYTHONPATH=tools puts it after cwd).
+while _TOOLS in sys.path:
+    sys.path.remove(_TOOLS)
+sys.path.insert(0, _TOOLS)
+
+# Drop this shim from the module cache so the package import wins.
+sys.modules.pop("reprolint", None)
+
+from reprolint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

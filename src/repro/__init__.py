@@ -86,11 +86,14 @@ from .densitymatrix import DensityMatrixSimulator
 from .errors import (
     BackendCapabilityError,
     CompilationError,
+    InvalidRequestError,
     JobCancelledError,
     JobError,
     JobTimeoutError,
     MemoryBudgetError,
+    MissingObservableError,
     ReproError,
+    RequestTypeError,
     TransientError,
     UnsupportedCircuitError,
     WorkerCrashedError,
@@ -176,6 +179,9 @@ __all__ = [
     "BackendCapabilityError",
     "CompilationError",
     "MemoryBudgetError",
+    "InvalidRequestError",
+    "RequestTypeError",
+    "MissingObservableError",
     "TransientError",
     "JobError",
     "JobCancelledError",

@@ -13,7 +13,7 @@ single source of truth behind ``docs/api.md``'s capability matrix.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 #: Noise-support levels, from none to arbitrary Kraus channels.
 NOISE_NONE = "none"
@@ -89,7 +89,7 @@ class BackendCapabilities:
             return None
         return 16 * (1 << (self.memory_exponent * num_qubits))
 
-    def matrix_row(self) -> dict:
+    def matrix_row(self) -> Dict[str, object]:
         """Plain-dict row for the docs capability matrix."""
         return {
             "backend": self.name,

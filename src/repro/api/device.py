@@ -39,7 +39,13 @@ from ..circuits.circuit import Circuit
 from ..circuits.parameters import ParamResolver
 from ..circuits.qubits import Qubit
 from ..circuits.topology import canonicalize_circuit
-from ..errors import BackendCapabilityError, MemoryBudgetError, ReproError
+from ..errors import (
+    BackendCapabilityError,
+    InvalidRequestError,
+    MemoryBudgetError,
+    ReproError,
+    RequestTypeError,
+)
 from ..knowledge.cache import CompiledCircuitCache
 from ..linalg.tensor_ops import bits_to_index, index_to_bits
 from ..simulator.results import SampleResult
@@ -695,9 +701,11 @@ class Device:
             single = False
             for circuit in base:
                 if not isinstance(circuit, Circuit):
-                    raise TypeError(f"run() expects circuits, got {type(circuit).__name__}")
+                    raise RequestTypeError(
+                        f"run() expects circuits, got {type(circuit).__name__}"
+                    )
         if not base:
-            raise ValueError("run() needs at least one circuit")
+            raise InvalidRequestError("run() needs at least one circuit")
         if params is None:
             return [(circuit, None) for circuit in base]
         points = [as_resolver(point) for point in params]
@@ -705,7 +713,7 @@ class Device:
             # Sweep spec: one circuit crossed with every parameter point.
             return [(base[0], point) for point in points]
         if len(points) != len(base):
-            raise ValueError(
+            raise InvalidRequestError(
                 f"params length {len(points)} does not match circuit count {len(base)}"
             )
         return list(zip(base, points))
@@ -818,19 +826,21 @@ class Device:
             observables.append("samples")
         unknown = set(observables) - set(OBSERVABLES)
         if unknown:
-            raise ValueError(f"unknown observables: {sorted(unknown)}")
+            raise InvalidRequestError(f"unknown observables: {sorted(unknown)}")
         if "expectation" in observables and objective is None:
-            raise ValueError("the 'expectation' observable requires an objective callable")
+            raise InvalidRequestError("the 'expectation' observable requires an objective callable")
         if "samples" in observables and repetitions <= 0:
-            raise ValueError("the 'samples' observable requires repetitions > 0")
+            raise InvalidRequestError("the 'samples' observable requires repetitions > 0")
         if sampling not in ("auto", "exact", "gibbs"):
-            raise ValueError(f"sampling must be 'auto', 'exact' or 'gibbs', got {sampling!r}")
+            raise InvalidRequestError(f"sampling must be 'auto', 'exact' or 'gibbs', got {sampling!r}")
         if on_error not in ("raise", "partial"):
-            raise ValueError(f"on_error must be 'raise' or 'partial', got {on_error!r}")
+            raise InvalidRequestError(f"on_error must be 'raise' or 'partial', got {on_error!r}")
         if isinstance(item_timeout, str) and item_timeout != "auto":
-            raise ValueError(f"item_timeout must be a number, None or 'auto', got {item_timeout!r}")
+            raise InvalidRequestError(
+                f"item_timeout must be a number, None or 'auto', got {item_timeout!r}"
+            )
         if job_id is not None and checkpoint is None:
-            raise ValueError("job_id requires a checkpoint directory")
+            raise InvalidRequestError("job_id requires a checkpoint directory")
 
         ctx = {
             "observables": observables,

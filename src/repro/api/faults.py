@@ -26,9 +26,14 @@ import hashlib
 import os
 import signal
 import time
-from typing import Callable, Dict, Optional, Tuple, Type
+from typing import Callable, Dict, List, Optional, Tuple, Type
 
-from ..errors import JobTimeoutError, TransientError, WorkerCrashedError
+from ..errors import (
+    InvalidRequestError,
+    JobTimeoutError,
+    TransientError,
+    WorkerCrashedError,
+)
 
 #: Error classes the default policy treats as retryable: declared-transient
 #: failures, dead workers, and per-item timeouts.  Deterministic input errors
@@ -78,9 +83,9 @@ class RetryPolicy:
     jitter: float = 0.1
     retryable: Tuple[Type[BaseException], ...] = DEFAULT_RETRYABLE
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.max_attempts < 1:
-            raise ValueError("max_attempts must be at least 1")
+            raise InvalidRequestError("max_attempts must be at least 1")
 
     def is_retryable(self, error: BaseException) -> bool:
         """True when ``error`` is an instance of a retryable class."""
@@ -159,15 +164,15 @@ class FaultInjector:
         hang_seconds: float = 30.0,
         rate: float = 0.0,
         seed: int = 0,
-    ):
-        self.transient = dict(transient or {})
-        self.kill = dict(kill or {})
-        self.hang = dict(hang or {})
+    ) -> None:
+        self.transient: Dict[int, int] = dict(transient or {})
+        self.kill: Dict[int, int] = dict(kill or {})
+        self.hang: Dict[int, int] = dict(hang or {})
         self.hang_seconds = float(hang_seconds)
         self.rate = float(rate)
         self.seed = int(seed)
         #: Faults injected by *this process* (workers count independently).
-        self.injected = 0
+        self.injected: int = 0
 
     def __call__(self, index: int, attempt: int) -> None:
         """Invoked at the start of every item evaluation; may not return."""
@@ -191,7 +196,7 @@ class FaultInjector:
             raise TransientError(f"injected transient fault (item {index}, rate)")
 
     def __repr__(self) -> str:
-        parts = []
+        parts: List[str] = []
         for name in ("transient", "kill", "hang"):
             schedule = getattr(self, name)
             if schedule:

@@ -15,7 +15,7 @@ keyword arguments given to :func:`create_backend` pass straight through.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import BackendCapabilityError
 from .capabilities import NOISE_GENERAL, NOISE_NONE, NOISE_PAULI, BackendCapabilities
@@ -32,7 +32,7 @@ class BackendRegistry:
     """Name -> (factory, capabilities) table with alias support."""
 
     def __init__(self) -> None:
-        self._factories: Dict[str, Callable] = {}
+        self._factories: Dict[str, Callable[..., Any]] = {}
         self._capabilities: Dict[str, BackendCapabilities] = {}
         self._aliases: Dict[str, str] = {}
 
@@ -40,7 +40,7 @@ class BackendRegistry:
     def register(
         self,
         capabilities: BackendCapabilities,
-        factory: Callable,
+        factory: Callable[..., Any],
         replace: bool = False,
     ) -> None:
         """Register ``factory`` under ``capabilities.name`` (and its aliases)."""
@@ -61,7 +61,7 @@ class BackendRegistry:
             )
         return canonical
 
-    def create(self, name: str, seed: Optional[int] = None, **options):
+    def create(self, name: str, seed: Optional[int] = None, **options: Any) -> Any:
         """Instantiate the backend registered under ``name``."""
         return self._factories[self.resolve(name)](seed=seed, **options)
 
@@ -78,7 +78,7 @@ class BackendRegistry:
             return False
         return True
 
-    def capability_matrix(self) -> List[dict]:
+    def capability_matrix(self) -> List[Dict[str, object]]:
         """One row per backend, for docs and introspection."""
         return [self._capabilities[name].matrix_row() for name in self.names()]
 
@@ -88,13 +88,13 @@ REGISTRY = BackendRegistry()
 
 
 def register_backend(
-    capabilities: BackendCapabilities, factory: Callable, replace: bool = False
+    capabilities: BackendCapabilities, factory: Callable[..., Any], replace: bool = False
 ) -> None:
     """Register a backend in the global registry (see :class:`BackendRegistry`)."""
     REGISTRY.register(capabilities, factory, replace=replace)
 
 
-def create_backend(name: str, seed: Optional[int] = None, **options):
+def create_backend(name: str, seed: Optional[int] = None, **options: Any) -> Any:
     """Instantiate a registered backend by name."""
     return REGISTRY.create(name, seed=seed, **options)
 
@@ -109,7 +109,7 @@ def list_backends() -> List[str]:
     return REGISTRY.names()
 
 
-def capability_matrix() -> List[dict]:
+def capability_matrix() -> List[Dict[str, object]]:
     """The full capability matrix (one dict per backend)."""
     return REGISTRY.capability_matrix()
 
@@ -118,37 +118,39 @@ def capability_matrix() -> List[dict]:
 # Built-in backend registrations.  Factories import lazily so importing the
 # registry does not pull in every backend module.
 # ----------------------------------------------------------------------
-def _state_vector_factory(seed=None):
+def _state_vector_factory(seed: Optional[int] = None) -> Any:
     from ..statevector import StateVectorSimulator
 
     return StateVectorSimulator(seed=seed)
 
 
-def _density_matrix_factory(seed=None):
+def _density_matrix_factory(seed: Optional[int] = None) -> Any:
     from ..densitymatrix import DensityMatrixSimulator
 
     return DensityMatrixSimulator(seed=seed)
 
 
-def _tensor_network_factory(seed=None, contraction_method="greedy"):
+def _tensor_network_factory(
+    seed: Optional[int] = None, contraction_method: str = "greedy"
+) -> Any:
     from ..tensornetwork import TensorNetworkSimulator
 
     return TensorNetworkSimulator(contraction_method=contraction_method, seed=seed)
 
 
-def _trajectory_factory(seed=None, **options):
+def _trajectory_factory(seed: Optional[int] = None, **options: Any) -> Any:
     from ..trajectory import TrajectorySimulator
 
     return TrajectorySimulator(seed=seed, **options)
 
 
-def _stabilizer_factory(seed=None):
+def _stabilizer_factory(seed: Optional[int] = None) -> Any:
     from ..stabilizer import StabilizerSimulator
 
     return StabilizerSimulator(seed=seed)
 
 
-def _knowledge_compilation_factory(seed=None, **options):
+def _knowledge_compilation_factory(seed: Optional[int] = None, **options: Any) -> Any:
     from ..simulator.kc_simulator import KnowledgeCompilationSimulator
 
     return KnowledgeCompilationSimulator(seed=seed, **options)

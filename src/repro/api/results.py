@@ -19,6 +19,8 @@ from typing import Any, Dict, List
 
 import numpy as np
 
+from ..errors import MissingObservableError
+
 
 class BatchResult:
     """Per-item results of one :meth:`repro.api.device.Device.run` batch.
@@ -42,7 +44,7 @@ class BatchResult:
 
     def _stack(self, key: str) -> np.ndarray:
         if not self.rows or key not in self.rows[0]:
-            raise KeyError(f"batch did not record {key!r}")
+            raise MissingObservableError(f"batch did not record {key!r}")
         return np.stack([row[key] for row in self.rows])
 
     def probabilities(self) -> np.ndarray:
@@ -56,19 +58,19 @@ class BatchResult:
     def expectations(self) -> np.ndarray:
         """``(num_items,)`` vector of objective expectations."""
         if not self.rows or "expectation" not in self.rows[0]:
-            raise KeyError("batch did not record 'expectation'")
+            raise MissingObservableError("batch did not record 'expectation'")
         return np.asarray([row["expectation"] for row in self.rows], dtype=float)
 
     def counts(self) -> List[Dict[str, int]]:
         """Per-item sampled bitstring counts."""
         if not self.rows or "counts" not in self.rows[0]:
-            raise KeyError("batch did not record 'counts'")
+            raise MissingObservableError("batch did not record 'counts'")
         return [row["counts"] for row in self.rows]
 
     def sample_results(self) -> List[Any]:
         """Per-item :class:`~repro.simulator.results.SampleResult` objects."""
         if not self.rows or "samples" not in self.rows[0]:
-            raise KeyError("batch did not record 'samples'")
+            raise MissingObservableError("batch did not record 'samples'")
         return [row["samples"] for row in self.rows]
 
     def backends(self) -> List[str]:

@@ -63,6 +63,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import (
+    InvalidRequestError,
     JobCancelledError,
     JobError,
     JobTimeoutError,
@@ -163,7 +164,7 @@ def _child_entry(conn, function, payload) -> None:
     except Exception as error:  # unpicklable rows degrade to a typed failure
         try:
             conn.send(_RemoteFailure(JobError(f"unpicklable worker result: {error!r}")))
-        except Exception:
+        except Exception:  # reprolint: disable=broad-except -- worker is dying; the parent sees the closed pipe as a crash and re-dispatches
             pass
     finally:
         conn.close()
@@ -556,7 +557,7 @@ class Job:
         if on_error is None:
             on_error = self._on_error
         if on_error not in ("raise", "partial"):
-            raise ValueError(f"on_error must be 'raise' or 'partial', got {on_error!r}")
+            raise InvalidRequestError(f"on_error must be 'raise' or 'partial', got {on_error!r}")
         self.wait(timeout)
         with self._lock:
             if self._status == CANCELLED:
@@ -666,7 +667,7 @@ def submit(
     runs.
     """
     if on_error not in ("raise", "partial"):
-        raise ValueError(f"on_error must be 'raise' or 'partial', got {on_error!r}")
+        raise InvalidRequestError(f"on_error must be 'raise' or 'partial', got {on_error!r}")
     job = Job(assemble=assemble)
     job._journal = journal
     job._on_error = on_error

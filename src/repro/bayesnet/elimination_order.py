@@ -100,7 +100,7 @@ def hypergraph_partition_order(adjacency: Adjacency, seed: int = 7) -> List[Hash
             if not part_a or not part_b:
                 raise ValueError("degenerate bisection")
             return set(part_a), set(part_b)
-        except Exception:  # pragma: no cover - degenerate subgraphs
+        except (nx.NetworkXError, ValueError):  # pragma: no cover - degenerate subgraphs
             midpoint = max(1, len(nodes) // 2)
             ordered = sorted(nodes, key=str)
             return set(ordered[:midpoint]), set(ordered[midpoint:])

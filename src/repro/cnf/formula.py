@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..atomicio import atomic_write_text
+
 Clause = Tuple[int, ...]
 
 
@@ -160,8 +162,7 @@ class CNF:
         return cnf
 
     def write_dimacs(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_dimacs())
+        atomic_write_text(path, self.to_dimacs())
 
     @staticmethod
     def read_dimacs(path: str) -> "CNF":

@@ -40,9 +40,25 @@ can catch the precise class:
     A work item's estimated dense ``2^n`` footprint exceeds the submission's
     memory budget and no capable cheaper backend exists.  Raised *before*
     the allocation is attempted.
+``InvalidRequestError`` / ``RequestTypeError``
+    The submission itself is malformed — an unknown option value, a
+    non-``Circuit`` argument, inconsistent sweep shapes.  These replace the
+    bare ``ValueError``/``TypeError`` raises the api layer used to make, so
+    a future service gateway can map "your request was bad" (4xx) apart from
+    "the system failed" (5xx).  ``RequestTypeError`` additionally inherits
+    ``TypeError`` for the wrong-argument-type sites.
+``MissingObservableError``
+    A result lookup asked a batch for an observable it never recorded
+    (``KeyError``-compatible, so ``except KeyError`` and ``dict``-style
+    probing keep working).
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.faults import ItemFailure
 
 
 class ReproError(Exception):
@@ -61,6 +77,22 @@ class MemoryBudgetError(BackendCapabilityError):
     """The item's estimated memory footprint exceeds the submission budget."""
 
 
+class InvalidRequestError(ReproError, ValueError):
+    """The submission is malformed (bad option value, inconsistent shapes)."""
+
+
+class RequestTypeError(InvalidRequestError, TypeError):
+    """A submission argument has the wrong type (TypeError-compatible)."""
+
+
+class MissingObservableError(ReproError, KeyError):
+    """A result lookup asked for an observable the batch never recorded."""
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s its argument; keep the readable message.
+        return Exception.__str__(self)
+
+
 class CompilationError(ReproError, RuntimeError):
     """The knowledge-compilation pipeline failed to compile the circuit."""
 
@@ -77,10 +109,12 @@ class JobError(ReproError, RuntimeError):
     per item that exhausted its retries.
     """
 
-    def __init__(self, *args, failures=None):
+    def __init__(
+        self, *args: object, failures: Optional[Iterable["ItemFailure"]] = None
+    ) -> None:
         super().__init__(*args)
         #: Per-item failure records (fault-tolerant jobs), else ``()``.
-        self.failures = tuple(failures or ())
+        self.failures: Tuple["ItemFailure", ...] = tuple(failures or ())
 
 
 class JobCancelledError(JobError):
@@ -100,6 +134,9 @@ __all__ = [
     "UnsupportedCircuitError",
     "BackendCapabilityError",
     "MemoryBudgetError",
+    "InvalidRequestError",
+    "RequestTypeError",
+    "MissingObservableError",
     "CompilationError",
     "TransientError",
     "JobError",

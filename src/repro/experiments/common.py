@@ -14,6 +14,8 @@ import time
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from ..atomicio import atomic_write_text
+
 
 class Timer:
     """A simple wall-clock timer used by the performance experiments."""
@@ -83,8 +85,7 @@ def rows_to_csv(rows: Sequence[Dict[str, Any]], columns: Optional[Sequence[str]]
 
 
 def write_csv(path: str, rows: Sequence[Dict[str, Any]], columns: Optional[Sequence[str]] = None) -> None:
-    with open(path, "w", encoding="utf-8", newline="") as handle:
-        handle.write(rows_to_csv(rows, columns))
+    atomic_write_text(path, rows_to_csv(rows, columns))
 
 
 class ExperimentResult:

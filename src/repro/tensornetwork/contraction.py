@@ -55,7 +55,7 @@ def min_degree_index_order(network: TensorNetwork) -> List[object]:
                     order.append(index)
         remaining = [index for index in closed if index not in seen]
         return order + remaining
-    except Exception:  # pragma: no cover - defensive fallback
+    except Exception:  # pragma: no cover  # reprolint: disable=broad-except -- networkx treewidth heuristics fail on degenerate graphs; any deterministic order is still correct, just slower
         return sorted(closed, key=str)
 
 

@@ -23,9 +23,12 @@ from repro.circuits.noise import AmplitudeDampingChannel
 from repro.errors import (
     BackendCapabilityError,
     CompilationError,
+    InvalidRequestError,
     JobCancelledError,
     JobError,
+    MissingObservableError,
     ReproError,
+    RequestTypeError,
     UnsupportedCircuitError,
 )
 
@@ -38,6 +41,9 @@ class TestHierarchy:
             CompilationError,
             JobError,
             JobCancelledError,
+            InvalidRequestError,
+            RequestTypeError,
+            MissingObservableError,
         ):
             assert issubclass(cls, ReproError)
 
@@ -47,6 +53,48 @@ class TestHierarchy:
         assert issubclass(BackendCapabilityError, ValueError)
         assert issubclass(CompilationError, RuntimeError)
         assert issubclass(JobCancelledError, JobError)
+        # The request-validation errors added for the api boundary.
+        assert issubclass(InvalidRequestError, ValueError)
+        assert issubclass(RequestTypeError, TypeError)
+        assert issubclass(RequestTypeError, InvalidRequestError)
+        assert issubclass(MissingObservableError, KeyError)
+
+    def test_missing_observable_message_stays_readable(self):
+        # KeyError.__str__ would repr() the message; ours must not.
+        error = MissingObservableError("batch did not record 'samples'")
+        assert str(error) == "batch did not record 'samples'"
+
+
+class TestApiRequestValidation:
+    def test_run_rejects_non_circuit_with_typed_error(self):
+        import repro
+
+        device = repro.device("state_vector")
+        with pytest.raises(RequestTypeError):
+            device.run(["not a circuit"])
+        with pytest.raises(TypeError):  # legacy catch still works
+            device.run([42])
+
+    def test_run_rejects_bad_options_with_typed_error(self):
+        import repro
+
+        device = repro.device("state_vector")
+        circuit = Circuit([H(LineQubit(0))])
+        with pytest.raises(InvalidRequestError):
+            device.run(circuit, observables=["nonsense"])
+        with pytest.raises(ValueError):  # legacy catch still works
+            device.run(circuit, on_error="explode")
+
+    def test_batch_result_missing_observable(self):
+        import repro
+
+        device = repro.device("state_vector")
+        circuit = Circuit([H(LineQubit(0))])
+        batch = device.run(circuit, observables=["probabilities"]).result()
+        with pytest.raises(MissingObservableError):
+            batch.expectations()
+        with pytest.raises(KeyError):  # legacy catch still works
+            batch.counts()
 
 
 class TestBackendRaises:

@@ -1,0 +1,43 @@
+"""reprolint — project-invariant static analysis for the repro code base.
+
+An AST-based rule engine that turns the conventions PRs 1–6 rely on into
+machine-checked invariants:
+
+* **rng-discipline** — bit-identical replay requires every random draw to
+  flow from a caller-supplied ``seed + index``; no global-state RNGs, no
+  wall-clock or entropy sources feeding results;
+* **typed-errors** — the ``Device``/``Job`` boundary (``src/repro/api/``)
+  raises only the typed ``repro.errors`` hierarchy, never bare builtins;
+* **broad-except** — no bare ``except:``; ``except Exception`` must
+  re-raise, convert to a typed failure record, or carry a justified pragma;
+* **pool-safety** — functions crossing the process-pool boundary must be
+  module-level and must not smuggle lambdas, locks, open handles, or live
+  simulator instances; worker-executed code must not mutate module globals;
+* **atomic-write** — persisted artifacts go through the audited
+  fsync-then-``os.replace`` / ``O_APPEND``-WAL helpers, never raw writes;
+* **no-print** — library code never prints (CLI entry points are
+  grandfathered via the baseline).
+
+Run it as ``python -m reprolint src/repro --baseline
+tools/reprolint_baseline.json`` (see ``tools/reprolint/cli.py``).  The
+committed baseline is a *ratchet*: per-rule per-file counts may only go
+down; any new finding fails the build.
+"""
+
+from .core import FileContext, Finding, Rule, run_paths
+from .rules import ALL_RULES
+from .baseline import compare_to_baseline, load_baseline, update_baseline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_RULES",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "compare_to_baseline",
+    "load_baseline",
+    "run_paths",
+    "update_baseline",
+    "__version__",
+]

@@ -1,0 +1,130 @@
+"""Baseline (ratchet) support.
+
+The committed baseline grandfathers findings that are *justified* — each
+entry carries a one-line reason.  Its semantics are a ratchet:
+
+* a (rule, file) pair may produce **at most** its baselined count of
+  findings — any extra finding is *new* and fails the run;
+* findings in files/rules with no baseline entry always fail;
+* when the observed count drops **below** the allowance the run still
+  passes but reports the improvement, so the allowance can be tightened
+  (``--update-baseline`` rewrites counts while preserving justifications).
+
+Format (``tools/reprolint_baseline.json``)::
+
+    {
+      "version": 1,
+      "rules": {
+        "<rule-id>": {
+          "<path>": {"count": N, "justification": "..."}
+        }
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+from .core import Finding
+
+#: typed-errors must never be baselined under the api package — the
+#: acceptance bar is *zero* builtin raises at the service boundary.
+UNBASELINABLE: Tuple[Tuple[str, str], ...] = (("typed-errors", "repro/api/"),)
+
+
+class BaselineError(ValueError):
+    """Malformed or policy-violating baseline file."""
+
+
+def load_baseline(path: str) -> Dict[str, Dict[str, Dict[str, object]]]:
+    """Load and validate the baseline, returning its ``rules`` mapping."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or data.get("version") != 1:
+        raise BaselineError(f"{path}: expected a version-1 baseline object")
+    rules = data.get("rules", {})
+    if not isinstance(rules, dict):
+        raise BaselineError(f"{path}: 'rules' must be an object")
+    for rule_id, files in rules.items():
+        if not isinstance(files, dict):
+            raise BaselineError(f"{path}: rules[{rule_id!r}] must be an object")
+        for file_path, entry in files.items():
+            if not isinstance(entry, dict) or not isinstance(entry.get("count"), int):
+                raise BaselineError(
+                    f"{path}: rules[{rule_id!r}][{file_path!r}] needs an integer 'count'"
+                )
+            if not str(entry.get("justification", "")).strip():
+                raise BaselineError(
+                    f"{path}: rules[{rule_id!r}][{file_path!r}] needs a justification"
+                )
+            for banned_rule, banned_prefix in UNBASELINABLE:
+                if rule_id == banned_rule and banned_prefix in file_path:
+                    raise BaselineError(
+                        f"{path}: {banned_rule} findings under {banned_prefix} may "
+                        "not be baselined — fix them"
+                    )
+    return rules
+
+
+def compare_to_baseline(
+    findings: Sequence[Finding],
+    baseline: Dict[str, Dict[str, Dict[str, object]]],
+) -> Tuple[List[Finding], List[str]]:
+    """Split findings into (new, improvement-notes) against the ratchet.
+
+    Allowances are consumed per (rule, path) in report order, so with a
+    count of N the first N findings in a file are grandfathered and any
+    beyond that are new.
+    """
+    counts: Counter = Counter((f.rule, f.path) for f in findings)
+    new: List[Finding] = []
+    seen: Counter = Counter()
+    for finding in findings:
+        key = (finding.rule, finding.path)
+        entry = baseline.get(finding.rule, {}).get(finding.path)
+        allowed = int(entry["count"]) if entry else 0
+        seen[key] += 1
+        if seen[key] > allowed:
+            new.append(finding)
+    improvements: List[str] = []
+    for rule_id, files in sorted(baseline.items()):
+        for file_path, entry in sorted(files.items()):
+            observed = counts.get((rule_id, file_path), 0)
+            allowed = int(entry["count"])
+            if observed < allowed:
+                improvements.append(
+                    f"{file_path}: [{rule_id}] {observed}/{allowed} findings remain "
+                    "— tighten the baseline (run with --update-baseline)"
+                )
+    return new, improvements
+
+
+def update_baseline(
+    path: str,
+    findings: Sequence[Finding],
+    previous: Dict[str, Dict[str, Dict[str, object]]],
+) -> Dict[str, Dict[str, Dict[str, object]]]:
+    """Rewrite the baseline to current counts, keeping old justifications.
+
+    Entries whose findings are gone are dropped; genuinely new (rule, file)
+    pairs get a placeholder justification that the loader will reject until
+    a human writes a real one — updating the baseline is an explicit,
+    reviewed act, not an auto-absolution.
+    """
+    counts: Counter = Counter((f.rule, f.path) for f in findings)
+    rules: Dict[str, Dict[str, Dict[str, object]]] = {}
+    for (rule_id, file_path), count in sorted(counts.items()):
+        old = previous.get(rule_id, {}).get(file_path, {})
+        justification = str(old.get("justification", "")).strip()
+        rules.setdefault(rule_id, {})[file_path] = {
+            "count": count,
+            "justification": justification or "TODO: justify or fix",
+        }
+    payload = {"version": 1, "rules": rules}
+    serialized = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(serialized)
+    return rules

@@ -1,0 +1,134 @@
+"""Command-line front end: ``python -m reprolint [paths...] [options]``.
+
+Exit codes: 0 = clean (or within baseline), 1 = new findings or parse
+errors, 2 = usage / malformed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .baseline import BaselineError, compare_to_baseline, load_baseline, update_baseline
+from .core import RunResult, run_paths
+from .rules import ALL_RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="Project-invariant static analysis for the repro code base.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="JSON ratchet baseline; findings within it pass, new ones fail",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline to current counts (keeps justifications)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout format (default: text)",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="FILE",
+        help="also write a JSON findings report (for CI artifacts)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _report_payload(result: RunResult, new_findings: Sequence, improvements: Sequence[str]) -> dict:
+    return {
+        "files_checked": result.files_checked,
+        "findings": [f.as_dict() for f in result.findings],
+        "new_findings": [f.as_dict() for f in new_findings],
+        "suppressed": [f.as_dict() for f in result.suppressed],
+        "improvements": list(improvements),
+        "errors": list(result.errors),
+        "rules": [
+            {"id": rule.rule_id, "description": rule.description}
+            for rule in ALL_RULES
+        ],
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}: {rule.description}")
+        return 0
+
+    if args.update_baseline and not args.baseline:
+        parser.error("--update-baseline requires --baseline")
+
+    result = run_paths(args.paths, ALL_RULES)
+
+    baseline = {}
+    if args.baseline and not args.update_baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, json.JSONDecodeError, BaselineError) as error:
+            print(f"reprolint: bad baseline: {error}", file=sys.stderr)
+            return 2
+
+    if args.update_baseline:
+        try:
+            previous = load_baseline(args.baseline)
+        except (OSError, json.JSONDecodeError, BaselineError):
+            previous = {}
+        update_baseline(args.baseline, result.findings, previous)
+        print(f"reprolint: wrote {args.baseline} ({len(result.findings)} findings)")
+        return 0
+
+    new_findings, improvements = compare_to_baseline(result.findings, baseline)
+
+    if args.report:
+        payload = _report_payload(result, new_findings, improvements)
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if args.format == "json":
+        print(json.dumps(_report_payload(result, new_findings, improvements), indent=2, sort_keys=True))
+    else:
+        for finding in new_findings:
+            print(finding.render())
+        for note in improvements:
+            print(f"note: {note}")
+        for error in result.errors:
+            print(f"error: {error}", file=sys.stderr)
+        grandfathered = len(result.findings) - len(new_findings)
+        summary = (
+            f"reprolint: {result.files_checked} files, "
+            f"{len(new_findings)} new finding(s), "
+            f"{grandfathered} baselined, {len(result.suppressed)} suppressed"
+        )
+        print(summary)
+
+    return 1 if new_findings or result.errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""Rule engine: file contexts, pragma handling, findings, the file walker.
+
+The engine is deliberately small: a :class:`Rule` is an ``ast.NodeVisitor``
+subclass with a ``rule_id``; :func:`run_paths` parses every ``.py`` file
+under the given paths once, runs every rule over the shared tree, and
+splits the produced :class:`Finding` records into *kept* and
+*pragma-suppressed*.
+
+Pragmas
+-------
+Two comment forms, matched anywhere on a line::
+
+    # reprolint: disable=rule-id[,rule-id2] [-- justification]
+    # reprolint: disable-file=rule-id[,rule-id2] [-- justification]
+
+``disable`` suppresses findings reported *on that line* (put it on the
+``except ...:`` / ``open(...)`` line itself); ``disable-file`` suppresses a
+rule for the whole file.  ``disable=all`` is intentionally unsupported —
+each suppression names the invariant it waives.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import os
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+#: Pragma comment syntax (the trailing ``-- justification`` is free text).
+PRAGMA_RE = re.compile(r"#\s*reprolint:\s*(disable|disable-file)=([A-Za-z0-9_,\s-]+?)(?:\s*--|$)")
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class FileContext:
+    """One parsed source file shared by every rule.
+
+    ``path`` is kept exactly as discovered (normalised to forward slashes)
+    so findings and baseline entries are stable across platforms and
+    independent of the machine's absolute checkout location.
+    """
+
+    def __init__(self, path: str, source: str):
+        self.path = path.replace(os.sep, "/")
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.lines = source.splitlines()
+        self.line_disables: Dict[int, Set[str]] = {}
+        self.file_disables: Set[str] = set()
+        for lineno, line in enumerate(self.lines, start=1):
+            for kind, rules in PRAGMA_RE.findall(line):
+                ids = {rule.strip() for rule in rules.split(",") if rule.strip()}
+                if kind == "disable-file":
+                    self.file_disables |= ids
+                else:
+                    self.line_disables.setdefault(lineno, set()).update(ids)
+
+    def suppressed(self, finding: Finding) -> bool:
+        if finding.rule in self.file_disables:
+            return True
+        return finding.rule in self.line_disables.get(finding.line, ())
+
+
+class Rule(ast.NodeVisitor):
+    """Base class of every reprolint rule.
+
+    Subclasses set ``rule_id`` / ``description`` / ``invariant`` and either
+    override visitor methods (calling :meth:`report` on violations) or
+    override :meth:`run` entirely for multi-pass analyses.
+    """
+
+    #: Stable kebab-case identifier used in pragmas and the baseline.
+    rule_id: str = ""
+    #: One-line summary for ``--list-rules`` and reports.
+    description: str = ""
+    #: The project invariant the rule protects (docs catalogue).
+    invariant: str = ""
+
+    def __init__(self, ctx: FileContext):
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(self.ctx.path, getattr(node, "lineno", 1), self.rule_id, message)
+        )
+
+    def run(self) -> List[Finding]:
+        self.visit(self.ctx.tree)
+        return self.findings
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an Attribute/Name chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Every ``.py`` file under ``paths`` (files pass through), sorted."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            found.append(path)
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(d for d in dirs if d not in ("__pycache__", ".git"))
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    found.append(os.path.join(root, name))
+    return sorted(found)
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Everything one engine run produced."""
+
+    findings: List[Finding]
+    suppressed: List[Finding]
+    files_checked: int
+    errors: List[str]
+
+
+def run_paths(
+    paths: Sequence[str], rules: Iterable[Type[Rule]]
+) -> RunResult:
+    """Run ``rules`` over every python file under ``paths``."""
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    errors: List[str] = []
+    files = iter_python_files(paths)
+    for path in files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            ctx = FileContext(path, source)
+        except (OSError, SyntaxError, ValueError) as error:
+            errors.append(f"{path}: {error}")
+            continue
+        for rule_class in rules:
+            for finding in rule_class(ctx).run():
+                (suppressed if ctx.suppressed(finding) else findings).append(finding)
+    findings.sort()
+    suppressed.sort()
+    return RunResult(findings, suppressed, len(files), errors)
