@@ -65,6 +65,20 @@ from .circuits import (
     depolarize,
     measure,
 )
+from .circuits.passes import (
+    CliffordPrefixPass,
+    CommutationPass,
+    FusionPass,
+    LightConePass,
+    OptimizationResult,
+    Pass,
+    PassPipeline,
+    PipelineStats,
+    RewriteStats,
+    default_pipeline,
+    optimize_circuit,
+    split_clifford_prefix,
+)
 from .api import (
     BackendCapabilities,
     BatchResult,
@@ -157,6 +171,18 @@ __all__ = [
     "configure_default",
     "canonicalize_circuit",
     "circuit_topology_key",
+    "Pass",
+    "PassPipeline",
+    "RewriteStats",
+    "PipelineStats",
+    "OptimizationResult",
+    "LightConePass",
+    "FusionPass",
+    "CommutationPass",
+    "CliffordPrefixPass",
+    "default_pipeline",
+    "optimize_circuit",
+    "split_clifford_prefix",
     "ParameterSweep",
     "SweepResult",
     "resolver_grid",

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..circuits.circuit import Circuit
 from ..circuits.parameters import ParamResolver
+from ..circuits.passes import OptimizeSpec, PipelineStats, resolve_pipeline
 from ..circuits.qubits import Qubit
 from ..circuits.topology import canonicalize_circuit
 from ..errors import (
@@ -421,6 +422,9 @@ class Device:
         # repeated run() calls reuse the artifact even when the simulator's
         # own cache is disabled (cache=None isolation setups).
         self._kc_masters: "OrderedDict[str, Any]" = OrderedDict()
+        #: Per-distinct-circuit rewrite stats from the most recent
+        #: ``run(optimize=...)`` call (``None`` when optimization was off).
+        self.last_optimization: Optional[Tuple[PipelineStats, ...]] = None
         if backend in ("auto", "hybrid"):
             self.backend = "auto"
         else:
@@ -738,6 +742,7 @@ class Device:
         on_error: str = "raise",
         memory_budget: Optional[int] = None,
         fault_injector: Optional[FaultInjector] = None,
+        optimize: OptimizeSpec = None,
     ) -> Job:
         """Submit a batch of work items and return its :class:`Job`.
 
@@ -809,6 +814,17 @@ class Device:
         fault_injector:
             Test-only chaos hook (:class:`~repro.api.faults.FaultInjector`)
             invoked before every item evaluation.
+        optimize:
+            ``None``/``False`` (default) runs circuits exactly as given;
+            ``"auto"``/``True`` rewrites each distinct circuit once with
+            :func:`repro.circuits.passes.default_pipeline` before routing,
+            classification and compilation, so smaller/Clifford-simplified
+            circuits route and compile accordingly; a
+            :class:`~repro.circuits.passes.PassPipeline` runs that pipeline.
+            Per-circuit stats land on :attr:`last_optimization`.  Light-cone
+            contract: for circuits containing measurement gates, optimized
+            results are guaranteed to match unoptimized ones over the
+            *measured* qubits (spectator wires may be pruned).
 
         Raises
         ------
@@ -819,6 +835,30 @@ class Device:
             For unknown observables or inconsistent arguments.
         """
         items = self._normalize_items(circuits, params)
+        try:
+            pipeline = resolve_pipeline(optimize)
+        except ValueError as error:
+            raise InvalidRequestError(str(error)) from error
+        self.last_optimization = None
+        if pipeline is not None:
+            # Rewrite each distinct circuit exactly once, *before* journal
+            # manifests, routing, classification and topology grouping: every
+            # downstream layer (including resume) sees only the optimized
+            # circuits, and per-call id()-keyed memos can never mix original
+            # and rewritten gate objects.
+            optimized_of: Dict[int, Circuit] = {}
+            stats: List[PipelineStats] = []
+            rewritten_items: List[Tuple[Circuit, Optional[ParamResolver]]] = []
+            for circuit, resolver in items:
+                optimized = optimized_of.get(id(circuit))
+                if optimized is None:
+                    result = pipeline.run(circuit)
+                    optimized = result.circuit
+                    optimized_of[id(circuit)] = optimized
+                    stats.append(result.stats)
+                rewritten_items.append((optimized, resolver))
+            items = rewritten_items
+            self.last_optimization = tuple(stats)
         if observables is None:
             observables = ("samples",) if repetitions > 0 else ("probabilities",)
         observables = list(observables)

@@ -4,14 +4,15 @@ Variational algorithms (QAOA, VQE) repeatedly execute the same circuit with
 different gate angles.  The knowledge-compilation simulator compiles the
 circuit *structure* once and re-binds numeric values for the symbolic
 parameters on every optimizer iteration, so the circuit IR needs a small
-symbolic-parameter layer: a :class:`Symbol` plus affine expressions of a
-single symbol (enough to express the ``2 * gamma`` style angles appearing in
-QAOA/VQE ansatz circuits).
+symbolic-parameter layer: a :class:`Symbol` plus affine expressions over
+symbols (enough to express the ``2 * gamma`` style angles appearing in
+QAOA/VQE ansatz circuits, and sums like ``a + b`` produced when the
+optimizer merges adjacent rotations).
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Mapping, Union
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple, Union
 
 Number = Union[int, float]
 
@@ -19,9 +20,10 @@ Number = Union[int, float]
 class Symbol:
     """A named free parameter.
 
-    Supports the small amount of arithmetic needed by ansatz construction:
-    multiplication by a scalar and addition of a scalar, both of which yield
-    :class:`ParameterExpression` objects.
+    Supports the small amount of arithmetic needed by ansatz construction and
+    rotation merging: multiplication by a scalar and addition of scalars,
+    symbols or expressions, all of which yield :class:`ParameterExpression`
+    objects.
     """
 
     def __init__(self, name: str):
@@ -49,8 +51,8 @@ class Symbol:
     def __neg__(self) -> "ParameterExpression":
         return ParameterExpression(self, coefficient=-1.0)
 
-    def __add__(self, other: Number) -> "ParameterExpression":
-        return ParameterExpression(self, offset=float(other))
+    def __add__(self, other: "ParameterValue") -> "ParameterExpression":
+        return ParameterExpression(self) + other
 
     __radd__ = __add__
 
@@ -59,58 +61,125 @@ class Symbol:
 
 
 class ParameterExpression:
-    """An affine expression ``coefficient * symbol + offset``."""
+    """An affine expression ``sum_i coefficient_i * symbol_i + offset``.
 
-    def __init__(self, symbol: Symbol, coefficient: float = 1.0, offset: float = 0.0):
-        self.symbol = symbol
-        self.coefficient = float(coefficient)
+    The common single-symbol form is constructed positionally
+    (``ParameterExpression(symbol, coefficient, offset)``); multi-symbol
+    expressions arise from adding expressions together (rotation merging) and
+    are constructed via :meth:`from_terms`.
+    """
+
+    def __init__(
+        self,
+        symbol: Optional[Symbol] = None,
+        coefficient: float = 1.0,
+        offset: float = 0.0,
+        terms: Optional[Mapping[Symbol, float]] = None,
+    ):
+        if (symbol is None) == (terms is None):
+            raise ValueError("provide exactly one of symbol= or terms=")
+        if terms is None:
+            assert symbol is not None
+            terms = {symbol: float(coefficient)}
+        # Zero-coefficient terms are dropped so that algebraically equal
+        # expressions compare (and hash) equal.
+        self.terms: Dict[Symbol, float] = {
+            s: float(c) for s, c in terms.items() if float(c) != 0.0
+        }
         self.offset = float(offset)
 
+    @classmethod
+    def from_terms(
+        cls, terms: Mapping[Symbol, float], offset: float = 0.0
+    ) -> "ParameterExpression":
+        return cls(terms=terms, offset=offset)
+
+    # -- single-symbol accessors (the historical API) -------------------
+    def _single_term(self) -> Tuple[Symbol, float]:
+        if len(self.terms) != 1:
+            raise ValueError(
+                f"expression {self} has {len(self.terms)} symbols; "
+                "symbol/coefficient are only defined for single-symbol expressions"
+            )
+        return next(iter(self.terms.items()))
+
+    @property
+    def symbol(self) -> Symbol:
+        return self._single_term()[0]
+
+    @property
+    def coefficient(self) -> float:
+        return self._single_term()[1]
+
+    # ------------------------------------------------------------------
+    def _sorted_terms(self) -> Tuple[Tuple[Symbol, float], ...]:
+        return tuple(sorted(self.terms.items(), key=lambda item: item[0].name))
+
     def __repr__(self) -> str:
-        return (
-            f"ParameterExpression({self.symbol!r}, coefficient={self.coefficient}, "
-            f"offset={self.offset})"
-        )
+        if len(self.terms) == 1:
+            symbol, coefficient = self._single_term()
+            return (
+                f"ParameterExpression({symbol!r}, coefficient={coefficient}, "
+                f"offset={self.offset})"
+            )
+        return f"ParameterExpression(terms={dict(self._sorted_terms())!r}, offset={self.offset})"
 
     def __str__(self) -> str:
         parts = []
-        if self.coefficient != 1.0:
-            parts.append(f"{self.coefficient}*{self.symbol}")
-        else:
-            parts.append(str(self.symbol))
-        if self.offset:
-            parts.append(f"+ {self.offset}")
+        for symbol, coefficient in self._sorted_terms():
+            if coefficient != 1.0:
+                parts.append(f"{coefficient}*{symbol}")
+            else:
+                parts.append(str(symbol))
+        if self.offset or not parts:
+            parts.append(f"+ {self.offset}" if parts else f"{self.offset}")
         return " ".join(parts)
 
     def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, ParameterExpression)
-            and other.symbol == self.symbol
-            and other.coefficient == self.coefficient
+            and other.terms == self.terms
             and other.offset == self.offset
         )
 
     def __hash__(self) -> int:
-        return hash(("ParameterExpression", self.symbol, self.coefficient, self.offset))
+        return hash(("ParameterExpression", self._sorted_terms(), self.offset))
 
     def __mul__(self, other: Number) -> "ParameterExpression":
+        scale = float(other)
         return ParameterExpression(
-            self.symbol, self.coefficient * float(other), self.offset * float(other)
+            terms={s: c * scale for s, c in self.terms.items()},
+            offset=self.offset * scale,
         )
 
     __rmul__ = __mul__
 
-    def __add__(self, other: Number) -> "ParameterExpression":
-        return ParameterExpression(self.symbol, self.coefficient, self.offset + float(other))
+    def __add__(self, other: "ParameterValue") -> "ParameterExpression":
+        if isinstance(other, Symbol):
+            other = ParameterExpression(other)
+        if isinstance(other, ParameterExpression):
+            merged = dict(self.terms)
+            for symbol, coefficient in other.terms.items():
+                merged[symbol] = merged.get(symbol, 0.0) + coefficient
+            return ParameterExpression(terms=merged, offset=self.offset + other.offset)
+        return ParameterExpression(terms=self.terms, offset=self.offset + float(other))
 
     __radd__ = __add__
+
+    def __sub__(self, other: "ParameterValue") -> "ParameterExpression":
+        if isinstance(other, (Symbol, ParameterExpression)):
+            return self + (-1.0 * (other if isinstance(other, ParameterExpression) else ParameterExpression(other)))
+        return self + (-float(other))
 
     def __neg__(self) -> "ParameterExpression":
         return self * -1.0
 
     def evaluate(self, value: float) -> float:
-        """Evaluate the expression at ``symbol = value``."""
-        return self.coefficient * value + self.offset
+        """Evaluate a *single-symbol* expression at ``symbol = value``."""
+        if not self.terms:
+            return self.offset
+        symbol, coefficient = self._single_term()
+        return coefficient * value + self.offset
 
 
 ParameterValue = Union[Number, Symbol, ParameterExpression]
@@ -118,7 +187,9 @@ ParameterValue = Union[Number, Symbol, ParameterExpression]
 
 def is_parameterized(value: ParameterValue) -> bool:
     """Return True if ``value`` still contains a free symbol."""
-    return isinstance(value, (Symbol, ParameterExpression))
+    if isinstance(value, ParameterExpression):
+        return bool(value.terms)
+    return isinstance(value, Symbol)
 
 
 def parameter_symbols(value: ParameterValue) -> FrozenSet[Symbol]:
@@ -126,8 +197,27 @@ def parameter_symbols(value: ParameterValue) -> FrozenSet[Symbol]:
     if isinstance(value, Symbol):
         return frozenset({value})
     if isinstance(value, ParameterExpression):
-        return frozenset({value.symbol})
+        return frozenset(value.terms)
     return frozenset()
+
+
+def add_parameter_values(a: ParameterValue, b: ParameterValue) -> ParameterValue:
+    """The sum of two parameter values, as a number when both are numeric.
+
+    This is the angle arithmetic behind rotation merging:
+    ``Rz(a) . Rz(b) == Rz(a + b)`` for every rotation family in the gate set.
+    Symbolic operands produce a (possibly multi-symbol) affine
+    :class:`ParameterExpression`; an all-numeric sum stays a plain float so
+    concrete circuits remain concrete.
+    """
+    if not is_parameterized(a) and not is_parameterized(b):
+        offset_a = a.offset if isinstance(a, ParameterExpression) else float(a)
+        offset_b = b.offset if isinstance(b, ParameterExpression) else float(b)
+        return offset_a + offset_b
+    first = a if isinstance(a, ParameterExpression) else (
+        ParameterExpression(a) if isinstance(a, Symbol) else ParameterExpression(terms={}, offset=float(a))
+    )
+    return first + b
 
 
 class ParamResolver:
@@ -154,7 +244,10 @@ class ParamResolver:
                 raise KeyError(f"Unbound symbol: {value.name}")
             return self._values[value.name]
         if isinstance(value, ParameterExpression):
-            return value.evaluate(self.value_of(value.symbol))
+            total = value.offset
+            for symbol, coefficient in value.terms.items():
+                total += coefficient * self.value_of(symbol)
+            return total
         return float(value)
 
     def as_dict(self) -> Dict[str, float]:
@@ -172,6 +265,8 @@ class ParamResolver:
 def resolve(value: ParameterValue, resolver: ParamResolver | None) -> float:
     """Resolve ``value`` using ``resolver``; pass numbers straight through."""
     if not is_parameterized(value):
+        if isinstance(value, ParameterExpression):
+            return value.offset
         return float(value)
     if resolver is None:
         raise ValueError(f"Parameterized value {value} requires a ParamResolver")

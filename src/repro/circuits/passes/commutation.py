@@ -1,0 +1,59 @@
+"""Commutation-based gate cancellation.
+
+Fusion only sees pairs that are adjacent on every shared wire; this pass
+additionally looks *through* operations that provably commute with the
+incoming gate.  Scanning the surviving output backwards from the end, every
+operation the incoming gate commutes with (per the structural, value-blind
+rules in :func:`~repro.circuits.passes.rules.commutes`) is skipped; the
+first operation that offers a merge (:func:`try_merge`) is taken; the first
+operation that neither commutes nor merges blocks the search.
+
+Merging at a distance is sound because the merged operation has the same
+gate family and qubits as the gate being moved: everything it was moved past
+commutes with the result too, so the merged gate may equally sit at the
+partner's position.  The classic payoff is ``T(q0) . CNOT(q0,q1) . TDG(q0)``
+— T is diagonal on the CNOT control, so T and TDG meet and cancel, leaving a
+bare CNOT (and, downstream, a circuit the stabilizer backend can take).
+
+Noise channels and measurements never commute past anything sharing a wire.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit import Circuit
+from ..gates import Operation
+from ..noise import NoiseOperation
+from ..qubits import Qubit
+from .base import Pass
+from .fusion import run_peephole
+from .rules import commutes, try_merge
+
+
+def _commuting_partner(
+    out: List[Optional[Operation]], last: Dict[Qubit, int], current: Operation
+) -> Optional[int]:
+    for index in range(len(out) - 1, -1, -1):
+        earlier = out[index]
+        if earlier is None:
+            continue
+        if not set(earlier.qubits).intersection(current.qubits):
+            continue
+        if earlier.is_measurement or isinstance(earlier, NoiseOperation):
+            return None
+        if try_merge(earlier, current) is not None:
+            return index
+        if commutes(earlier, current):
+            continue
+        return None
+    return None
+
+
+class CommutationPass(Pass):
+    """Cancel/merge gate pairs separated by provably commuting operations."""
+
+    name = "commutation"
+
+    def rewrite(self, circuit: Circuit) -> Tuple[Circuit, int]:
+        return run_peephole(circuit, _commuting_partner)

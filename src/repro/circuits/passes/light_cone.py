@@ -1,0 +1,56 @@
+"""Light-cone (causal-cone) pruning relative to the measured qubits.
+
+An operation can only influence a measurement outcome if its qubits
+intersect the backward-growing cone seeded by the measurement gates: walking
+the circuit in reverse, an operation touching the cone joins it (its other
+qubits become part of the cone); everything else — gates *and* noise on
+spectator qubits — is dead weight for every measured observable and is
+dropped.  The knowledge compiler then never builds Bayesian-network nodes,
+CNF clauses or d-DNNF structure for the spectator wires at all.
+
+Contract: the joint distribution over the **measured** qubits is preserved
+exactly (dropped operations are trace-preserving maps on qubits that are
+traced out).  The full-state distribution over spectator qubits is *not*
+preserved — a circuit without any measurement gate therefore passes through
+untouched, since every qubit is implicitly observable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from ..circuit import Circuit
+from ..qubits import Qubit
+from .base import Pass
+
+
+class LightConePass(Pass):
+    """Drop operations outside the causal cone of the measurement gates."""
+
+    name = "light_cone"
+
+    def rewrite(self, circuit: Circuit) -> Tuple[Circuit, int]:
+        operations = circuit.all_operations()
+        cone: Set[Qubit] = set()
+        for operation in operations:
+            if operation.is_measurement:
+                cone.update(operation.qubits)
+        if not cone:
+            return circuit, 0
+
+        keep = [False] * len(operations)
+        for index in range(len(operations) - 1, -1, -1):
+            operation = operations[index]
+            if operation.is_measurement:
+                keep[index] = True
+                continue
+            if cone.intersection(operation.qubits):
+                keep[index] = True
+                cone.update(operation.qubits)
+        dropped = keep.count(False)
+        if dropped == 0:
+            return circuit, 0
+        kept: List = [op for op, flag in zip(operations, keep) if flag]
+        rewritten = Circuit()
+        rewritten.append(kept)
+        return rewritten, dropped

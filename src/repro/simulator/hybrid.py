@@ -34,10 +34,13 @@ from ..circuits.circuit import Circuit
 if TYPE_CHECKING:  # imported lazily at runtime (device.py imports this package)
     from ..api.device import Device
 from ..circuits.parameters import ParamResolver
+from ..circuits.passes import OptimizeSpec, resolve_pipeline, split_clifford_prefix
 from ..circuits.qubits import Qubit
+from ..linalg.tensor_ops import apply_unitary_to_state
 from ..stabilizer import StabilizerSimulator
+from ..stabilizer.simulator import DENSE_PROBABILITY_QUBITS
 from .base import Simulator
-from .results import SampleResult
+from .results import SampleResult, StateVectorResult
 
 __all__ = ["BackendDecision", "HybridSimulator", "select_backend"]
 
@@ -60,6 +63,15 @@ class HybridSimulator(Simulator):
         caller supplied one (their backend, their noise contract).
     seed:
         Seeds every owned backend's default generator.
+    optimize:
+        ``None``/``False`` (default) routes circuits as given;
+        ``"auto"``/``True`` rewrites each circuit with
+        :func:`repro.circuits.passes.default_pipeline` before routing (a
+        :class:`~repro.circuits.passes.PassPipeline` runs that pipeline) and
+        additionally enables **Clifford-prefix splitting** on the dense
+        route: an ideal circuit whose head is Clifford runs that head on the
+        stabilizer tableau and only the dense tail pays exponential cost
+        (``last_decision.reason`` reports the split).
     """
 
     name = "hybrid"
@@ -69,8 +81,10 @@ class HybridSimulator(Simulator):
         fallback: Optional[Simulator] = None,
         noisy_fallback: Optional[Simulator] = None,
         seed: Optional[int] = None,
+        optimize: OptimizeSpec = None,
     ):
         super().__init__(seed)
+        self._pipeline = resolve_pipeline(optimize)
         if fallback is None:
             from ..statevector import StateVectorSimulator
 
@@ -119,6 +133,57 @@ class HybridSimulator(Simulator):
         """The routing :func:`select_backend` would take for ``circuit``."""
         return self._device.decide(circuit, resolver, sampling=sampling)
 
+    def _optimized(self, circuit: Circuit) -> Circuit:
+        if self._pipeline is None:
+            return circuit
+        return self._pipeline.run(circuit).circuit
+
+    def _prefix_state(
+        self,
+        circuit: Circuit,
+        resolver: Optional[ParamResolver],
+        qubit_order: Optional[Sequence[Qubit]],
+        initial_state: int,
+        sampling: bool,
+    ):
+        """Tableau-prefix + dense-tail execution, or ``None`` when inapplicable.
+
+        Fires only with ``optimize`` enabled, on ideal circuits the router
+        sends to the dense fallback, when the circuit opens with a
+        non-trivial Clifford block and is small enough to expand the tableau
+        state densely.  Returns the final :class:`StateVectorResult`.
+        """
+        if self._pipeline is None or circuit.noise_operations():
+            return None
+        qubits = list(qubit_order) if qubit_order is not None else circuit.all_qubits()
+        if len(qubits) > DENSE_PROBABILITY_QUBITS:
+            return None
+        decision = self._device.decide(circuit, resolver, sampling=sampling)
+        if decision.backend != self.fallback.name:
+            return None
+        prefix, remainder = split_clifford_prefix(circuit, resolver)
+        prefix_count = prefix.gate_count()
+        tail_unitaries = remainder.unitary_operations()
+        if prefix_count < 1 or not tail_unitaries:
+            return None
+        state = self.stabilizer.simulate(
+            prefix, resolver, qubit_order=qubits, initial_state=initial_state
+        ).state_vector
+        position = {qubit: index for index, qubit in enumerate(qubits)}
+        for operation in tail_unitaries:
+            state = apply_unitary_to_state(
+                state,
+                operation.gate.unitary(resolver),
+                [position[qubit] for qubit in operation.qubits],
+                len(qubits),
+            )
+        self.last_decision = BackendDecision(
+            self.fallback.name,
+            f"clifford prefix ({prefix_count} ops) on tableau, "
+            f"dense tail ({len(tail_unitaries)} ops)",
+        )
+        return StateVectorResult(qubits, state)
+
     def simulate(
         self,
         circuit: Circuit,
@@ -132,6 +197,10 @@ class HybridSimulator(Simulator):
         route and the fallback backend's native result otherwise; both expose
         ``qubits``, ``probabilities()`` and ``sample()``.
         """
+        circuit = self._optimized(circuit)
+        split = self._prefix_state(circuit, resolver, qubit_order, initial_state, sampling=False)
+        if split is not None:
+            return split
         result = self._device.simulate(circuit, resolver, qubit_order, initial_state)
         self.last_decision = self._device.last_decision
         return result
@@ -146,6 +215,10 @@ class HybridSimulator(Simulator):
         initial_state: int = 0,
     ) -> SampleResult:
         """Draw samples from the routed backend (tableau when possible)."""
+        circuit = self._optimized(circuit)
+        split = self._prefix_state(circuit, resolver, qubit_order, initial_state, sampling=True)
+        if split is not None:
+            return split.sample(repetitions, rng=self._rng(seed))
         result = self._device.sample(
             circuit,
             repetitions,

@@ -26,6 +26,7 @@ import numpy as np
 from ..bayesnet.from_circuit import QuantumBayesNet, circuit_to_bayesnet
 from ..circuits.circuit import Circuit
 from ..circuits.parameters import ParameterValue, ParamResolver
+from ..circuits.passes import OptimizeSpec, PipelineStats, resolve_pipeline
 from ..circuits.qubits import Qubit
 from ..circuits.topology import bind_canonical_parameters, canonicalize_circuit
 from ..cnf.encoder import CNFEncoding, encode_bayesnet
@@ -555,6 +556,8 @@ class KnowledgeCompilationSimulator(Simulator):
         # paying the initial-state search and burn-in again; resolver changes
         # re-bind the cached sampler in place.
         self._sampler_cache: "OrderedDict[int, object]" = OrderedDict()
+        #: Rewrite stats from the most recent ``compile_circuit(optimize=...)``.
+        self.last_optimization: Optional[PipelineStats] = None
 
     @property
     def cache(self) -> Optional[CompiledCircuitCache]:
@@ -591,6 +594,7 @@ class KnowledgeCompilationSimulator(Simulator):
         qubit_order: Optional[Sequence[Qubit]] = None,
         initial_bits: Optional[Sequence[int]] = None,
         elide_internal: Optional[bool] = None,
+        optimize: OptimizeSpec = None,
     ) -> CompiledCircuit:
         """Compile a circuit's *topology* once, for repeated parameterized queries.
 
@@ -613,6 +617,16 @@ class KnowledgeCompilationSimulator(Simulator):
             Initial computational-basis bits, baked into the compile.
         elide_internal:
             Per-call override of the constructor's ``elide_internal``.
+        optimize:
+            ``None``/``False`` (default) compiles the circuit as given;
+            ``True``/``"auto"`` runs :func:`repro.circuits.passes.default_pipeline`
+            first, a :class:`~repro.circuits.passes.PassPipeline` runs that
+            pipeline.  Rewriting happens *before* canonicalization, so the
+            optimized symbolic ansatz and its resolved instances still share
+            one topology key and one cached compile.  Stats land in
+            :attr:`last_optimization`.  Note the light-cone contract: for a
+            circuit containing measurement gates, the compiled distribution
+            is guaranteed only over the *measured* qubits.
 
         Returns
         -------
@@ -621,6 +635,11 @@ class KnowledgeCompilationSimulator(Simulator):
         """
         if isinstance(circuit, CompiledCircuit):
             return circuit
+        pipeline = resolve_pipeline(optimize)
+        if pipeline is not None:
+            optimized = pipeline.run(circuit)
+            circuit = optimized.circuit
+            self.last_optimization = optimized.stats
         elide = self.elide_internal if elide_internal is None else elide_internal
         canonical = canonicalize_circuit(circuit, qubit_order=qubit_order, initial_bits=initial_bits)
         cache = self.cache

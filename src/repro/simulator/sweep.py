@@ -32,6 +32,7 @@ import numpy as np
 from ..api.results import BatchResult
 from ..circuits.circuit import Circuit
 from ..circuits.parameters import ParamResolver
+from ..circuits.passes import OptimizeSpec, PipelineStats, resolve_pipeline
 from ..circuits.qubits import Qubit
 from .kc_simulator import CompiledCircuit, KnowledgeCompilationSimulator
 
@@ -130,6 +131,12 @@ class ParameterSweep:
         "stabilizer"``.  The ``state_vector`` observable always evaluates
         on the compile (tableau state vectors are only defined up to global
         phase, which would make per-point phases inconsistent).
+    optimize:
+        ``None``/``False`` (default) sweeps the circuit as given;
+        ``"auto"``/``True`` rewrites it once with
+        :func:`repro.circuits.passes.default_pipeline` before compiling (a
+        :class:`~repro.circuits.passes.PassPipeline` runs that pipeline).
+        Stats land on :attr:`last_optimization`.
 
     Raises
     ------
@@ -147,12 +154,24 @@ class ParameterSweep:
         qubit_order: Optional[Sequence[Qubit]] = None,
         initial_bits: Optional[Sequence[int]] = None,
         dispatch: str = "kc",
+        optimize: OptimizeSpec = None,
     ):
         self.simulator = simulator or KnowledgeCompilationSimulator()
         if not isinstance(self.simulator, KnowledgeCompilationSimulator):
             raise TypeError("ParameterSweep requires a KnowledgeCompilationSimulator")
         if dispatch not in ("kc", "auto"):
             raise ValueError(f"dispatch must be 'kc' or 'auto', got {dispatch!r}")
+        # Rewrite once, up front: the compile below and every point
+        # evaluation then share the optimized circuit (and because the
+        # passes are value-blind, its topology key — so sweeps over the
+        # optimized symbolic ansatz still share one compiled artifact with
+        # any optimized resolved instance).
+        self.last_optimization: Optional[PipelineStats] = None
+        pipeline = resolve_pipeline(optimize)
+        if pipeline is not None:
+            result = pipeline.run(circuit)
+            circuit = result.circuit
+            self.last_optimization = result.stats
         self.circuit = circuit
         self.dispatch = dispatch
         self._qubit_order = list(qubit_order) if qubit_order is not None else None

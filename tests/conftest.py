@@ -44,7 +44,19 @@ def rng():
 #: Clifford recognition); "clifford+t" adds the T/TDG non-Clifford phases;
 #: "universal" adds generic-angle rotations and two-qubit couplings;
 #: "pauli-noise" is the Clifford alphabet plus random Pauli-mixture channels.
+#:
+#: The rewrite-targeting alphabets stress the optimizer pass pipeline
+#: (``repro.circuits.passes``): "rotation-chains" emits runs of same-family
+#: rotations on shared qubits (merge/cancel fodder for the fusion pass),
+#: "commuting-blocks" interleaves diagonal ZZ/CZ/CPhase/Rz blocks with
+#: CNOTs and T/TDG pairs separated by commuting gates (commutation-pass
+#: fodder), "clifford-prefix" opens with Clifford layers before a dense
+#: generic-rotation tail (prefix-extraction fodder), and "spectator"
+#: measures only a subset of qubits while gating the rest (light-cone
+#: fodder; Clifford gates only, so every backend including the stabilizer
+#: can check parity over the measured qubits).
 FUZZ_ALPHABETS = ("clifford", "clifford+t", "universal", "pauli-noise")
+REWRITE_ALPHABETS = ("rotation-chains", "commuting-blocks", "clifford-prefix", "spectator")
 
 _CLIFFORD_1Q = (
     lambda rng: _gates.H,
@@ -82,6 +94,123 @@ _PAULI_CHANNELS = (
 )
 
 
+_ROTATION_FAMILIES = (_gates.Rx, _gates.Ry, _gates.Rz, _gates.PhaseShift)
+_DIAGONAL_2Q = (
+    lambda rng: _gates.CZ,
+    lambda rng: _gates.ZZ(float(rng.uniform(0.1, 2 * np.pi))),
+    lambda rng: _gates.CPhase(float(rng.uniform(0.1, 2 * np.pi))),
+)
+
+
+def _rotation_chain_circuit(rng, qubits, depth):
+    circuit = Circuit()
+    for _ in range(depth):
+        qubit = qubits[int(rng.integers(0, len(qubits)))]
+        family = _ROTATION_FAMILIES[int(rng.integers(0, len(_ROTATION_FAMILIES)))]
+        style = int(rng.integers(0, 3))
+        if style == 0:  # generic chain: fuses into one rotation
+            for _ in range(int(rng.integers(2, 5))):
+                circuit.append(family(float(rng.uniform(0.1, 2 * np.pi)))(qubit))
+        elif style == 1:  # exact inverse pair: cancels outright
+            angle = float(rng.uniform(0.1, 2 * np.pi))
+            circuit.append([family(angle)(qubit), family(-angle)(qubit)])
+        else:  # chain with a zero-angle degenerate in the middle
+            circuit.append(family(float(rng.uniform(0.1, np.pi)))(qubit))
+            circuit.append(family(0.0)(qubit))
+            circuit.append(family(float(rng.uniform(0.1, np.pi)))(qubit))
+        if len(qubits) >= 2 and rng.random() < 0.5:
+            pair = rng.permutation(len(qubits))[:2]
+            u, v = qubits[int(pair[0])], qubits[int(pair[1])]
+            if rng.random() < 0.5:  # swapped-order symmetric ZZ pair
+                angle = float(rng.uniform(0.1, np.pi))
+                circuit.append([_gates.ZZ(angle)(u, v), _gates.ZZ(angle)(v, u)])
+            else:
+                circuit.append(_gates.CNOT(u, v))
+    return circuit
+
+
+def _commuting_block_circuit(rng, qubits, depth):
+    circuit = Circuit()
+    for _ in range(depth):
+        kind = int(rng.integers(0, 3))
+        if kind == 0:  # diagonal block (everything here mutually commutes)
+            for qubit in qubits:
+                if rng.random() < 0.6:
+                    choice = int(rng.integers(0, 3))
+                    gate = (
+                        _gates.Rz(float(rng.uniform(0.1, 2 * np.pi)))
+                        if choice == 0
+                        else (_gates.S if choice == 1 else _gates.Z)
+                    )
+                    circuit.append(gate(qubit))
+            if len(qubits) >= 2:
+                pair = rng.permutation(len(qubits))[:2]
+                gate = _DIAGONAL_2Q[int(rng.integers(0, len(_DIAGONAL_2Q)))](rng)
+                circuit.append(gate(qubits[int(pair[0])], qubits[int(pair[1])]))
+        elif kind == 1 and len(qubits) >= 2:  # T ... CNOT ... TDG on a control
+            pair = rng.permutation(len(qubits))[:2]
+            control, target = qubits[int(pair[0])], qubits[int(pair[1])]
+            circuit.append([_gates.T(control), _gates.CNOT(control, target), _gates.TDG(control)])
+        elif len(qubits) >= 2:  # X-family through a CNOT target
+            pair = rng.permutation(len(qubits))[:2]
+            control, target = qubits[int(pair[0])], qubits[int(pair[1])]
+            angle = float(rng.uniform(0.1, np.pi))
+            circuit.append(
+                [_gates.Rx(angle)(target), _gates.CNOT(control, target), _gates.Rx(-angle)(target)]
+            )
+    return circuit
+
+
+def _clifford_prefix_circuit(rng, qubits, depth):
+    circuit = Circuit()
+    head = max(1, depth // 2)
+    for _ in range(head):
+        for qubit in qubits:
+            circuit.append(_CLIFFORD_1Q[int(rng.integers(0, len(_CLIFFORD_1Q)))](rng)(qubit))
+        if len(qubits) >= 2:
+            pair = rng.permutation(len(qubits))[:2]
+            gate = _CLIFFORD_2Q[int(rng.integers(0, len(_CLIFFORD_2Q)))](rng)
+            circuit.append(gate(qubits[int(pair[0])], qubits[int(pair[1])]))
+    for _ in range(depth - head):  # dense, non-Clifford tail
+        for qubit in qubits:
+            family = _ROTATION_FAMILIES[int(rng.integers(0, len(_ROTATION_FAMILIES)))]
+            circuit.append(family(float(rng.uniform(0.3, 1.2)))(qubit))
+        if len(qubits) >= 2:
+            pair = rng.permutation(len(qubits))[:2]
+            circuit.append(
+                _gates.CPhase(float(rng.uniform(0.3, 1.2)))(
+                    qubits[int(pair[0])], qubits[int(pair[1])]
+                )
+            )
+    return circuit
+
+
+def _spectator_circuit(rng, qubits, depth):
+    circuit = Circuit()
+    for _ in range(depth):
+        for qubit in qubits:
+            circuit.append(_CLIFFORD_1Q[int(rng.integers(0, len(_CLIFFORD_1Q)))](rng)(qubit))
+        order = rng.permutation(len(qubits))
+        for i in range(0, len(qubits) - 1, 2):
+            gate = _CLIFFORD_2Q[int(rng.integers(0, len(_CLIFFORD_2Q)))](rng)
+            circuit.append(gate(qubits[int(order[i])], qubits[int(order[i + 1])]))
+    measured_count = int(rng.integers(1, len(qubits))) if len(qubits) > 1 else 1
+    measured = sorted(
+        (qubits[int(i)] for i in rng.permutation(len(qubits))[:measured_count]),
+        key=lambda qubit: qubit.index,
+    )
+    circuit.append(_gates.measure(*measured, key="m"))
+    return circuit
+
+
+_REWRITE_BUILDERS = {
+    "rotation-chains": _rotation_chain_circuit,
+    "commuting-blocks": _commuting_block_circuit,
+    "clifford-prefix": _clifford_prefix_circuit,
+    "spectator": _spectator_circuit,
+}
+
+
 def random_fuzz_circuit(
     seed: int,
     num_qubits: int = 4,
@@ -90,19 +219,26 @@ def random_fuzz_circuit(
 ) -> Circuit:
     """Build one seeded random circuit from the named gate alphabet.
 
-    Layer structure: one random single-qubit gate per qubit, then random
-    two-qubit gates on a random disjoint pairing; the ``pauli-noise``
-    alphabet additionally sprinkles random Pauli-mixture channels after each
-    layer.  Same ``(seed, num_qubits, depth, alphabet)`` -> same circuit.
+    Layer structure (base alphabets): one random single-qubit gate per
+    qubit, then random two-qubit gates on a random disjoint pairing; the
+    ``pauli-noise`` alphabet additionally sprinkles random Pauli-mixture
+    channels after each layer.  The rewrite-targeting alphabets
+    (:data:`REWRITE_ALPHABETS`) instead emit the structured patterns the
+    optimizer passes rewrite.  Same ``(seed, num_qubits, depth, alphabet)``
+    -> same circuit.
     """
-    if alphabet not in FUZZ_ALPHABETS:
-        raise ValueError(f"alphabet must be one of {FUZZ_ALPHABETS}, got {alphabet!r}")
+    if alphabet not in FUZZ_ALPHABETS + REWRITE_ALPHABETS:
+        raise ValueError(
+            f"alphabet must be one of {FUZZ_ALPHABETS + REWRITE_ALPHABETS}, got {alphabet!r}"
+        )
     fuzz_rng = np.random.default_rng(
         np.random.SeedSequence(
             entropy=seed,
-            spawn_key=(num_qubits, depth, FUZZ_ALPHABETS.index(alphabet)),
+            spawn_key=(num_qubits, depth, (FUZZ_ALPHABETS + REWRITE_ALPHABETS).index(alphabet)),
         )
     )
+    if alphabet in _REWRITE_BUILDERS:
+        return _REWRITE_BUILDERS[alphabet](fuzz_rng, LineQubit.range(num_qubits), depth)
     if alphabet == "clifford+t":
         one_q, two_q = _CLIFFORD_1Q + _T_FAMILY, _CLIFFORD_2Q
     elif alphabet == "universal":

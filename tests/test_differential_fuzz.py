@@ -202,6 +202,139 @@ class TestNoisyPauliAlphabet:
         assert total_variation_distance(exact, samples.empirical_distribution()) < 0.06
 
 
+def _measured_qubits(circuit):
+    measured = {
+        qubit
+        for operation in circuit.all_operations()
+        if operation.is_measurement
+        for qubit in operation.qubits
+    }
+    return sorted(measured)
+
+
+def _comparable_distribution(probabilities, qubit_order, measured):
+    """Marginal over the measured qubits (or the full distribution if none).
+
+    Light-cone pruning only promises the joint distribution over *measured*
+    qubits, so measured circuits compare on that marginal; circuits without
+    measurement gates must match on the full state.
+    """
+    if not measured:
+        return np.asarray(probabilities)
+    n = len(qubit_order)
+    keep = [qubit_order.index(qubit) for qubit in measured]
+    drop = tuple(axis for axis in range(n) if axis not in keep)
+    tensor = np.asarray(probabilities).reshape((2,) * n)
+    return (tensor.sum(axis=drop) if drop else tensor).reshape(-1)
+
+
+#: 5 alphabets x 100 seeds = 500 seeded circuits through the bulk parity
+#: check, spanning all four optimizer passes (each rewrite alphabet targets
+#: one) plus the unstructured universal alphabet.
+OPTIMIZER_BULK_ALPHABETS = (
+    "rotation-chains",
+    "commuting-blocks",
+    "clifford-prefix",
+    "spectator",
+    "universal",
+)
+OPTIMIZER_BULK_SEEDS = 100
+
+#: Small corpus for the per-backend parity matrix (the KC backend compiles
+#: every entry twice).  The stabilizer joins on the Clifford-only alphabets.
+OPTIMIZER_BACKEND_CORPUS = [
+    (alphabet, seed)
+    for alphabet in ("rotation-chains", "commuting-blocks", "clifford-prefix", "spectator", "clifford")
+    for seed in (0, 1)
+]
+_STABILIZER_ALPHABETS = ("spectator", "clifford")
+
+
+class TestOptimizedVsUnoptimized:
+    """The default pass pipeline must preserve semantics on every backend.
+
+    Bulk: >= 500 seeded circuits against the state-vector reference at
+    1e-10 (full state, or the measured-qubit marginal for circuits with
+    measurement gates — the light-cone contract).  Matrix: a smaller corpus
+    where *each* of the six backends runs the optimized and unoptimized
+    circuit and must agree with itself at 1e-10.
+    """
+
+    @pytest.mark.parametrize("alphabet", OPTIMIZER_BULK_ALPHABETS)
+    def test_bulk_parity_500_circuits(self, circuit_fuzzer, alphabet):
+        from repro.circuits.passes import optimize_circuit
+
+        total_rewrites = 0
+        for seed in range(OPTIMIZER_BULK_SEEDS):
+            num_qubits = 3 + seed % 3
+            depth = 4 + seed % 3
+            circuit = circuit_fuzzer(seed, num_qubits, depth, alphabet=alphabet)
+            result = optimize_circuit(circuit)
+            total_rewrites += sum(stats.rewrites for stats in result.stats.passes)
+            assert len(result.circuit.all_operations()) <= len(circuit.all_operations())
+            qubits = circuit.all_qubits()
+            measured = _measured_qubits(circuit)
+            base = StateVectorSimulator().simulate(circuit, qubit_order=qubits).probabilities()
+            optimized = (
+                StateVectorSimulator().simulate(result.circuit, qubit_order=qubits).probabilities()
+            )
+            np.testing.assert_allclose(
+                _comparable_distribution(optimized, qubits, measured),
+                _comparable_distribution(base, qubits, measured),
+                atol=1e-10,
+                err_msg=f"alphabet={alphabet} seed={seed}",
+            )
+        # The corpus must actually exercise the passes, not vacuously pass.
+        if alphabet != "universal":
+            assert total_rewrites > OPTIMIZER_BULK_SEEDS
+
+    @pytest.mark.parametrize("alphabet,seed", OPTIMIZER_BACKEND_CORPUS)
+    def test_per_backend_parity_matrix(self, circuit_fuzzer, alphabet, seed):
+        from repro.circuits.passes import optimize_circuit
+
+        circuit = circuit_fuzzer(seed, 3, 4, alphabet=alphabet)
+        optimized = optimize_circuit(circuit).circuit
+        qubits = circuit.all_qubits()
+        measured = _measured_qubits(circuit)
+        backends = {
+            "state_vector": StateVectorSimulator(),
+            "density_matrix": DensityMatrixSimulator(),
+            "tensor_network": TensorNetworkSimulator(),
+            "trajectory": TrajectorySimulator(seed=0),
+            "knowledge_compilation": KnowledgeCompilationSimulator(seed=0),
+        }
+        if alphabet in _STABILIZER_ALPHABETS:
+            backends["stabilizer"] = StabilizerSimulator()
+        for name, simulator in backends.items():
+            base = simulator.simulate(circuit, qubit_order=qubits).probabilities()
+            rewritten = simulator.simulate(optimized, qubit_order=qubits).probabilities()
+            np.testing.assert_allclose(
+                _comparable_distribution(rewritten, qubits, measured),
+                _comparable_distribution(base, qubits, measured),
+                atol=1e-10,
+                err_msg=f"backend={name} alphabet={alphabet} seed={seed}",
+            )
+
+    def test_device_run_optimize_auto_parity(self, circuit_fuzzer):
+        import repro
+
+        circuit = circuit_fuzzer(3, 3, 4, alphabet="rotation-chains")
+        device = repro.device("auto")
+        base = device.run([circuit]).result().rows[0]["probabilities"]
+        optimized = device.run([circuit], optimize="auto").result().rows[0]["probabilities"]
+        assert device.last_optimization is not None
+        np.testing.assert_allclose(optimized, base, atol=1e-10)
+
+    def test_hybrid_prefix_split_parity(self, circuit_fuzzer):
+        circuit = circuit_fuzzer(2, 3, 6, alphabet="clifford-prefix")
+        plain = HybridSimulator(seed=0)
+        split = HybridSimulator(seed=0, optimize="auto")
+        base = plain.simulate(circuit).probabilities()
+        rewritten = split.simulate(circuit).probabilities()
+        assert "prefix" in split.last_decision.reason
+        np.testing.assert_allclose(rewritten, base, atol=1e-10)
+
+
 class TestFuzzerDeterminism:
     """The corpus itself must be reproducible for failures to be replayable."""
 
