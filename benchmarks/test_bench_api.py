@@ -15,7 +15,7 @@ Results are also emitted as machine-readable ``BENCH_api.json`` in the
 repository root so CI and later sessions can track the perf trajectory.
 """
 
-import json
+import os
 import time
 from pathlib import Path
 
@@ -23,6 +23,7 @@ import numpy as np
 import pytest
 
 from repro.api.device import Device
+from repro.bench import emit_bench
 from repro.circuits import ParamResolver
 from repro.knowledge.cache import CompiledCircuitCache
 from repro.simulator.kc_simulator import KnowledgeCompilationSimulator
@@ -31,6 +32,10 @@ from repro.variational import QAOACircuit, random_regular_maxcut
 NUM_QUBITS = 6
 NUM_POINTS = 100
 REPETITIONS = 64
+# The measured speedup has ~19x headroom over this floor locally (see
+# BENCH_api.json); the env override exists for slower shared runners, not
+# to disable the gate.
+_MIN_SPEEDUP = float(os.environ.get("BENCH_API_MIN_SPEEDUP", "3.0"))
 
 _BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_api.json"
 
@@ -84,26 +89,23 @@ class TestBatchedRunThroughput:
         assert all(sum(c.values()) == REPETITIONS for c in batched_counts)
         speedup = loop_seconds / max(batched_seconds, 1e-9)
 
-        _BENCH_JSON.write_text(
-            json.dumps(
-                {
-                    "benchmark": "batched_device_run_vs_per_circuit_sample_loop",
-                    "qubits": NUM_QUBITS,
-                    "points": NUM_POINTS,
-                    "repetitions": REPETITIONS,
-                    "per_circuit_loop_seconds": round(loop_seconds, 6),
-                    "batched_run_seconds": round(batched_seconds, 6),
-                    "speedup": round(speedup, 3),
-                    "points_per_second_batched": round(NUM_POINTS / batched_seconds, 3),
-                    "points_per_second_loop": round(NUM_POINTS / loop_seconds, 3),
-                },
-                indent=2,
-            )
-            + "\n"
+        emit_bench(
+            _BENCH_JSON,
+            {
+                "benchmark": "batched_device_run_vs_per_circuit_sample_loop",
+                "qubits": NUM_QUBITS,
+                "points": NUM_POINTS,
+                "repetitions": REPETITIONS,
+                "per_circuit_loop_seconds": round(loop_seconds, 6),
+                "batched_run_seconds": round(batched_seconds, 6),
+                "speedup": round(speedup, 3),
+                "points_per_second_batched": round(NUM_POINTS / batched_seconds, 3),
+                "points_per_second_loop": round(NUM_POINTS / loop_seconds, 3),
+            },
         )
 
-        assert speedup >= 3.0, (
-            f"batched run only {speedup:.1f}x faster "
+        assert speedup >= _MIN_SPEEDUP, (
+            f"batched run only {speedup:.1f}x faster (floor {_MIN_SPEEDUP}) "
             f"({loop_seconds:.2f}s loop vs {batched_seconds:.2f}s batched); "
             f"see {_BENCH_JSON.name}"
         )

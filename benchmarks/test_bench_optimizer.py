@@ -22,13 +22,13 @@ clauses) are exact and always enforced; the wall-clock speedup floor can be
 relaxed on shared CI runners via ``BENCH_OPTIMIZER_MIN_SPEEDUP``.
 """
 
-import json
 import os
 import time
 from pathlib import Path
 
 import numpy as np
 
+from repro.bench import emit_bench
 from repro.circuits import Circuit, measure
 from repro.circuits.gates import _RotationGate
 from repro.simulator.kc_simulator import KnowledgeCompilationSimulator
@@ -156,7 +156,7 @@ class TestFusionSweepTime:
                 "speedup": round(speedup, 3),
             },
         }
-        _BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+        emit_bench(_BENCH_JSON, payload)
 
         assert speedup >= _MIN_SPEEDUP, (
             f"optimized sweep only {speedup:.2f}x vs floor {_MIN_SPEEDUP} "

@@ -19,7 +19,6 @@ are emitted as machine-readable ``BENCH_robustness.json`` in the repository
 root so CI and later sessions can track the overhead trajectory.
 """
 
-import json
 import os
 import time
 from pathlib import Path
@@ -28,6 +27,7 @@ import numpy as np
 import pytest
 
 from repro.api.device import Device
+from repro.bench import emit_bench
 from repro.api.faults import RetryPolicy
 from repro.knowledge.cache import CompiledCircuitCache
 from repro.simulator.kc_simulator import KnowledgeCompilationSimulator
@@ -123,25 +123,22 @@ class TestFaultFreeOverhead:
         assert plain_result.counts() == guarded_result.counts()
 
         overhead = guarded_seconds / max(plain_seconds, 1e-9) - 1.0
-        _BENCH_JSON.write_text(
-            json.dumps(
-                {
-                    "benchmark": "fault_tolerant_run_overhead_vs_plain_run",
-                    "qubits": NUM_QUBITS,
-                    "points": NUM_POINTS,
-                    "repetitions": REPETITIONS,
-                    "plain_seconds": round(plain_seconds, 6),
-                    "fault_tolerant_seconds": round(guarded_seconds, 6),
-                    "overhead_fraction": round(overhead, 4),
-                    "max_overhead_fraction": MAX_OVERHEAD,
-                    "points_per_second_plain": round(NUM_POINTS / plain_seconds, 3),
-                    "points_per_second_fault_tolerant": round(
-                        NUM_POINTS / guarded_seconds, 3
-                    ),
-                },
-                indent=2,
-            )
-            + "\n"
+        emit_bench(
+            _BENCH_JSON,
+            {
+                "benchmark": "fault_tolerant_run_overhead_vs_plain_run",
+                "qubits": NUM_QUBITS,
+                "points": NUM_POINTS,
+                "repetitions": REPETITIONS,
+                "plain_seconds": round(plain_seconds, 6),
+                "fault_tolerant_seconds": round(guarded_seconds, 6),
+                "overhead_fraction": round(overhead, 4),
+                "max_overhead_fraction": MAX_OVERHEAD,
+                "points_per_second_plain": round(NUM_POINTS / plain_seconds, 3),
+                "points_per_second_fault_tolerant": round(
+                    NUM_POINTS / guarded_seconds, 3
+                ),
+            },
         )
 
         assert overhead <= MAX_OVERHEAD, (

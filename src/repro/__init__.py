@@ -82,6 +82,7 @@ from .circuits.passes import (
 from .api import (
     BackendCapabilities,
     BatchResult,
+    CostModel,
     Device,
     FaultInjector,
     Job,
@@ -89,7 +90,10 @@ from .api import (
     RetryPolicy,
     backend_capabilities,
     capability_matrix,
+    default_cost_model,
     device,
+    extract_features,
+    fit_cost_model,
     list_backends,
     register_backend,
     resume_job,
@@ -100,6 +104,7 @@ from .densitymatrix import DensityMatrixSimulator
 from .errors import (
     BackendCapabilityError,
     CompilationError,
+    CostModelError,
     InvalidRequestError,
     JobCancelledError,
     JobError,
@@ -196,6 +201,10 @@ __all__ = [
     "capability_matrix",
     "list_backends",
     "register_backend",
+    "CostModel",
+    "fit_cost_model",
+    "default_cost_model",
+    "extract_features",
     "RetryPolicy",
     "FaultInjector",
     "JobJournal",
@@ -205,6 +214,7 @@ __all__ = [
     "BackendCapabilityError",
     "CompilationError",
     "MemoryBudgetError",
+    "CostModelError",
     "InvalidRequestError",
     "RequestTypeError",
     "MissingObservableError",

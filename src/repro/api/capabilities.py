@@ -54,6 +54,17 @@ class BackendCapabilities:
         (``1`` for a dense ``2^n`` state vector, ``2`` for a ``4^n`` density
         matrix / superoperator).  ``None`` means polynomial in ``n`` —
         exempt from memory-budget guards.
+    batch_memory:
+        The backend's working state carries a leading batch axis (the
+        trajectory backend's lockstep ``(B, 2^n)`` ensemble), so its
+        footprint scales with the number of simultaneous shots, not just
+        ``n``.  Backends that loop shots serially (per-shot trajectories on
+        the state-vector backend) keep this ``False``.
+    max_batch_size:
+        Cap on the simultaneous batch: larger submissions are processed in
+        chunks of this many rows, bounding peak memory at
+        ``O(max_batch_size * 2^(memory_exponent * n))``.  ``None`` leaves
+        the batch axis unbounded.
     default_item_timeout:
         Suggested per-item wall-clock budget (seconds) for fault-tolerant
         submissions that pass ``item_timeout="auto"``; ``None`` leaves items
@@ -70,6 +81,8 @@ class BackendCapabilities:
     batched_sampling: bool = False
     noisy_sampling: bool = False
     memory_exponent: Optional[int] = None
+    batch_memory: bool = False
+    max_batch_size: Optional[int] = None
     default_item_timeout: Optional[float] = None
     description: str = ""
     aliases: Tuple[str, ...] = field(default_factory=tuple)
@@ -77,17 +90,27 @@ class BackendCapabilities:
     def supports_noise(self) -> bool:
         return self.noise != NOISE_NONE
 
-    def estimated_memory_bytes(self, num_qubits: int) -> Optional[int]:
+    def estimated_memory_bytes(self, num_qubits: int, batch_size: int = 1) -> Optional[int]:
         """Estimated dense working-state bytes for one ``num_qubits`` item.
 
         ``None`` when the backend's footprint is polynomial in ``n`` (the
         memory-budget guard then lets the item through).  The estimate is
         the dominant complex128 allocation — ``16 * 2**(exponent * n)`` —
-        and deliberately ignores constant factors like trajectory batching.
+        times the simultaneous batch for backends whose state carries a
+        batch axis (``batch_memory``): the trajectory backend holds a
+        ``(B, 2^n)`` ensemble, clamped at ``max_batch_size`` rows by its
+        chunked execution.  Backends that loop shots serially ignore
+        ``batch_size``.
         """
         if self.memory_exponent is None:
             return None
-        return 16 * (1 << (self.memory_exponent * num_qubits))
+        per_row = 16 * (1 << (self.memory_exponent * num_qubits))
+        if not self.batch_memory:
+            return per_row
+        rows = max(1, batch_size)
+        if self.max_batch_size is not None:
+            rows = min(rows, self.max_batch_size)
+        return per_row * rows
 
     def matrix_row(self) -> Dict[str, object]:
         """Plain-dict row for the docs capability matrix."""

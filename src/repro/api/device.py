@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import math
 import tempfile
+import time
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -51,6 +52,7 @@ from ..knowledge.cache import CompiledCircuitCache
 from ..linalg.tensor_ops import bits_to_index, index_to_bits
 from ..simulator.results import SampleResult
 from ..stabilizer.simulator import DENSE_PROBABILITY_QUBITS
+from .costmodel import CostModel
 from .faults import FaultInjector, ItemFailure, RetryPolicy
 from .journal import JobJournal
 from .registry import REGISTRY, backend_capabilities, create_backend
@@ -112,6 +114,20 @@ def _base_row(index: int, resolver: Optional[ParamResolver], backend: str, reaso
         "backend": backend,
         "reason": reason,
     }
+
+
+def _finish_row(row: Dict, index: int, ctx: Dict, started: float) -> Dict:
+    """Attach per-item timing telemetry: measured, and (cost mode) predicted.
+
+    ``elapsed_seconds`` is a pure observation — nothing downstream branches
+    on it, so serial/pooled/resumed runs stay bit-identical in every
+    *result* field while mispredictions remain visible per row.
+    """
+    row["elapsed_seconds"] = time.perf_counter() - started
+    predicted = ctx.get("predicted")
+    if predicted is not None and index in predicted:
+        row["predicted_seconds"] = predicted[index]
+    return row
 
 
 def _record_samples(row: Dict, samples: SampleResult) -> None:
@@ -298,23 +314,65 @@ def _evaluate_items(
                         circuits[pos], canonical.bindings, ctx["qubit_order"]
                     )
                 compiled_by_pos[pos] = compiled
-            rows.append((index, _evaluate_kc_item(sim, compiled, index, resolver, reason, ctx)))
+            started = time.perf_counter()
+            row = _evaluate_kc_item(sim, compiled, index, resolver, reason, ctx)
+            rows.append((index, _finish_row(row, index, ctx, started)))
         return rows
     if backend == "stabilizer":
         shared: Dict = {} if memo is None else memo
         for index, pos, resolver, reason in items:
             _maybe_inject_fault(ctx, index)
             item_ctx = dict(ctx, circuit_pos=pos)
-            rows.append(
-                (index, _evaluate_stabilizer_item(sim, circuits[pos], index, resolver, reason, item_ctx, shared))
+            started = time.perf_counter()
+            row = _evaluate_stabilizer_item(
+                sim, circuits[pos], index, resolver, reason, item_ctx, shared
             )
+            rows.append((index, _finish_row(row, index, ctx, started)))
         return rows
     for index, pos, resolver, reason in items:
         _maybe_inject_fault(ctx, index)
-        rows.append(
-            (index, _evaluate_generic_item(sim, backend, circuits[pos], index, resolver, reason, ctx))
-        )
+        started = time.perf_counter()
+        row = _evaluate_generic_item(sim, backend, circuits[pos], index, resolver, reason, ctx)
+        rows.append((index, _finish_row(row, index, ctx, started)))
     return rows
+
+
+def _pack_chunks(
+    items: List[Tuple[int, int, Optional[ParamResolver], str]],
+    chunk_size: int,
+    predicted: Optional[Dict[int, float]],
+    cost_target: float,
+) -> List[List[Tuple[int, int, Optional[ParamResolver], str]]]:
+    """Split one group's items into pool chunks.
+
+    With cost-mode predictions covering the group (``cost_target > 0``),
+    items are greedily packed until a chunk's *predicted* runtime reaches
+    the target — order-preserving and deterministic, so per-item
+    ``seed + index`` results are unchanged; only the work distribution
+    shifts.  Otherwise falls back to fixed-size slices.
+    """
+    if (
+        cost_target > 0.0
+        and predicted
+        and all(item[0] in predicted for item in items)
+    ):
+        chunks: List[List[Tuple[int, int, Optional[ParamResolver], str]]] = []
+        current: List[Tuple[int, int, Optional[ParamResolver], str]] = []
+        current_cost = 0.0
+        for item in items:
+            cost = predicted[item[0]]
+            if current and current_cost + cost > cost_target:
+                chunks.append(current)
+                current = []
+                current_cost = 0.0
+            current.append(item)
+            current_cost += cost
+        if current:
+            chunks.append(current)
+        return chunks
+    return [
+        items[start : start + chunk_size] for start in range(0, len(items), chunk_size)
+    ]
 
 
 def _worker_backend(payload: Dict):
@@ -395,6 +453,15 @@ class Device:
     backend_options:
         Extra constructor keywords for backends this device creates,
         keyed by backend name.
+    routing:
+        ``"rules"`` (default) routes ``"auto"`` items by the classification
+        rules; ``"cost"`` ranks the capable backends with a calibrated
+        cost model and picks the predicted-fastest (falling back to the
+        rules when no model is available).  Fixed-name devices ignore this.
+    cost_model:
+        A :class:`~repro.api.costmodel.CostModel`, or a path to a persisted
+        artifact, used by ``routing="cost"``.  ``None`` resolves the
+        ambient :func:`~repro.api.costmodel.default_cost_model`.
     """
 
     def __init__(
@@ -405,18 +472,31 @@ class Device:
         noisy_fallback: Optional[str] = None,
         instances: Optional[Dict[str, Any]] = None,
         backend_options: Optional[Dict[str, Dict]] = None,
+        routing: str = "rules",
+        cost_model: Union[None, str, CostModel] = None,
     ):
+        if routing not in ("rules", "cost"):
+            raise InvalidRequestError(
+                f"routing must be 'rules' or 'cost', got {routing!r}"
+            )
+        self.routing = routing
+        self._cost_model: Optional[CostModel] = (
+            CostModel.load(cost_model) if isinstance(cost_model, str) else cost_model
+        )
         self._instances: Dict[str, Any] = dict(instances or {})
         self._backend_options: Dict[str, Dict] = dict(backend_options or {})
         # Constructor spec for job manifests: enough to re-create an
         # equivalent device in a resume (attached instances are rebuilt
-        # fresh from the registry — they may not be picklable).
+        # fresh from the registry — they may not be picklable).  The cost
+        # model itself is not serialized: a resume replays checkpointed rows
+        # and re-routes only unfinished items, against the ambient artifact.
         self._config: Dict[str, Any] = {
             "backend": backend,
             "seed": seed,
             "fallback": fallback,
             "noisy_fallback": noisy_fallback,
             "backend_options": dict(backend_options or {}),
+            "routing": routing,
         }
         # Per-topology memo of knowledge compiles this device performed, so
         # repeated run() calls reuse the artifact even when the simulator's
@@ -537,6 +617,7 @@ class Device:
         circuit: Circuit,
         resolver: Optional[ParamResolver] = None,
         sampling: bool = True,
+        repetitions: int = 0,
     ) -> BackendDecision:
         """The routing decision for one circuit (without running it)."""
         if self.backend != "auto":
@@ -546,6 +627,9 @@ class Device:
             resolver,
             fallback=self._fallback_name(circuit, sampling),
             sampling=sampling,
+            mode=self.routing,
+            cost_model=self._cost_model,
+            repetitions=repetitions,
         )
 
     def simulate(
@@ -592,13 +676,16 @@ class Device:
         resolver: Optional[ParamResolver],
         observables: Sequence[str],
         num_qubits: int,
+        repetitions: int = 0,
     ) -> BackendDecision:
         sampling_only = all(o == "samples" for o in observables)
         wants_dense = "probabilities" in observables or "expectation" in observables
         if self.backend != "auto":
             decision = BackendDecision(self.backend, "fixed backend")
         else:
-            decision = self.decide(circuit, resolver, sampling=sampling_only)
+            decision = self.decide(
+                circuit, resolver, sampling=sampling_only, repetitions=repetitions
+            )
             if decision.backend == "stabilizer" and not sampling_only:
                 if "state_vector" in observables:
                     decision = BackendDecision(
@@ -620,8 +707,13 @@ class Device:
         observables: Sequence[str],
         num_qubits: int,
         budget: Optional[int],
+        repetitions: int = 0,
     ) -> BackendDecision:
         """Reject or reroute items whose dense footprint exceeds ``budget``.
+
+        The estimate is batch-aware: backends declaring ``batch_memory``
+        (the trajectory ensemble's ``(B, 2^n)`` state) are charged for
+        ``min(repetitions, max_batch_size)`` simultaneous rows, not one.
 
         Auto-routing devices degrade gracefully: an over-budget dense route
         falls back to a capable backend with a smaller footprint (the
@@ -632,14 +724,17 @@ class Device:
         """
         if budget is None or decision.backend not in REGISTRY:
             return decision
+        batch = max(1, repetitions)
         caps = backend_capabilities(decision.backend)
-        estimate = caps.estimated_memory_bytes(num_qubits)
+        estimate = caps.estimated_memory_bytes(num_qubits, batch_size=batch)
         if estimate is None or estimate <= budget:
             return decision
         if self.backend == "auto" and "state_vector" not in observables:
             for candidate in ("trajectory",):
                 candidate_caps = backend_capabilities(candidate)
-                candidate_cost = candidate_caps.estimated_memory_bytes(num_qubits)
+                candidate_cost = candidate_caps.estimated_memory_bytes(
+                    num_qubits, batch_size=batch
+                )
                 if candidate_cost is not None and candidate_cost > budget:
                     continue
                 try:
@@ -807,7 +902,9 @@ class Device:
             failures on ``Job.failures()``.
         memory_budget:
             Per-item byte budget checked pre-dispatch against the routed
-            backend's declared dense footprint.  Auto devices downgrade an
+            backend's declared dense footprint (batch-aware: trajectory
+            ensembles are charged ``min(repetitions, max_batch_size)``
+            simultaneous ``2^n`` rows).  Auto devices downgrade an
             over-budget density-matrix route to trajectory sampling when
             capabilities allow; otherwise the item fails with
             :class:`~repro.errors.MemoryBudgetError` before any allocation.
@@ -892,6 +989,9 @@ class Device:
             "objective": objective,
             "sampling": sampling,
             "fault_injector": fault_injector,
+            # Cost-mode telemetry: index -> predicted seconds, attached to
+            # each result row and used to pack pool chunks by cost.
+            "predicted": {},
         }
 
         # Journal: load checkpointed rows first, so already-finished items
@@ -945,15 +1045,20 @@ class Device:
                 len(ctx["qubit_order"]) if ctx["qubit_order"] is not None else circuit.num_qubits
             )
             try:
-                decision = self._route_item(circuit, resolver, observables, num_qubits)
+                decision = self._route_item(
+                    circuit, resolver, observables, num_qubits, repetitions=repetitions
+                )
                 decision = self._memory_guard(
-                    decision, circuit, observables, num_qubits, memory_budget
+                    decision, circuit, observables, num_qubits, memory_budget,
+                    repetitions=repetitions,
                 )
             except ReproError as error:
                 if on_error == "partial":
                     prefailures.append(ItemFailure((index,), error, 1))
                     continue
                 raise
+            if decision.predicted_seconds is not None:
+                ctx["predicted"][index] = decision.predicted_seconds
             routed_backends.append(decision.backend)
             topology = topology_of.get(id(circuit))
             if topology is None:
@@ -1098,15 +1203,22 @@ class Device:
 
         total_items = sum(len(group["items"]) for group in groups.values())
         chunk_size = max(1, math.ceil(total_items / max(1, jobs * 2)))
+        predicted = ctx.get("predicted") or {}
+        # Cost-aware packing target: split the batch's *predicted* runtime
+        # (not its item count) evenly over ~2 chunks per worker, so one
+        # expensive item no longer drags a whole uniform chunk behind it.
+        cost_target = (
+            sum(predicted.values()) / max(1, jobs * 2) if predicted else 0.0
+        )
         if fault is not None:
             # Fault-tolerant pools retry, time out and checkpoint *per item*,
             # so every task carries exactly one item.
             chunk_size = 1
+            cost_target = 0.0
         tasks = []
         for (backend, _topology), group in groups.items():
             options = kc_options if backend == KC_BACKEND else self._backend_options.get(backend, {})
-            for start in range(0, len(group["items"]), chunk_size):
-                chunk = group["items"][start : start + chunk_size]
+            for chunk in _pack_chunks(group["items"], chunk_size, predicted, cost_target):
                 payload = {
                     "backend": backend,
                     "backend_options": options,
@@ -1155,14 +1267,19 @@ def device(
     seed: Optional[int] = None,
     fallback: Optional[str] = None,
     noisy_fallback: Optional[str] = None,
+    routing: str = "rules",
+    cost_model: Union[None, str, CostModel] = None,
     **backend_options,
 ) -> Device:
     """Open an execution device: ``repro.device("auto").run([...])``.
 
     ``backend`` is a registered backend name (see
     :func:`repro.api.registry.list_backends`) or ``"auto"`` for
-    capability-driven per-item routing.  Extra keyword arguments are passed
-    to the backend's constructor (fixed-name devices only).
+    capability-driven per-item routing; ``routing="cost"`` ranks capable
+    backends with a calibrated cost model (``cost_model`` is a
+    :class:`~repro.api.costmodel.CostModel` or artifact path, defaulting to
+    the ambient artifact).  Extra keyword arguments are passed to the
+    backend's constructor (fixed-name devices only).
     """
     options: Optional[Dict[str, Dict]] = None
     if backend_options:
@@ -1177,4 +1294,6 @@ def device(
         fallback=fallback,
         noisy_fallback=noisy_fallback,
         backend_options=options,
+        routing=routing,
+        cost_model=cost_model,
     )

@@ -208,6 +208,8 @@ register_backend(
         batched_sampling=True,
         noisy_sampling=True,
         memory_exponent=1,
+        batch_memory=True,
+        max_batch_size=512,
         default_item_timeout=300.0,
         description="batched (B, 2^n) lockstep Monte Carlo wavefunction ensembles",
     ),

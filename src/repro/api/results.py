@@ -77,6 +77,24 @@ class BatchResult:
         """The backend each item actually ran on, in item order."""
         return [row["backend"] for row in self.rows]
 
+    def timings(self) -> List[Dict[str, Any]]:
+        """Per-item predicted-vs-actual runtime telemetry, in item order.
+
+        Each entry carries ``index``, ``backend``, ``elapsed_seconds``
+        (measured around the item's evaluation) and ``predicted_seconds``
+        (the cost model's estimate under ``routing="cost"``, else ``None``)
+        — the observability hook for spotting cost-model mispredictions.
+        """
+        return [
+            {
+                "index": row["index"],
+                "backend": row["backend"],
+                "elapsed_seconds": row.get("elapsed_seconds"),
+                "predicted_seconds": row.get("predicted_seconds"),
+            }
+            for row in self.rows
+        ]
+
     def __repr__(self) -> str:
         keys = (
             sorted(set(self.rows[0]) - {"index", "parameters", "backend", "reason"})

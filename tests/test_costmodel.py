@@ -1,0 +1,435 @@
+"""Cost-model routing: predictors, artifacts, capability-safe decisions.
+
+The contracts under test:
+
+* **Determinism** — fitting is pure linear algebra on the samples; a
+  persisted artifact reloads to bit-identical predictions, including in a
+  fresh interpreter (routing decisions must not drift across processes).
+* **Safety** — ``mode="cost"`` never selects a backend the rules path
+  would reject: capability and memory-budget filtering run before the
+  ranking, and with no model fitted the cost path defers to the rules
+  verbatim.
+* **Capability-aware fallback** — an incapable fallback backend is
+  replaced by the cheapest capable one; ``BackendCapabilityError`` fires
+  only when no registered backend can serve the item.
+* **Batch-aware memory** — the trajectory ensemble's ``(B, 2^n)`` state
+  is priced with its batch axis, so budget filtering reacts to
+  ``repetitions``.
+* **Telemetry** — every executed item reports measured wall clock, and
+  cost-routed items report the prediction next to it.
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro import CNOT, Circuit, H, LineQubit, Rx, depolarize
+from repro.api import backend_capabilities
+from repro.api.costmodel import (
+    COST_MODEL_ENV,
+    FEATURE_NAMES,
+    CircuitFeatures,
+    CostModel,
+    CostSample,
+    _reset_default_cache,
+    calibration_suite,
+    extract_features,
+    fit_cost_model,
+    holdout_suite,
+)
+from repro.api.device import Device, device
+from repro.api.routing import capable_backends, select_backend
+from repro.errors import BackendCapabilityError, CostModelError, InvalidRequestError
+
+
+def _clifford(n=3):
+    q = LineQubit.range(n)
+    return Circuit([H(q[0])] + [CNOT(q[i], q[i + 1]) for i in range(n - 1)])
+
+
+def _nonclifford(n=3, angle=0.3):
+    q = LineQubit.range(n)
+    ops = [H(q[0]), Rx(angle)(q[1])] + [CNOT(q[i], q[i + 1]) for i in range(n - 1)]
+    return Circuit(ops)
+
+
+def _features(n=4, depth=8, gates=12, noise=0, reps=64):
+    return CircuitFeatures(
+        num_qubits=n,
+        depth=depth,
+        gate_count=gates,
+        clifford_fraction=0.5,
+        noise_ops=noise,
+        has_noise=noise > 0,
+        pauli_noise=noise > 0,
+        repetitions=reps,
+    )
+
+
+def _synthetic_model(costs, meta=None):
+    """Fit a model where each backend's runtime is a flat ``costs[name]``."""
+    rng = np.random.default_rng(5)
+    samples = []
+    for backend in sorted(costs):
+        for _ in range(16):
+            samples.append(
+                CostSample(
+                    backend,
+                    _features(
+                        n=int(rng.integers(2, 12)),
+                        depth=int(rng.integers(2, 40)),
+                        gates=int(rng.integers(4, 120)),
+                        reps=int(rng.integers(1, 512)),
+                    ),
+                    costs[backend],
+                )
+            )
+    return fit_cost_model(samples, meta=meta)
+
+
+@pytest.fixture
+def no_default_model(monkeypatch, tmp_path):
+    """Point the default-artifact resolution at a missing file."""
+    monkeypatch.setenv(COST_MODEL_ENV, str(tmp_path / "missing.json"))
+    _reset_default_cache()
+    yield
+    _reset_default_cache()
+
+
+class TestFeatureExtraction:
+    def test_vector_matches_feature_basis(self):
+        vector = _features().vector()
+        assert len(vector) == len(FEATURE_NAMES)
+        assert vector[0] == 1.0  # bias
+
+    def test_clifford_circuit_features(self):
+        features = extract_features(_clifford(4), repetitions=128)
+        assert features.num_qubits == 4
+        assert features.clifford_fraction == 1.0
+        assert not features.has_noise
+        assert features.repetitions == 128
+
+    def test_noisy_circuit_features(self):
+        noisy = _nonclifford(3).with_noise(lambda: depolarize(0.02))
+        features = extract_features(noisy)
+        assert features.has_noise
+        assert features.pauli_noise
+        assert features.noise_ops > 0
+        assert 0.0 < features.clifford_fraction < 1.0
+
+    def test_features_are_immutable(self):
+        with pytest.raises(AttributeError):
+            _features().num_qubits = 9
+
+
+class TestFitAndPersistence:
+    def test_fit_predicts_calibrated_scale(self):
+        model = _synthetic_model({"state_vector": 1e-3, "tensor_network": 1e-1})
+        features = _features()
+        fast = model.predict_seconds("state_vector", features)
+        slow = model.predict_seconds("tensor_network", features)
+        assert 0 < fast < slow
+
+    def test_rank_orders_by_prediction_and_breaks_ties_by_name(self):
+        model = _synthetic_model(
+            {"trajectory": 1e-4, "state_vector": 1e-2, "density_matrix": 1e-1}
+        )
+        ranked = model.rank(
+            _features(), ["density_matrix", "state_vector", "trajectory"]
+        )
+        assert [name for name, _ in ranked] == [
+            "trajectory",
+            "state_vector",
+            "density_matrix",
+        ]
+        # Unpriced candidates are skipped, not errors.
+        assert model.rank(_features(), ["stabilizer"]) == []
+
+    def test_serialization_round_trip_is_bit_identical(self):
+        model = _synthetic_model({"state_vector": 2e-3, "trajectory": 7e-4})
+        clone = CostModel.loads(model.dumps())
+        for n in range(2, 14):
+            features = _features(n=n, depth=3 * n, gates=5 * n, reps=2**n)
+            for backend in model.backends():
+                assert model.predict_seconds(backend, features) == clone.predict_seconds(
+                    backend, features
+                )
+        assert clone.dumps() == model.dumps()
+
+    def test_save_and_load(self, tmp_path):
+        model = _synthetic_model({"state_vector": 1e-3}, meta={"calibration_seed": 0})
+        path = tmp_path / "model.json"
+        model.save(path)
+        loaded = CostModel.load(path)
+        assert loaded.backends() == ["state_vector"]
+        assert loaded.meta["calibration_seed"] == 0
+
+    def test_version_mismatch_raises(self):
+        payload = _synthetic_model({"state_vector": 1e-3}).to_dict()
+        payload["version"] = 999
+        with pytest.raises(CostModelError):
+            CostModel.from_dict(payload)
+
+    def test_feature_basis_mismatch_raises(self):
+        payload = _synthetic_model({"state_vector": 1e-3}).to_dict()
+        payload["feature_names"] = ["bias", "something_else"]
+        with pytest.raises(CostModelError):
+            CostModel.from_dict(payload)
+
+    def test_unknown_backend_raises(self):
+        model = _synthetic_model({"state_vector": 1e-3})
+        with pytest.raises(CostModelError):
+            model.predict_seconds("stabilizer", _features())
+
+    def test_fit_requires_samples(self):
+        with pytest.raises(CostModelError):
+            fit_cost_model([])
+
+
+class TestCrossProcessDeterminism:
+    def test_subprocess_predictions_bit_identical(self, tmp_path):
+        model = _synthetic_model({"state_vector": 3e-3, "trajectory": 9e-4})
+        path = tmp_path / "model.json"
+        model.save(path)
+        probe = (
+            "from repro.api.costmodel import CostModel, CircuitFeatures\n"
+            f"model = CostModel.load({str(path)!r})\n"
+            "for n in range(2, 14):\n"
+            "    f = CircuitFeatures(n, 3 * n, 5 * n, 0.5, 0, False, False, 2 ** n)\n"
+            "    for b in model.backends():\n"
+            "        print(model.predict_seconds(b, f).hex())\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = os.pathsep.join(filter(None, [src, env.get("PYTHONPATH")]))
+        output = subprocess.run(
+            [sys.executable, "-c", probe],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        ).stdout.split()
+        expected = [
+            model.predict_seconds(backend, _feat).hex()
+            for n in range(2, 14)
+            for _feat in [CircuitFeatures(n, 3 * n, 5 * n, 0.5, 0, False, False, 2**n)]
+            for backend in model.backends()
+        ]
+        assert output == expected
+
+
+class TestCalibrationSuites:
+    def test_suites_are_seed_deterministic_without_execution(self):
+        first = calibration_suite(seed=0)
+        second = calibration_suite(seed=0)
+        assert [case.label for case in first] == [case.label for case in second]
+        assert all(
+            a.circuit.gate_count() == b.circuit.gate_count()
+            for a, b in zip(first, second)
+        )
+
+    def test_holdout_is_fifty_cases(self):
+        holdout = holdout_suite(seed=101)
+        assert len(holdout) == 50
+        assert len({case.label for case in holdout}) == 50
+
+
+class TestCostModeRouting:
+    def test_cost_mode_without_model_matches_rules(self, no_default_model):
+        circuits = [
+            (_clifford(3), True),
+            (_clifford(3), False),
+            (_clifford(3).with_noise(lambda: depolarize(0.05)), True),
+            (_clifford(3).with_noise(lambda: depolarize(0.05)), False),
+            (_nonclifford(4), True),
+            (_nonclifford(4).with_noise(lambda: depolarize(0.02)), True),
+        ]
+        for circuit, sampling in circuits:
+            rules = select_backend(circuit, sampling=sampling)
+            cost = select_backend(circuit, sampling=sampling, mode="cost")
+            assert cost == rules
+
+    def test_cost_mode_picks_predicted_fastest_capable(self):
+        model = _synthetic_model(
+            {
+                "state_vector": 1e-2,
+                "trajectory": 1e-4,
+                "density_matrix": 1e-1,
+                "stabilizer": 1e-3,
+            }
+        )
+        decision = select_backend(_nonclifford(4), mode="cost", cost_model=model)
+        # stabilizer is priced cheapest-but-one yet incapable (non-Clifford);
+        # the capability filter runs before the ranking.
+        assert decision.backend == "trajectory"
+        assert decision.predicted_seconds is not None
+        assert "cost model v1" in decision.reason
+
+    def test_cost_mode_never_selects_incapable_backend(self):
+        cheap_everywhere = _synthetic_model({"stabilizer": 1e-6, "state_vector": 1.0})
+        noisy = _nonclifford(4).with_noise(lambda: depolarize(0.02))
+        decision = select_backend(noisy, mode="cost", cost_model=cheap_everywhere)
+        assert decision.backend != "stabilizer"
+
+    def test_invalid_mode_and_model_types_raise(self):
+        with pytest.raises(BackendCapabilityError):
+            select_backend(_clifford(), mode="greedy")
+        with pytest.raises(CostModelError):
+            select_backend(_clifford(), mode="cost", cost_model={"not": "a model"})
+
+
+class TestCapableFallback:
+    def test_incapable_fallback_is_substituted(self):
+        # 20 noisy non-Clifford qubits: the 13-qubit density matrix cannot
+        # serve the item; the old router would have dispatched it anyway.
+        noisy = _nonclifford(20).with_noise(lambda: depolarize(0.01))
+        decision = select_backend(noisy, fallback="density_matrix")
+        assert decision.backend == "state_vector"
+        assert "cannot serve this item" in decision.reason
+
+    def test_simulate_route_substitutes_unravelling_backend(self):
+        # 20 noisy qubits overflow the 13-qubit density matrix; the
+        # simulate route substitutes the state vector, which serves noisy
+        # simulate by stochastic unravelling (Device enforces mixed-state
+        # output only for probability/expectation observables).
+        noisy = _nonclifford(20).with_noise(lambda: depolarize(0.01))
+        decision = select_backend(noisy, fallback="density_matrix", sampling=False)
+        assert decision.backend == "state_vector"
+
+    def test_impossible_item_raises_typed_error(self):
+        noisy = _nonclifford(40).with_noise(lambda: depolarize(0.01))
+        with pytest.raises(BackendCapabilityError):
+            select_backend(noisy)
+
+    def test_unregistered_fallback_is_preserved(self):
+        # Attached-instance keys (HybridSimulator) bypass capability checks:
+        # the caller vouches for them.
+        decision = select_backend(_nonclifford(4), fallback="state_vector#custom")
+        assert decision.backend == "state_vector#custom"
+
+
+class TestBatchAwareMemory:
+    def test_trajectory_estimate_scales_with_batch(self):
+        caps = backend_capabilities("trajectory")
+        single = caps.estimated_memory_bytes(10)
+        assert caps.estimated_memory_bytes(10, batch_size=64) == 64 * single
+        # Chunked execution clamps the resident batch at max_batch_size.
+        assert (
+            caps.estimated_memory_bytes(10, batch_size=100_000)
+            == caps.max_batch_size * single
+        )
+
+    def test_serial_backends_ignore_batch(self):
+        caps = backend_capabilities("state_vector")
+        assert caps.estimated_memory_bytes(10, batch_size=64) == (
+            caps.estimated_memory_bytes(10)
+        )
+
+    def test_budget_filtering_reacts_to_repetitions(self):
+        noisy = _nonclifford(10).with_noise(lambda: depolarize(0.01))
+        budget = 64 * 16 * 2**10  # 64 trajectory rows at n=10
+        roomy = capable_backends(noisy, repetitions=8, memory_budget=budget)
+        tight = capable_backends(noisy, repetitions=512, memory_budget=budget)
+        assert "trajectory" in roomy
+        assert "trajectory" not in tight
+
+    def test_downgrade_path_both_directions(self):
+        noisy = _nonclifford(10).with_noise(lambda: depolarize(0.01))
+        budget = 64 * 16 * 2**10
+        kept = select_backend(
+            noisy, fallback="trajectory", repetitions=8, memory_budget=budget
+        )
+        downgraded = select_backend(
+            noisy, fallback="trajectory", repetitions=512, memory_budget=budget
+        )
+        assert kept.backend == "trajectory"
+        assert downgraded.backend == "state_vector"
+        assert "cannot serve this item" in downgraded.reason
+
+
+class TestCostRoutedDevice:
+    def test_invalid_routing_mode_raises(self):
+        with pytest.raises(InvalidRequestError):
+            Device(backend="auto", routing="fastest")
+
+    def test_cost_routed_serial_matches_pooled(self):
+        model = _synthetic_model(
+            {"state_vector": 1e-3, "trajectory": 5e-4, "stabilizer": 1e-4}
+        )
+        batch = [_clifford(4), _nonclifford(4), _clifford(5), _nonclifford(5)] * 3
+        serial = (
+            device("auto", seed=11, routing="cost", cost_model=model)
+            .run(batch, repetitions=32)
+            .result()
+        )
+        pooled = (
+            device("auto", seed=11, routing="cost", cost_model=model)
+            .run(batch, repetitions=32, jobs=3)
+            .result()
+        )
+        assert serial.backends() == pooled.backends()
+        for left, right in zip(serial, pooled):
+            assert np.array_equal(left["samples"].samples, right["samples"].samples)
+
+    def test_cost_routing_parity_with_rules_when_no_model(self, no_default_model):
+        batch = [_clifford(4), _nonclifford(4)]
+        rules_rows = device("auto", seed=5).run(batch, repetitions=16).result()
+        cost_rows = (
+            device("auto", seed=5, routing="cost").run(batch, repetitions=16).result()
+        )
+        assert rules_rows.backends() == cost_rows.backends()
+        for left, right in zip(rules_rows, cost_rows):
+            assert np.array_equal(left["samples"].samples, right["samples"].samples)
+
+    def test_timing_telemetry_round_trip(self, tmp_path):
+        model = _synthetic_model({"state_vector": 1e-3, "stabilizer": 1e-4})
+        path = tmp_path / "model.json"
+        model.save(path)
+        dev = device("auto", seed=3, routing="cost", cost_model=str(path))
+        timings = dev.run([_clifford(3)], repetitions=16).result().timings()
+        assert timings[0]["backend"] == "stabilizer"
+        assert timings[0]["elapsed_seconds"] > 0
+        expected = model.predict_seconds(
+            "stabilizer", extract_features(_clifford(3), repetitions=16)
+        )
+        assert timings[0]["predicted_seconds"] == expected
+
+    def test_rules_routing_reports_no_prediction(self):
+        timings = (
+            device("auto", seed=3).run([_clifford(3)], repetitions=16).result().timings()
+        )
+        assert timings[0]["predicted_seconds"] is None
+        assert timings[0]["elapsed_seconds"] > 0
+
+    def test_device_decide_carries_prediction(self):
+        model = _synthetic_model({"state_vector": 1e-3, "stabilizer": 1e-4})
+        dev = device("auto", routing="cost", cost_model=model)
+        decision = dev.decide(_clifford(3), repetitions=16)
+        assert decision.backend == "stabilizer"
+        assert decision.predicted_seconds is not None
+
+
+class TestDefaultArtifact:
+    def test_committed_default_model_loads_and_prices_all_backends(self):
+        from repro.api.costmodel import DEFAULT_ARTIFACT, default_cost_model
+
+        assert os.path.exists(DEFAULT_ARTIFACT)
+        _reset_default_cache()
+        try:
+            model = default_cost_model()
+            assert model is not None
+            assert set(model.backends()) >= {
+                "density_matrix",
+                "knowledge_compilation",
+                "stabilizer",
+                "state_vector",
+                "tensor_network",
+                "trajectory",
+            }
+            # Cached: repeated resolution returns the same object.
+            assert default_cost_model() is model
+        finally:
+            _reset_default_cache()
